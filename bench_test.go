@@ -1,0 +1,376 @@
+// Package mictrend benchmarks regenerate every table and figure of the
+// paper's evaluation section (via the internal/experiments harness) and
+// exercise the numerical kernels. One benchmark per table and figure; run
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// The first iteration of each macro benchmark builds its shared environment
+// lazily, so wall-clock per op reflects the experiment itself.
+package mictrend
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"mictrend/internal/changepoint"
+	"mictrend/internal/experiments"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/ssm"
+)
+
+// benchConfig is a trimmed experiment configuration so the full table/figure
+// suite completes in minutes.
+func benchConfig() experiments.Config {
+	cfg := experiments.SmallConfig()
+	cfg.RecordsPerMonth = 500
+	cfg.MaxSeriesPerKind = 8
+	cfg.TopKDiseases = 10
+	return cfg
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+func sharedBenchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.NewEnv(benchConfig())
+		if benchEnvErr != nil {
+			return
+		}
+		// Warm the lazily fitted models so benchmarks measure the
+		// experiment, not shared setup.
+		_, _, benchEnvErr = benchEnv.Series()
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTableII reproduces Table II: per-hospital-class antibiotic
+// prescription rankings.
+func BenchmarkTableII(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableII(env, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII reproduces Table III: perplexity and relevance of the
+// three medication models.
+func BenchmarkTableIII(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableIII(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIV reproduces Table IV: the AIC ablation (LL, LL+S, LL+I,
+// LL+S+I, ARIMA) over sampled series.
+func BenchmarkTableIV(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableIV(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableV reproduces Table V: exact vs approximate search cost.
+func BenchmarkTableV(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableV(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVI reproduces Table VI: exact/approximate change point
+// consistency.
+func BenchmarkTableVI(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableVI(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 reproduces Fig. 2: cooccurrence vs proposed prediction
+// for hypertension.
+func BenchmarkFigure2(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure2(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 reproduces Fig. 3: seasonality, release, and indication
+// expansion series.
+func BenchmarkFigure3(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure3(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 reproduces Fig. 5: the AIC-vs-change-point valley.
+func BenchmarkFigure5(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure5(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 reproduces Fig. 6: the four disease/medicine case-study
+// decompositions.
+func BenchmarkFigure6(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure6(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 reproduces Fig. 7: the prescription-level case studies.
+func BenchmarkFigure7(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure7(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 reproduces Fig. 8: geographical generic spread snapshots.
+func BenchmarkFigure8(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure8(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 reproduces Fig. 9: SSM vs ARIMA forecasting.
+func BenchmarkFigure9(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure9(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensions runs the §IX future-work ablations (multiple change
+// points, temporally smoothed EM).
+func BenchmarkExtensions(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExtensions(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLinkRecovery evaluates both models' reproductions against the
+// generator's true links — the ground-truth check the paper could not run.
+func BenchmarkLinkRecovery(b *testing.B) {
+	env := sharedBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLinkRecovery(env, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- kernel micro-benchmarks (ablation of the design choices) ---
+
+// BenchmarkGenerateCorpus measures synthetic corpus generation throughput.
+func BenchmarkGenerateCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := micgen.Generate(micgen.Config{
+			Seed: uint64(i + 1), Months: 12, RecordsPerMonth: 500,
+			BulkDiseases: 8, BulkMedicines: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMFit measures one month's medication model EM fit.
+func BenchmarkEMFit(b *testing.B) {
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed: 1, Months: 1, RecordsPerMonth: 1000, BulkDiseases: 8, BulkMedicines: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := medmodel.Fit(ds.Months[0], ds.Medicines.Len(), medmodel.FitOptions{MaxIter: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSMFitSeasonal measures one maximum-likelihood fit of the full
+// structural model on a 43-month series, the unit cost C_KF·optimizer of
+// §V-B.
+func BenchmarkSSMFitSeasonal(b *testing.B) {
+	y := syntheticBreakSeries(43, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssm.FitConfig(y, ssm.Config{Seasonal: true, ChangePoint: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectExact measures Algorithm 1 on one series (O(T) fits).
+func BenchmarkDetectExact(b *testing.B) {
+	y := syntheticBreakSeries(43, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := changepoint.DetectExact(y, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectBinary measures Algorithm 2 on the same series (O(log T)
+// fits) — the paper's headline efficiency result.
+func BenchmarkDetectBinary(b *testing.B) {
+	y := syntheticBreakSeries(43, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := changepoint.DetectBinary(y, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectMultiple measures the §IX greedy multiple-change-point
+// search on a two-break series.
+func BenchmarkDetectMultiple(b *testing.B) {
+	y := syntheticBreakSeries(43, 20)
+	// Add a second, later break.
+	for t := 32; t < len(y); t++ {
+		y[t] += 2 * float64(t-31)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := changepoint.DetectMultiple(y, changepoint.MultiOptions{MaxChanges: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMFitSmoothed measures the MAP-EM variant against BenchmarkEMFit:
+// the cost of chaining the temporal prior.
+func BenchmarkEMFitSmoothed(b *testing.B) {
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed: 1, Months: 2, RecordsPerMonth: 1000, BulkDiseases: 8, BulkMedicines: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior, err := medmodel.Fit(ds.Months[0], ds.Medicines.Len(), medmodel.FitOptions{MaxIter: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := medmodel.FitSmoothed(ds.Months[1], ds.Medicines.Len(), medmodel.FitOptions{MaxIter: 20}, prior, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReproduce measures time-series reproduction (Eq. 7) over a small
+// corpus.
+func BenchmarkReproduce(b *testing.B) {
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed: 2, Months: 12, RecordsPerMonth: 500, BulkDiseases: 8, BulkMedicines: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := medmodel.FitAll(ds, medmodel.FitOptions{MaxIter: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := medmodel.Reproduce(ds, models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecRoundTrip measures dataset serialization + parsing.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed: 3, Months: 6, RecordsPerMonth: 500, BulkDiseases: 8, BulkMedicines: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := mic.Write(&buf, ds); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mic.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// syntheticBreakSeries builds a deterministic series with a slope shift.
+func syntheticBreakSeries(n, cp int) []float64 {
+	rng := rand.New(rand.NewPCG(11, 13))
+	y := make([]float64, n)
+	level := 20.0
+	for t := range y {
+		level += rng.NormFloat64() * 0.2
+		y[t] = level + 1.5*ssm.InterventionRegressor(cp, t) + rng.NormFloat64()
+	}
+	return y
+}

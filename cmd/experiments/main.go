@@ -1,0 +1,110 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on a synthetic corpus with ground truth, printing
+// paper-shaped ASCII output.
+//
+// Usage:
+//
+//	experiments [-scale small|default] [-only table3,fig9] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mictrend/internal/experiments"
+)
+
+// renderer is the shape every experiment result shares.
+type renderer interface {
+	Render(w io.Writer)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scale     = flag.String("scale", "small", "corpus scale: small or default")
+		only      = flag.String("only", "", "comma-separated subset: table2..table6, fig2, fig3, fig5..fig9")
+		seed      = flag.Uint64("seed", 0, "override the corpus seed (0 = keep the scale's default)")
+		months    = flag.Int("months", 0, "override the number of months")
+		records   = flag.Int("records", 0, "override records per month")
+		maxSeries = flag.Int("max-series", 0, "override the per-kind series cap of the Table IV–VI sweeps")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "small":
+		cfg = experiments.SmallConfig()
+	case "default":
+		cfg = experiments.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *months > 0 {
+		cfg.Months = *months
+	}
+	if *records > 0 {
+		cfg.RecordsPerMonth = *records
+	}
+	if *maxSeries > 0 {
+		cfg.MaxSeriesPerKind = *maxSeries
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	start := time.Now()
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d months × %d records/month (seed %d), generated in %v\n\n",
+		cfg.Months, cfg.RecordsPerMonth, cfg.Seed, time.Since(start).Round(time.Millisecond))
+
+	runs := []struct {
+		id  string
+		run func() (renderer, error)
+	}{
+		{"table2", func() (renderer, error) { return experiments.RunTableII(env, 10) }},
+		{"table3", func() (renderer, error) { return experiments.RunTableIII(env) }},
+		{"table4", func() (renderer, error) { return experiments.RunTableIV(env) }},
+		{"table5", func() (renderer, error) { return experiments.RunTableV(env) }},
+		{"table6", func() (renderer, error) { return experiments.RunTableVI(env) }},
+		{"fig2", func() (renderer, error) { return experiments.RunFigure2(env) }},
+		{"fig3", func() (renderer, error) { return experiments.RunFigure3(env) }},
+		{"fig5", func() (renderer, error) { return experiments.RunFigure5(env) }},
+		{"fig6", func() (renderer, error) { return experiments.RunFigure6(env) }},
+		{"fig7", func() (renderer, error) { return experiments.RunFigure7(env) }},
+		{"fig8", func() (renderer, error) { return experiments.RunFigure8(env) }},
+		{"fig9", func() (renderer, error) { return experiments.RunFigure9(env) }},
+		{"extensions", func() (renderer, error) { return experiments.RunExtensions(env) }},
+		{"linkrecovery", func() (renderer, error) { return experiments.RunLinkRecovery(env, cfg.MinSeriesTotal) }},
+	}
+	for _, r := range runs {
+		if !want(r.id) {
+			continue
+		}
+		stepStart := time.Now()
+		res, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		fmt.Printf("=== %s (%v) ===\n", r.id, time.Since(stepStart).Round(time.Millisecond))
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,84 @@
+// Forecast: the paper's §VIII-B2 experiment in miniature — train the
+// structural state space model and the ARIMA baseline on the first part of
+// an influenza series, forecast the rest, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mictrend/internal/arima"
+	"mictrend/internal/changepoint"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/ssm"
+	"mictrend/internal/stat"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed:            3,
+		Months:          42,
+		RecordsPerMonth: 900,
+		BulkDiseases:    5,
+		BulkMedicines:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reproduce the influenza disease series with the medication model.
+	models, err := medmodel.FitAll(ds, medmodel.FitOptions{MaxIter: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	series, err := medmodel.Reproduce(ds, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fluID, _ := ds.Diseases.Lookup(micgen.DiseaseInfluenza)
+	y := series.Disease(mic.DiseaseID(fluID))
+	if y == nil {
+		log.Fatal("influenza series missing")
+	}
+
+	const horizon = 12
+	train, test := y[:len(y)-horizon], y[len(y)-horizon:]
+
+	// Structural model: change point search, then fit and forecast. The
+	// seasonal component carries the winter peak into the future.
+	det, err := changepoint.DetectExact(train, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fit, err := ssm.FitConfig(train, ssm.Config{Seasonal: true, ChangePoint: det.ChangePoint})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssmFC, ssmSE, err := fit.Forecast(horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ARIMA baseline with AIC-selected orders.
+	ar, err := arima.Select(train, arima.SelectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arFC, err := ar.Forecast(horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trained on %d months; forecasting %d (selected %v as the baseline)\n\n", len(train), horizon, ar.Order)
+	fmt.Printf("%5s %10s %12s %12s\n", "month", "actual", "SSM (±se)", "ARIMA")
+	for i := range test {
+		fmt.Printf("%5d %10.1f %7.1f ±%4.1f %12.1f\n",
+			len(train)+i, test[i], ssmFC[i], ssmSE[i], arFC[i])
+	}
+	fmt.Printf("\nRMSE: SSM = %.2f, ARIMA = %.2f\n", stat.RMSE(test, ssmFC), stat.RMSE(test, arFC))
+	fmt.Println("the seasonal component lets the SSM anticipate the winter influenza peak; ARIMA flattens it.")
+}

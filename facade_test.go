@@ -1,0 +1,130 @@
+package mictrend
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole pipeline through the public facade
+// only — the path a downstream user takes.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end facade test is heavy")
+	}
+	corpus, truth, err := GenerateCorpus(GeneratorConfig{
+		Seed:            21,
+		Months:          30,
+		RecordsPerMonth: 500,
+		BulkDiseases:    5,
+		BulkMedicines:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.T() != 30 || len(truth.Changes) == 0 {
+		t.Fatal("generation incomplete")
+	}
+
+	// Serialization round trip.
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, corpus); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRecords() != corpus.NumRecords() {
+		t.Fatal("round trip lost records")
+	}
+
+	// Medication model + reproduction.
+	models, err := FitMedicationModels(corpus, EMOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := ReproduceSeries(corpus, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Pairs) == 0 {
+		t.Fatal("no reproduced series")
+	}
+
+	// Pipeline with the binary search.
+	opts := DefaultAnalysisOptions()
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 300
+	opts.Method = MethodBinary
+	analysis, err := AnalyzeTrends(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := DetectedChangePoints(analysis.Medicines)
+	if len(detected) == 0 {
+		t.Fatal("nothing detected end to end")
+	}
+	causes := ClassifyChanges(analysis, 2)
+	if len(causes) == 0 {
+		t.Fatal("no classifications")
+	}
+
+	// Emerging-trend projection.
+	emerging, err := EmergingTrends(analysis.Prescriptions, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range emerging {
+		if e.SlopePerMonth <= 0 {
+			t.Fatal("non-positive slope reported as emerging")
+		}
+	}
+}
+
+func TestPublicAPIStructuralModel(t *testing.T) {
+	// A deterministic slope-shift series through the facade.
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = 10
+		if i >= 25 {
+			y[i] += float64(i - 24)
+		}
+	}
+	res, err := DetectChangePointExact(y, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("obvious break missed")
+	}
+	fit, err := FitStructuralModel(y, StructuralConfig{ChangePoint: res.ChangePoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fit.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Level) != len(y) {
+		t.Fatal("decomposition length mismatch")
+	}
+	multi, err := DetectChangePoints(y, MultiChangePointOptions{MaxChanges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Interventions) == 0 {
+		t.Fatal("multi search missed the break")
+	}
+}
+
+func TestPublicAPIConstants(t *testing.T) {
+	if NoChangePoint != -1 {
+		t.Fatal("NoChangePoint drifted")
+	}
+	if SmallHospital.String() != "small" || LargeHospital.String() != "large" {
+		t.Fatal("class aliases broken")
+	}
+	if CauseMedicine.String() != "medicine-derived" {
+		t.Fatal("cause aliases broken")
+	}
+}

@@ -1,0 +1,3 @@
+module mictrend
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package apps implements the paper's §VII analysis applications on top of
+// the medication model: geographical prescription spread (per-city models,
+// Fig. 8) and inter-hospital prescription gap analysis (per-bed-class
+// models, Table II).
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+)
+
+// CityCounts maps city name → medicine → estimated prescription count for a
+// fixed disease and month.
+type CityCounts map[string]map[mic.MedicineID]float64
+
+// PairCountsByCity fits the medication model per city for one month and
+// returns each city's estimated prescription counts x_dm of the given
+// medicines for the given disease — the quantity Fig. 8 visualizes around a
+// generic release.
+func PairCountsByCity(ds *mic.Dataset, disease mic.DiseaseID, meds []mic.MedicineID, month int, em medmodel.FitOptions) (CityCounts, error) {
+	if month < 0 || month >= ds.T() {
+		return nil, fmt.Errorf("apps: month %d outside dataset of %d months", month, ds.T())
+	}
+	wanted := make(map[mic.MedicineID]bool, len(meds))
+	for _, m := range meds {
+		wanted[m] = true
+	}
+	out := make(CityCounts)
+	for city, cityDS := range mic.SplitByCity(ds) {
+		counts := make(map[mic.MedicineID]float64, len(meds))
+		for _, m := range meds {
+			counts[m] = 0
+		}
+		monthRecs := cityDS.Months[month]
+		model, err := medmodel.Fit(monthRecs, ds.Medicines.Len(), em)
+		if err != nil {
+			// A city can have no usable records in a month; report zeros.
+			out[city] = counts
+			continue
+		}
+		for i := range monthRecs.Records {
+			r := &monthRecs.Records[i]
+			for _, med := range r.Medicines {
+				if !wanted[med] {
+					continue
+				}
+				q := model.Responsibility(r, med)
+				counts[med] += q[disease]
+			}
+		}
+		out[city] = counts
+	}
+	return out, nil
+}
+
+// DiseaseShare is one row of the Table II ranking: the fraction of a
+// medicine's estimated prescriptions attributed to a disease.
+type DiseaseShare struct {
+	Disease mic.DiseaseID
+	Ratio   float64 // percentage share in [0, 100]
+}
+
+// TopDiseasesForMedicine fits the medication model on every month of ds,
+// reproduces the prescription series, and returns the k diseases with the
+// largest share of the medicine's total estimated prescriptions
+// (ratio as a percentage, like the paper's Table II).
+func TopDiseasesForMedicine(ds *mic.Dataset, med mic.MedicineID, k int, em medmodel.FitOptions) ([]DiseaseShare, error) {
+	models, err := medmodel.FitAll(ds, em)
+	if err != nil {
+		return nil, err
+	}
+	series, err := medmodel.Reproduce(ds, models)
+	if err != nil {
+		return nil, err
+	}
+	totals := make(map[mic.DiseaseID]float64)
+	var grand float64
+	for pair, s := range series.Pairs {
+		if pair.Medicine != med {
+			continue
+		}
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		totals[pair.Disease] += sum
+		grand += sum
+	}
+	if grand == 0 {
+		return nil, nil
+	}
+	shares := make([]DiseaseShare, 0, len(totals))
+	for d, v := range totals {
+		shares = append(shares, DiseaseShare{Disease: d, Ratio: 100 * v / grand})
+	}
+	sort.Slice(shares, func(a, b int) bool {
+		if shares[a].Ratio != shares[b].Ratio {
+			return shares[a].Ratio > shares[b].Ratio
+		}
+		return shares[a].Disease < shares[b].Disease
+	})
+	if k < len(shares) {
+		shares = shares[:k]
+	}
+	return shares, nil
+}
+
+// PrescriptionGapByClass runs TopDiseasesForMedicine separately on each
+// hospital size class — the paper's Table II. Records are split by the
+// issuing hospital's bed class and a separate medication model is learned
+// per class, so class-specific prescription habits (like small-hospital
+// antibiotic misuse for viral colds) surface in the rankings.
+func PrescriptionGapByClass(ds *mic.Dataset, med mic.MedicineID, k int, em medmodel.FitOptions) (map[mic.HospitalClass][]DiseaseShare, error) {
+	out := make(map[mic.HospitalClass][]DiseaseShare, mic.NumHospitalClasses)
+	for class, classDS := range mic.SplitByHospitalClass(ds) {
+		shares, err := TopDiseasesForMedicine(classDS, med, k, em)
+		if err != nil {
+			return nil, fmt.Errorf("apps: class %v: %w", class, err)
+		}
+		out[class] = shares
+	}
+	return out, nil
+}

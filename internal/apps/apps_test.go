@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"testing"
+
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+)
+
+func genCorpus(t *testing.T, months, perMonth int) (*mic.Dataset, *micgen.Truth) {
+	t.Helper()
+	ds, truth, err := micgen.Generate(micgen.Config{
+		Seed:            7,
+		Months:          months,
+		RecordsPerMonth: perMonth,
+		BulkDiseases:    5,
+		BulkMedicines:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, truth
+}
+
+func lookupMed(t *testing.T, ds *mic.Dataset, code string) mic.MedicineID {
+	t.Helper()
+	id, ok := ds.Medicines.Lookup(code)
+	if !ok {
+		t.Fatalf("medicine %s missing", code)
+	}
+	return mic.MedicineID(id)
+}
+
+func lookupDis(t *testing.T, ds *mic.Dataset, code string) mic.DiseaseID {
+	t.Helper()
+	id, ok := ds.Diseases.Lookup(code)
+	if !ok {
+		t.Fatalf("disease %s missing", code)
+	}
+	return mic.DiseaseID(id)
+}
+
+func TestPairCountsByCityGenericSpread(t *testing.T) {
+	ds, _ := genCorpus(t, 36, 1500)
+	stroke := lookupDis(t, ds, micgen.DiseaseStroke)
+	meds := []mic.MedicineID{
+		lookupMed(t, ds, micgen.MedicineAntiplOrig),
+		lookupMed(t, ds, micgen.MedicineGeneric3),
+	}
+	before, err := PairCountsByCity(ds, stroke, meds, micgen.GenericReleaseMonth-1, medmodel.FitOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	later, err := PairCountsByCity(ds, stroke, meds, 34, medmodel.FitOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("no cities returned")
+	}
+	// Before release: no city has generic prescriptions.
+	g3 := meds[1]
+	for city, counts := range before {
+		if counts[g3] > 0 {
+			t.Fatalf("city %s used the generic before release", city)
+		}
+	}
+	// One year after: total generic share must be substantial somewhere.
+	var totalG3, totalOrig float64
+	for _, counts := range later {
+		totalG3 += counts[g3]
+		totalOrig += counts[meds[0]]
+	}
+	if totalG3 <= 0 {
+		t.Fatal("generic never adopted")
+	}
+	if totalG3 < 0.3*totalOrig {
+		t.Fatalf("authorized generic adoption too weak: %v vs original %v", totalG3, totalOrig)
+	}
+}
+
+func TestPairCountsByCityBadMonth(t *testing.T) {
+	ds, _ := genCorpus(t, 12, 100)
+	if _, err := PairCountsByCity(ds, 0, nil, 99, medmodel.FitOptions{}); err == nil {
+		t.Fatal("out-of-range month accepted")
+	}
+}
+
+func TestTopDiseasesForMedicine(t *testing.T) {
+	ds, _ := genCorpus(t, 12, 1500)
+	abx := lookupMed(t, ds, micgen.MedicineAntibiotic)
+	shares, err := TopDiseasesForMedicine(ds, abx, 5, medmodel.FitOptions{MaxIter: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) == 0 {
+		t.Fatal("no diseases ranked")
+	}
+	// Shares must be descending and sum to ≤ 100.
+	var sum float64
+	for i, s := range shares {
+		if i > 0 && s.Ratio > shares[i-1].Ratio {
+			t.Fatal("shares not descending")
+		}
+		sum += s.Ratio
+	}
+	if sum > 100.0001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	// The top disease must be one of the antibiotic's actual targets (or a
+	// misuse target): it cannot be, say, hypertension.
+	topCode := ds.Diseases.Code(int32(shares[0].Disease))
+	if topCode == micgen.DiseaseHypertension {
+		t.Fatalf("implausible top disease %s", topCode)
+	}
+}
+
+func TestTopDiseasesUnknownMedicine(t *testing.T) {
+	ds, _ := genCorpus(t, 6, 200)
+	// A medicine id that never occurs yields an empty ranking, not an error.
+	shares, err := TopDiseasesForMedicine(ds, mic.MedicineID(ds.Medicines.Len()-1)+1000, 5, medmodel.FitOptions{MaxIter: 5})
+	if err == nil && len(shares) != 0 {
+		t.Fatalf("expected empty ranking, got %v", shares)
+	}
+}
+
+func TestPrescriptionGapByClass(t *testing.T) {
+	ds, _ := genCorpus(t, 12, 2500)
+	abx := lookupMed(t, ds, micgen.MedicineAntibiotic)
+	gap, err := PrescriptionGapByClass(ds, abx, 10, medmodel.FitOptions{MaxIter: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gap) != mic.NumHospitalClasses {
+		t.Fatalf("classes = %d", len(gap))
+	}
+	// The paper's Table II signal: viral diseases (cold, influenza) rank
+	// higher (larger share) at small hospitals than at large ones.
+	viralShare := func(shares []DiseaseShare) float64 {
+		var sum float64
+		for _, s := range shares {
+			code := ds.Diseases.Code(int32(s.Disease))
+			if code == micgen.DiseaseCommonCold || code == micgen.DiseaseInfluenza {
+				sum += s.Ratio
+			}
+		}
+		return sum
+	}
+	small := viralShare(gap[mic.SmallHospital])
+	large := viralShare(gap[mic.LargeHospital])
+	if small <= large {
+		t.Fatalf("viral share small=%v should exceed large=%v", small, large)
+	}
+}

@@ -1,0 +1,101 @@
+package arima
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Select never errors and always returns finite AIC on random
+// stationary-ish series of reasonable length.
+func TestSelectRobustProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property fitting is heavy")
+	}
+	f := func(seed uint64, trendRaw int8) bool {
+		rng := rand.New(rand.NewPCG(seed, 55))
+		n := 43
+		y := make([]float64, n)
+		level := 10.0
+		slope := float64(trendRaw) / 100
+		for i := range y {
+			level += slope
+			y[i] = level + rng.NormFloat64()
+		}
+		fit, err := Select(y, SelectOptions{MaxP: 1, MaxQ: 1})
+		if err != nil {
+			return false
+		}
+		return !math.IsNaN(fit.AIC) && !math.IsInf(fit.AIC, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forecasts of a fitted model are always finite.
+func TestForecastFiniteProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property fitting is heavy")
+	}
+	f := func(seed uint64) bool {
+		y := simulateAR1(80, 0.5, seed)
+		fit, err := FitOrder(y, Order{P: 1, D: 0, Q: 0})
+		if err != nil {
+			return false
+		}
+		fc, err := fit.Forecast(12)
+		if err != nil {
+			return false
+		}
+		for _, v := range fc {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the chosen differencing order never exceeds the bound and is 0
+// for white noise.
+func TestChooseDifferencingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 66))
+		noise := make([]float64, 60)
+		for i := range noise {
+			noise[i] = rng.NormFloat64()
+		}
+		if d := chooseDifferencing(noise, 2); d != 0 {
+			return false
+		}
+		// Integrated twice → needs d≥1 (usually 2).
+		twice := make([]float64, 60)
+		level, slope := 0.0, 0.0
+		for i := range twice {
+			slope += rng.NormFloat64()
+			level += slope
+			twice[i] = level
+		}
+		d := chooseDifferencing(twice, 2)
+		return d >= 1 && d <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitZeroVarianceSeries(t *testing.T) {
+	y := make([]float64, 50) // constant zeros
+	fit, err := FitOrder(y, Order{})
+	if err != nil {
+		t.Fatalf("constant series rejected: %v", err)
+	}
+	if math.IsNaN(fit.AIC) {
+		t.Fatal("NaN AIC on constant series")
+	}
+}

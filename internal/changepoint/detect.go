@@ -1,0 +1,185 @@
+// Package changepoint implements the paper's AIC-driven change point search
+// (§V-B): Algorithm 1, the exact exhaustive scan over every candidate month,
+// and Algorithm 2, the approximate binary search that exploits the
+// valley-shaped AIC curve around the true break (paper Fig. 5). Both finish
+// by comparing the best intervention model against the intervention-free
+// model, so a change point is only reported when it improves AIC — which is
+// why the approximation can produce false negatives but never false
+// positives relative to its own candidate set.
+package changepoint
+
+import (
+	"fmt"
+
+	"mictrend/internal/ssm"
+)
+
+// AICFunc scores the model with a change point at cp (ssm.NoChangePoint for
+// the intervention-free model) against a fixed series.
+type AICFunc func(cp int) (float64, error)
+
+// Result is the outcome of a change point search.
+type Result struct {
+	// ChangePoint is the detected 0-based month, or ssm.NoChangePoint.
+	ChangePoint int
+	// AIC is the score of the selected model.
+	AIC float64
+	// NoChangeAIC is the score of the intervention-free model.
+	NoChangeAIC float64
+	// Fits counts distinct model fits performed (cache misses), the cost
+	// measure behind the paper's Table V.
+	Fits int
+}
+
+// Detected reports whether a change point was found.
+func (r Result) Detected() bool { return r.ChangePoint != ssm.NoChangePoint }
+
+// evaluator memoizes AIC evaluations so shared endpoints in the binary
+// search cost one fit.
+type evaluator struct {
+	f     AICFunc
+	cache map[int]float64
+	fits  int
+}
+
+func newEvaluator(f AICFunc) *evaluator {
+	return &evaluator{f: f, cache: make(map[int]float64)}
+}
+
+func (e *evaluator) aic(cp int) (float64, error) {
+	if v, ok := e.cache[cp]; ok {
+		return v, nil
+	}
+	v, err := e.f(cp)
+	if err != nil {
+		return 0, err
+	}
+	e.cache[cp] = v
+	e.fits++
+	return v, nil
+}
+
+// MinActiveObservations is the number of post-change-point observations a
+// candidate must leave: the intervention coefficient's diffuse
+// initialization consumes its first active observation, so a change point at
+// the very end of the series would trade one likelihood term for a free
+// parameter and systematically over-detect tail outliers. Candidates are
+// therefore restricted to cp ≤ n − MinActiveObservations.
+const MinActiveObservations = 3
+
+// maxCandidate returns the largest admissible change point for a series of
+// length n, or -1 when none exists.
+func maxCandidate(n int) int { return n - MinActiveObservations }
+
+// Exact implements Algorithm 1: evaluate every admissible candidate change
+// point plus the no-intervention model, returning the AIC-minimizing choice.
+// Ties prefer no change point (the paper iterates ∞ last with ≤).
+func Exact(n int, f AICFunc) (Result, error) {
+	if n < 2 {
+		return Result{}, fmt.Errorf("changepoint: series length %d too short", n)
+	}
+	e := newEvaluator(f)
+	best := ssm.NoChangePoint
+	bestAIC, err := e.aic(ssm.NoChangePoint)
+	if err != nil {
+		return Result{}, err
+	}
+	noneAIC := bestAIC
+	for cp := 0; cp <= maxCandidate(n); cp++ {
+		aic, err := e.aic(cp)
+		if err != nil {
+			return Result{}, err
+		}
+		if aic < bestAIC {
+			best, bestAIC = cp, aic
+		}
+	}
+	return Result{ChangePoint: best, AIC: bestAIC, NoChangeAIC: noneAIC, Fits: e.fits}, nil
+}
+
+// Binary implements Algorithm 2: a binary search that halves the candidate
+// interval toward the lower-AIC endpoint, then compares the located candidate
+// against the no-intervention model. It performs O(log n) fits and, like the
+// exact method, never reports a change point that does not beat the
+// intervention-free model.
+func Binary(n int, f AICFunc) (Result, error) {
+	if n < 2 {
+		return Result{}, fmt.Errorf("changepoint: series length %d too short", n)
+	}
+	e := newEvaluator(f)
+	hi := maxCandidate(n)
+	if hi < 0 {
+		aic, err := e.aic(ssm.NoChangePoint)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{ChangePoint: ssm.NoChangePoint, AIC: aic, NoChangeAIC: aic, Fits: e.fits}, nil
+	}
+	best, err := findWithin(e, 0, hi)
+	if err != nil {
+		return Result{}, err
+	}
+	bestAIC, err := e.aic(best)
+	if err != nil {
+		return Result{}, err
+	}
+	noneAIC, err := e.aic(ssm.NoChangePoint)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{ChangePoint: best, AIC: bestAIC, NoChangeAIC: noneAIC, Fits: e.fits}
+	if noneAIC <= bestAIC {
+		res.ChangePoint = ssm.NoChangePoint
+		res.AIC = noneAIC
+	}
+	return res, nil
+}
+
+// findWithin is the recursive core of Algorithm 2.
+func findWithin(e *evaluator, left, right int) (int, error) {
+	if right-left <= 1 {
+		aicL, err := e.aic(left)
+		if err != nil {
+			return 0, err
+		}
+		aicR, err := e.aic(right)
+		if err != nil {
+			return 0, err
+		}
+		if aicL <= aicR {
+			return left, nil
+		}
+		return right, nil
+	}
+	middle := (left + right) / 2
+	aicL, err := e.aic(left)
+	if err != nil {
+		return 0, err
+	}
+	aicR, err := e.aic(right)
+	if err != nil {
+		return 0, err
+	}
+	if aicL < aicR {
+		return findWithin(e, left, middle)
+	}
+	return findWithin(e, middle, right)
+}
+
+// SSMEvaluator returns an AICFunc that fits the paper's structural model
+// (with or without seasonality) to y at each candidate change point.
+func SSMEvaluator(y []float64, seasonal bool) AICFunc {
+	return func(cp int) (float64, error) {
+		return ssm.AICAt(y, seasonal, cp)
+	}
+}
+
+// DetectExact runs Algorithm 1 on y with the structural model.
+func DetectExact(y []float64, seasonal bool) (Result, error) {
+	return Exact(len(y), SSMEvaluator(y, seasonal))
+}
+
+// DetectBinary runs Algorithm 2 on y with the structural model.
+func DetectBinary(y []float64, seasonal bool) (Result, error) {
+	return Binary(len(y), SSMEvaluator(y, seasonal))
+}

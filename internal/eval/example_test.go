@@ -1,0 +1,31 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"mictrend/internal/eval"
+)
+
+func ExampleAveragePrecisionAt() {
+	ranked := []string{"antiviral", "antibiotic", "analgesic"}
+	relevant := map[string]bool{"antiviral": true, "analgesic": true}
+	fmt.Printf("%.3f\n", eval.AveragePrecisionAt(ranked, relevant, 10))
+	// Output: 0.833
+}
+
+func ExampleNDCGAt() {
+	ranked := []string{"wrong", "right"}
+	relevant := map[string]bool{"right": true}
+	fmt.Printf("%.3f\n", eval.NDCGAt(ranked, relevant, 10))
+	// Output: 0.631
+}
+
+func ExamplePerplexityAccumulator() {
+	var acc eval.PerplexityAccumulator
+	for i := 0; i < 8; i++ {
+		acc.Add(0.25) // the model assigns probability 1/4 to each holdout
+	}
+	ppl, _ := acc.Perplexity()
+	fmt.Printf("%.0f\n", ppl)
+	// Output: 4
+}

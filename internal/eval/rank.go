@@ -1,0 +1,84 @@
+// Package eval implements the evaluation measures the paper uses: Average
+// Precision and NDCG at a cutoff for prescription relevance (Table III) and
+// perplexity for predictive performance (Eq. 11).
+package eval
+
+import "math"
+
+// AveragePrecisionAt returns AP@k for a ranked list of item identifiers and a
+// set of relevant identifiers. AP@k is the mean, over relevant ranks within
+// the cutoff, of precision at each relevant rank, normalized by
+// min(k, |relevant|). Returns 0 when there are no relevant items.
+func AveragePrecisionAt(ranked []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 || len(relevant) == 0 {
+		return 0
+	}
+	numRel := 0
+	for _, rel := range relevant {
+		if rel {
+			numRel++
+		}
+	}
+	if numRel == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	var sum float64
+	hits := 0
+	for i := 0; i < k; i++ {
+		if relevant[ranked[i]] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	norm := numRel
+	if k < norm {
+		norm = k
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / float64(norm)
+}
+
+// NDCGAt returns NDCG@k with binary gains for a ranked list against a set of
+// relevant identifiers, using the standard log2 discount. Returns 0 when no
+// item is relevant.
+func NDCGAt(ranked []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	numRel := 0
+	for _, rel := range relevant {
+		if rel {
+			numRel++
+		}
+	}
+	if numRel == 0 {
+		return 0
+	}
+	kk := k
+	if kk > len(ranked) {
+		kk = len(ranked)
+	}
+	var dcg float64
+	for i := 0; i < kk; i++ {
+		if relevant[ranked[i]] {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := numRel
+	if k < ideal {
+		ideal = k
+	}
+	var idcg float64
+	for i := 0; i < ideal; i++ {
+		idcg += 1 / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/report"
+	"mictrend/internal/stat"
+)
+
+// NamedSeries is one labeled time series of a figure reproduction.
+type NamedSeries struct {
+	Label  string
+	Values []float64
+}
+
+// Figure2Result reproduces Fig. 2: prescription time series of a depressor
+// (effective for hypertension) and an anti-inflammatory analgesic (not
+// effective) for hypertension, estimated by (a) the cooccurrence approach
+// and (b) the proposed model. The paper's point: cooccurrence over-predicts
+// the unrelated-but-frequent analgesic; the proposed model drives it to ≈0.
+type Figure2Result struct {
+	Cooccurrence []NamedSeries
+	Proposed     []NamedSeries
+	// MispredictionRatio is Σ analgesic / Σ depressor under each approach;
+	// the paper's pathology is ratio > 1 for cooccurrence and ≈ 0 for the
+	// proposed model.
+	CoocRatio, ProposedRatio float64
+}
+
+// RunFigure2 reproduces the paper's Figure 2.
+func RunFigure2(env *Env) (*Figure2Result, error) {
+	proposed, cooc, err := env.Series()
+	if err != nil {
+		return nil, err
+	}
+	htn, err := env.DiseaseID(micgen.DiseaseHypertension)
+	if err != nil {
+		return nil, err
+	}
+	depr, err := env.MedicineID(micgen.MedicineDepressor)
+	if err != nil {
+		return nil, err
+	}
+	nsaid, err := env.MedicineID(micgen.MedicineAnalgesic)
+	if err != nil {
+		return nil, err
+	}
+	get := func(s *medmodel.SeriesSet, m mic.MedicineID) []float64 {
+		v := s.Pair(mic.Pair{Disease: htn, Medicine: m})
+		if v == nil {
+			v = make([]float64, env.Config.Months)
+		}
+		return v
+	}
+	res := &Figure2Result{
+		Cooccurrence: []NamedSeries{
+			{Label: "depressor (effective)", Values: get(cooc, depr)},
+			{Label: "analgesic (not effective)", Values: get(cooc, nsaid)},
+		},
+		Proposed: []NamedSeries{
+			{Label: "depressor (effective)", Values: get(proposed, depr)},
+			{Label: "analgesic (not effective)", Values: get(proposed, nsaid)},
+		},
+	}
+	res.CoocRatio = ratioOfTotals(res.Cooccurrence[1].Values, res.Cooccurrence[0].Values)
+	res.ProposedRatio = ratioOfTotals(res.Proposed[1].Values, res.Proposed[0].Values)
+	return res, nil
+}
+
+func ratioOfTotals(num, den []float64) float64 {
+	d := stat.Sum(den)
+	if d == 0 {
+		return 0
+	}
+	return stat.Sum(num) / d
+}
+
+// Render plots both panels.
+func (r *Figure2Result) Render(w io.Writer) {
+	a := &report.LinePlot{Title: "Figure 2a: cooccurrence-based prediction for hypertension"}
+	for _, s := range r.Cooccurrence {
+		a.Add(s.Label, s.Values)
+	}
+	a.Render(w)
+	fmt.Fprintf(w, "  analgesic/depressor count ratio = %.3f (mis-prediction when > 0.5)\n\n", r.CoocRatio)
+	b := &report.LinePlot{Title: "Figure 2b: proposed model prediction for hypertension"}
+	for _, s := range r.Proposed {
+		b.Add(s.Label, s.Values)
+	}
+	b.Render(w)
+	fmt.Fprintf(w, "  analgesic/depressor count ratio = %.3f (should be ≈ 0)\n", r.ProposedRatio)
+}
+
+// Figure3Result reproduces Fig. 3: (a) seasonality of hay fever, heatstroke,
+// and influenza prescriptions; (b) the new bronchodilator's series for its
+// three target diseases rising from zero at release; (c) the
+// indication-expanded bronchodilator's series for asthma ramping after the
+// expansion.
+type Figure3Result struct {
+	Seasonal     []NamedSeries
+	NewMedicine  []NamedSeries
+	NewIndMonths int // expansion month for reference
+	NewIndSeries []NamedSeries
+	ReleaseMonth int
+}
+
+// RunFigure3 reproduces the paper's Figure 3.
+func RunFigure3(env *Env) (*Figure3Result, error) {
+	proposed, _, err := env.Series()
+	if err != nil {
+		return nil, err
+	}
+	pairSeries := func(dCode, mCode string) ([]float64, error) {
+		d, err := env.DiseaseID(dCode)
+		if err != nil {
+			return nil, err
+		}
+		m, err := env.MedicineID(mCode)
+		if err != nil {
+			return nil, err
+		}
+		v := proposed.Pair(mic.Pair{Disease: d, Medicine: m})
+		if v == nil {
+			v = make([]float64, env.Config.Months)
+		}
+		return v, nil
+	}
+	res := &Figure3Result{ReleaseMonth: micgen.NewBronchReleaseMonth, NewIndMonths: micgen.AsthmaExpansionMonth}
+	for _, sc := range []struct{ label, d, m string }{
+		{"hay fever", micgen.DiseaseHayFever, micgen.MedicineAntihist},
+		{"heatstroke", micgen.DiseaseHeatstroke, micgen.MedicineRehydrate},
+		{"influenza", micgen.DiseaseInfluenza, micgen.MedicineAntiviral},
+	} {
+		v, err := pairSeries(sc.d, sc.m)
+		if err != nil {
+			return nil, err
+		}
+		res.Seasonal = append(res.Seasonal, NamedSeries{Label: sc.label, Values: v})
+	}
+	for _, sc := range []struct{ label, d string }{
+		{"asthma", micgen.DiseaseAsthma},
+		{"chronic bronchitis", micgen.DiseaseBronchitis},
+		{"COPD", micgen.DiseaseCOPD},
+	} {
+		v, err := pairSeries(sc.d, micgen.MedicineNewBronch)
+		if err != nil {
+			return nil, err
+		}
+		res.NewMedicine = append(res.NewMedicine, NamedSeries{Label: sc.label, Values: v})
+	}
+	for _, sc := range []struct{ label, d string }{
+		{"COPD (original indication)", micgen.DiseaseCOPD},
+		{"asthma (new indication)", micgen.DiseaseAsthma},
+	} {
+		v, err := pairSeries(sc.d, micgen.MedicineExpBronch)
+		if err != nil {
+			return nil, err
+		}
+		res.NewIndSeries = append(res.NewIndSeries, NamedSeries{Label: sc.label, Values: v})
+	}
+	return res, nil
+}
+
+// Render plots the three panels.
+func (r *Figure3Result) Render(w io.Writer) {
+	a := &report.LinePlot{Title: "Figure 3a: seasonal prescriptions (hay fever/heatstroke/influenza)"}
+	for _, s := range r.Seasonal {
+		a.Add(s.Label, s.Values)
+	}
+	a.Render(w)
+	fmt.Fprintln(w)
+	b := &report.LinePlot{Title: fmt.Sprintf("Figure 3b: new bronchodilator (release month %d)", r.ReleaseMonth)}
+	for _, s := range r.NewMedicine {
+		b.Add(s.Label, s.Values)
+	}
+	b.Render(w)
+	fmt.Fprintln(w)
+	c := &report.LinePlot{Title: fmt.Sprintf("Figure 3c: indication expansion (month %d)", r.NewIndMonths)}
+	for _, s := range r.NewIndSeries {
+		c.Add(s.Label, s.Values)
+	}
+	c.Render(w)
+}

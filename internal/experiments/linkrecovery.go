@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mictrend/internal/mic"
+	"mictrend/internal/report"
+	"mictrend/internal/stat"
+)
+
+// LinkRecoveryResult is an evaluation the paper could not run for lack of
+// ground truth: how accurately does each model's reproduced prescription
+// time series x_dmt (Eq. 7) recover the generator's *true* link counts?
+// Reported as the normalized RMSE between the estimated and true monthly
+// series per disease–medicine pair, for the proposed model and the
+// cooccurrence baseline.
+type LinkRecoveryResult struct {
+	// Per-pair normalized RMSE (divided by the true series' mean level),
+	// aligned across the two models.
+	ProposedNRMSE, CoocNRMSE []float64
+	// TotalErrProposed/Cooc is the relative error of the total (whole
+	// period) count per pair.
+	TotalErrProposed, TotalErrCooc []float64
+	// Test compares per-pair NRMSE (proposed − cooccurrence): negative t
+	// means the proposed model tracks the truth better.
+	Test stat.TTestResult
+	// Pairs is the number of evaluated pairs.
+	Pairs int
+}
+
+// RunLinkRecovery evaluates both models' reproductions against the true
+// links for every pair whose true total count is at least minTotal.
+func RunLinkRecovery(env *Env, minTotal float64) (*LinkRecoveryResult, error) {
+	proposed, cooc, err := env.Series()
+	if err != nil {
+		return nil, err
+	}
+	// The proposed set is min-total filtered; evaluate on the intersection
+	// of substantial true pairs to keep the comparison symmetric.
+	res := &LinkRecoveryResult{}
+	keys := make([]struct {
+		pair  mic.Pair
+		total float64
+	}, 0, len(env.Truth.PairCounts))
+	for pair, series := range env.Truth.PairCounts {
+		var total float64
+		for _, v := range series {
+			total += v
+		}
+		if total >= minTotal {
+			keys = append(keys, struct {
+				pair  mic.Pair
+				total float64
+			}{pair, total})
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].pair.Disease != keys[b].pair.Disease {
+			return keys[a].pair.Disease < keys[b].pair.Disease
+		}
+		return keys[a].pair.Medicine < keys[b].pair.Medicine
+	})
+
+	for _, k := range keys {
+		truth := env.Truth.PairCounts[k.pair]
+		mean := k.total / float64(len(truth))
+		if mean <= 0 {
+			continue
+		}
+		estP := proposed.Pair(k.pair)
+		estC := cooc.Pair(k.pair)
+		zero := make([]float64, len(truth))
+		if estP == nil {
+			estP = zero
+		}
+		if estC == nil {
+			estC = zero
+		}
+		res.ProposedNRMSE = append(res.ProposedNRMSE, stat.RMSE(truth, estP)/mean)
+		res.CoocNRMSE = append(res.CoocNRMSE, stat.RMSE(truth, estC)/mean)
+		res.TotalErrProposed = append(res.TotalErrProposed, relErr(sum(estP), k.total))
+		res.TotalErrCooc = append(res.TotalErrCooc, relErr(sum(estC), k.total))
+		res.Pairs++
+	}
+	if res.Pairs >= 2 {
+		if res.Test, err = stat.PairedTTest(res.ProposedNRMSE, res.CoocNRMSE); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func relErr(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	d := est - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
+}
+
+// Render prints the recovery comparison.
+func (r *LinkRecoveryResult) Render(w io.Writer) {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Link recovery vs generator ground truth (%d pairs)", r.Pairs),
+		Headers: []string{"model", "NRMSE mean (SD)", "NRMSE median", "total-count rel. error mean"},
+	}
+	row := func(name string, nrmse, terr []float64) {
+		t.AddRow(name,
+			report.FormatFloat(stat.Mean(nrmse))+" ("+report.FormatFloat(stat.StdDev(nrmse))+")",
+			stat.Median(nrmse),
+			stat.Mean(terr))
+	}
+	row("Cooccurrence", r.CoocNRMSE, r.TotalErrCooc)
+	row("Proposed", r.ProposedNRMSE, r.TotalErrProposed)
+	t.Render(w)
+	fmt.Fprintf(w, "  paired t(%.0f) = %.3f, p = %.4g, d = %.3f (negative favors the proposed model)\n",
+		r.Test.DF, r.Test.T, r.Test.P, r.Test.CohensD)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"io"
+
+	"mictrend/internal/apps"
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/report"
+)
+
+// TableIIRow is one ranked disease for one hospital class.
+type TableIIRow struct {
+	DiseaseCode string
+	DiseaseName string
+	Ratio       float64 // percent of the antibiotic's prescriptions
+}
+
+// TableIIResult reproduces Table II: the top-K diseases for which the
+// antibiotic is prescribed at small, medium, and large hospitals.
+type TableIIResult struct {
+	Classes map[mic.HospitalClass][]TableIIRow
+	// ViralShare sums the ratio of virus-caused diseases (cold, influenza)
+	// per class — the paper's key observation is that this share is largest
+	// at small hospitals.
+	ViralShare map[mic.HospitalClass]float64
+}
+
+// RunTableII reproduces the paper's Table II on the environment corpus.
+func RunTableII(env *Env, k int) (*TableIIResult, error) {
+	abx, err := env.MedicineID(micgen.MedicineAntibiotic)
+	if err != nil {
+		return nil, err
+	}
+	gap, err := apps.PrescriptionGapByClass(env.Filtered, abx, k, env.Config.EM)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIResult{
+		Classes:    make(map[mic.HospitalClass][]TableIIRow),
+		ViralShare: make(map[mic.HospitalClass]float64),
+	}
+	for class, shares := range gap {
+		for _, s := range shares {
+			code := env.Data.Diseases.Code(int32(s.Disease))
+			name := code
+			if d, ok := env.Truth.Catalog.DiseaseByCode(code); ok {
+				name = d.Name
+			}
+			res.Classes[class] = append(res.Classes[class], TableIIRow{
+				DiseaseCode: code, DiseaseName: name, Ratio: s.Ratio,
+			})
+			if code == micgen.DiseaseCommonCold || code == micgen.DiseaseInfluenza {
+				res.ViralShare[class] += s.Ratio
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the three class rankings like the paper's Table II.
+func (r *TableIIResult) Render(w io.Writer) {
+	for class := mic.SmallHospital; class <= mic.LargeHospital; class++ {
+		t := &report.Table{
+			Title:   "Table II(" + string('a'+rune(class)) + "): top diseases for the antibiotic at " + class.String() + " hospitals",
+			Headers: []string{"disease", "ratio (%)"},
+		}
+		for _, row := range r.Classes[class] {
+			t.AddRow(row.DiseaseName, row.Ratio)
+		}
+		t.Render(w)
+		io.WriteString(w, "viral-cause share: "+report.FormatFloat(r.ViralShare[class])+"%\n\n")
+	}
+}

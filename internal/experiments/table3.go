@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mictrend/internal/eval"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/report"
+	"mictrend/internal/stat"
+)
+
+// TableIIIResult reproduces Table III: predictive performance (perplexity on
+// a 90/10 medicine holdout per monthly dataset) and prescription relevance
+// (AP@10 / NDCG@10 against the indication ground truth for the top-K
+// frequent diseases), with the paper's paired t-tests.
+type TableIIIResult struct {
+	// Per-month perplexities, one entry per monthly dataset.
+	PerplexityUnigram  []float64
+	PerplexityCooc     []float64
+	PerplexityProposed []float64
+	// Per-disease ranking quality at cutoff 10.
+	APCooc, APProposed     []float64
+	NDCGCooc, NDCGProposed []float64
+	// Paired t-tests (proposed vs cooccurrence).
+	PerplexityTest stat.TTestResult
+	APTest         stat.TTestResult
+	NDCGTest       stat.TTestResult
+}
+
+// RunTableIII reproduces Table III on the environment corpus.
+func RunTableIII(env *Env) (*TableIIIResult, error) {
+	res := &TableIIIResult{}
+	vocabM := env.Filtered.Medicines.Len()
+
+	// Predictive performance: per-month holdout.
+	for _, month := range env.Filtered.Months {
+		holdout := mic.SplitMedicines(month, env.Config.HoldoutTrainFraction, env.Config.Seed)
+		model, err := medmodel.Fit(holdout.Train, vocabM, env.Config.EM)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: month %d proposed: %w", month.Month, err)
+		}
+		cooc, err := medmodel.FitCooccurrence(holdout.Train, vocabM)
+		if err != nil {
+			return nil, err
+		}
+		unigram, err := medmodel.FitUnigram(holdout.Train, vocabM)
+		if err != nil {
+			return nil, err
+		}
+		pplP, err := medmodel.Perplexity(model, holdout.Train, holdout.Test)
+		if err != nil {
+			return nil, err
+		}
+		pplC, err := medmodel.Perplexity(cooc, holdout.Train, holdout.Test)
+		if err != nil {
+			return nil, err
+		}
+		pplU, err := medmodel.Perplexity(unigram, holdout.Train, holdout.Test)
+		if err != nil {
+			return nil, err
+		}
+		res.PerplexityProposed = append(res.PerplexityProposed, pplP)
+		res.PerplexityCooc = append(res.PerplexityCooc, pplC)
+		res.PerplexityUnigram = append(res.PerplexityUnigram, pplU)
+	}
+
+	// Prescription relevance: rank medicines per frequent disease by total
+	// reproduced prescription count and score against the indication truth.
+	proposedSeries, coocSeries, err := env.Series()
+	if err != nil {
+		return nil, err
+	}
+	top := mic.TopDiseases(env.Filtered, env.Config.TopKDiseases)
+	for _, d := range top {
+		dCode := env.Data.Diseases.Code(int32(d))
+		relevant := make(map[string]bool)
+		for m := 0; m < env.Data.Medicines.Len(); m++ {
+			mCode := env.Data.Medicines.Code(int32(m))
+			if env.Truth.Relevant(dCode, mCode) {
+				relevant[mCode] = true
+			}
+		}
+		if len(relevant) == 0 {
+			continue
+		}
+		toCodes := func(ids []mic.MedicineID) []string {
+			out := make([]string, len(ids))
+			for i, id := range ids {
+				out[i] = env.Data.Medicines.Code(int32(id))
+			}
+			return out
+		}
+		rankedP := toCodes(medmodel.RankMedicines([]*medmodel.SeriesSet{proposedSeries}, d))
+		rankedC := toCodes(medmodel.RankMedicines([]*medmodel.SeriesSet{coocSeries}, d))
+		res.APProposed = append(res.APProposed, eval.AveragePrecisionAt(rankedP, relevant, 10))
+		res.APCooc = append(res.APCooc, eval.AveragePrecisionAt(rankedC, relevant, 10))
+		res.NDCGProposed = append(res.NDCGProposed, eval.NDCGAt(rankedP, relevant, 10))
+		res.NDCGCooc = append(res.NDCGCooc, eval.NDCGAt(rankedC, relevant, 10))
+	}
+
+	if res.PerplexityTest, err = stat.PairedTTest(res.PerplexityProposed, res.PerplexityCooc); err != nil {
+		return nil, err
+	}
+	if res.APTest, err = stat.PairedTTest(res.APProposed, res.APCooc); err != nil {
+		return nil, err
+	}
+	if res.NDCGTest, err = stat.PairedTTest(res.NDCGProposed, res.NDCGCooc); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the table with means, SDs, and test statistics.
+func (r *TableIIIResult) Render(w io.Writer) {
+	t := &report.Table{
+		Title:   "Table III: predictive performance and prescription relevance",
+		Headers: []string{"model", "perplexity (SD)", "AP@10 (SD)", "NDCG@10 (SD)"},
+	}
+	cell := func(xs []float64) string {
+		if len(xs) == 0 {
+			return "-"
+		}
+		return report.FormatFloat(stat.Mean(xs)) + " (" + report.FormatFloat(stat.StdDev(xs)) + ")"
+	}
+	t.AddRow("Unigram", cell(r.PerplexityUnigram), "-", "-")
+	t.AddRow("Cooccurrence", cell(r.PerplexityCooc), cell(r.APCooc), cell(r.NDCGCooc))
+	t.AddRow("Proposed", cell(r.PerplexityProposed), cell(r.APProposed), cell(r.NDCGProposed))
+	t.Render(w)
+	fmt.Fprintf(w, "paired t-tests (proposed vs cooccurrence):\n")
+	fmt.Fprintf(w, "  perplexity: t(%.0f) = %.3f, p = %.4g, d = %.3f\n",
+		r.PerplexityTest.DF, r.PerplexityTest.T, r.PerplexityTest.P, r.PerplexityTest.CohensD)
+	fmt.Fprintf(w, "  AP@10:      t(%.0f) = %.3f, p = %.4g, d = %.3f\n",
+		r.APTest.DF, r.APTest.T, r.APTest.P, r.APTest.CohensD)
+	fmt.Fprintf(w, "  NDCG@10:    t(%.0f) = %.3f, p = %.4g, d = %.3f\n",
+		r.NDCGTest.DF, r.NDCGTest.T, r.NDCGTest.P, r.NDCGTest.CohensD)
+}

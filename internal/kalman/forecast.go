@@ -1,0 +1,58 @@
+package kalman
+
+import "mictrend/internal/linalg"
+
+// Forecast holds h-step-ahead predictions of the observation series.
+type Forecast struct {
+	Mean     []float64 // predicted observations
+	Variance []float64 // prediction variances (signal + observation noise)
+}
+
+// Forecast propagates the state h steps past the end of the filtered sample
+// and returns predicted observations. The model's Z function is evaluated at
+// times len(y), len(y)+1, …, so time-varying regressors (e.g. the
+// intervention dummy) extend naturally into the future.
+func (m *Model) Forecast(fr *FilterResult, start, h int) (*Forecast, error) {
+	n := m.Dim()
+	out := &Forecast{Mean: make([]float64, h), Variance: make([]float64, h)}
+
+	rq := linalg.NewMatrix(n, m.Q.Cols())
+	rq.Mul(m.R, m.Q)
+	rqr := linalg.NewMatrix(n, n)
+	rqr.MulTransB(rq, m.R)
+
+	a := append([]float64(nil), fr.A[start]...)
+	p := fr.P[start].Clone()
+	ta := make([]float64, n)
+	tp := linalg.NewMatrix(n, n)
+
+	for i := 0; i < h; i++ {
+		t := start + i
+		z := m.Z(t)
+		var mean float64
+		for j, zj := range z {
+			mean += zj * a[j]
+		}
+		out.Mean[i] = mean
+		variance := m.H
+		for j, zj := range z {
+			var s float64
+			for k, zk := range z {
+				s += p.At(j, k) * zk
+			}
+			variance += zj * s
+		}
+		out.Variance[i] = variance
+
+		// Propagate one step: a ← T·a, P ← T·P·Tᵀ + RQRᵀ.
+		ta = linalg.MulVec(ta, m.T, a)
+		copy(a, ta)
+		tp.Mul(m.T, p)
+		next := linalg.NewMatrix(n, n)
+		next.MulTransB(tp, m.T)
+		next.Add(next, rqr)
+		next.Symmetrize()
+		p = next
+	}
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package kalman
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mictrend/internal/linalg"
+)
+
+// localLevel builds a local level model: y = mu + eps, mu' = mu + xi.
+func localLevel(sigEps, sigXi, a1, p1 float64, diffuse int) *Model {
+	return &Model{
+		T:            linalg.NewMatrixFrom(1, 1, []float64{1}),
+		R:            linalg.NewMatrixFrom(1, 1, []float64{1}),
+		Q:            linalg.NewMatrixFrom(1, 1, []float64{sigXi * sigXi}),
+		H:            sigEps * sigEps,
+		Z:            func(int) []float64 { return []float64{1} },
+		A1:           []float64{a1},
+		P1:           linalg.NewMatrixFrom(1, 1, []float64{p1}),
+		DiffuseCount: diffuse,
+	}
+}
+
+func TestFilterMatchesScalarRecursion(t *testing.T) {
+	// Hand-rolled scalar Kalman recursion for the local level model.
+	y := []float64{1.0, 1.3, 0.8, 1.1, 1.6, 0.9}
+	sigE2, sigX2 := 0.5, 0.2
+	m := localLevel(math.Sqrt(sigE2), math.Sqrt(sigX2), 0, 10, 0)
+	res, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, p := 0.0, 10.0
+	var ll float64
+	for i, yt := range y {
+		v := yt - a
+		f := p + sigE2
+		if math.Abs(res.V[i]-v) > 1e-10 || math.Abs(res.F[i]-f) > 1e-10 {
+			t.Fatalf("step %d: (v,f) = (%v,%v), want (%v,%v)", i, res.V[i], res.F[i], v, f)
+		}
+		ll += -0.5 * (math.Log(2*math.Pi) + math.Log(f) + v*v/f)
+		k := p / f // gain in prediction form with T=1
+		a = a + k*v
+		p = p*(1-k) + sigX2
+	}
+	if math.Abs(res.LogLik-ll) > 1e-10 {
+		t.Fatalf("loglik = %v, want %v", res.LogLik, ll)
+	}
+	if res.LikCount != len(y) {
+		t.Fatalf("LikCount = %d", res.LikCount)
+	}
+}
+
+func TestLogLikMatchesDenseGaussian(t *testing.T) {
+	// Independent check: for the local level model the observation vector is
+	// jointly Gaussian with mean a1 and covariance
+	// Σ[s][t] = P1 + min(s,t)·σξ² + δ_st·σε².
+	y := []float64{0.3, -0.2, 0.5, 0.1, -0.4}
+	sigE2, sigX2, p1, a1 := 0.7, 0.3, 2.0, 0.4
+	m := localLevel(math.Sqrt(sigE2), math.Sqrt(sigX2), a1, p1, 0)
+	res, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(y)
+	cov := linalg.NewMatrix(n, n)
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			v := p1 + float64(min(s, tt))*sigX2
+			if s == tt {
+				v += sigE2
+			}
+			cov.Set(s, tt, v)
+		}
+	}
+	chol, err := linalg.NewCholesky(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := make([]float64, n)
+	for i := range y {
+		dev[i] = y[i] - a1
+	}
+	sol, err := chol.SolveVec(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad := linalg.Dot(dev, sol)
+	want := -0.5 * (float64(n)*math.Log(2*math.Pi) + chol.LogDet() + quad)
+	if math.Abs(res.LogLik-want) > 1e-8 {
+		t.Fatalf("filter loglik = %v, dense loglik = %v", res.LogLik, want)
+	}
+}
+
+func TestFilterDiffuseBurnIn(t *testing.T) {
+	y := []float64{5, 5.1, 4.9, 5.2}
+	m := localLevel(1, 0.1, 0, DiffuseVariance, 1)
+	res, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LikCount != 3 {
+		t.Fatalf("LikCount = %d, want 3", res.LikCount)
+	}
+	// The first prediction has enormous variance; the filter must still
+	// track the level quickly.
+	lastLevel := res.A[len(y)][0]
+	if math.Abs(lastLevel-5) > 0.5 {
+		t.Fatalf("level after burn-in = %v, want ≈5", lastLevel)
+	}
+}
+
+func TestFilterMissingObservations(t *testing.T) {
+	y := []float64{1, math.NaN(), 1.2, math.NaN(), 1.1}
+	m := localLevel(0.5, 0.1, 0, 10, 0)
+	res, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LikCount != 3 {
+		t.Fatalf("LikCount = %d, want 3 (missing steps must not count)", res.LikCount)
+	}
+	if !math.IsNaN(res.V[1]) || !math.IsNaN(res.V[3]) {
+		t.Fatal("missing steps should record NaN innovations")
+	}
+	// Variance must grow across a gap: P at t=2 exceeds P at t=1's filtered level.
+	if res.P[2].At(0, 0) <= res.P[1].At(0, 0)-1e-12 {
+		t.Fatal("prediction variance should not shrink through a missing step")
+	}
+}
+
+func TestSteadyStateGain(t *testing.T) {
+	// For the local level model the prediction variance converges to
+	// P̄ = σξ²(1+√(1+4σε²/σξ²))/2 … equivalently solves P = P(1−P/(P+σε²))+σξ².
+	sigE2, sigX2 := 1.0, 0.5
+	m := localLevel(1, math.Sqrt(sigX2), 0, 10, 0)
+	y := make([]float64, 300)
+	rng := rand.New(rand.NewPCG(1, 2))
+	level := 0.0
+	for i := range y {
+		level += rng.NormFloat64() * math.Sqrt(sigX2)
+		y[i] = level + rng.NormFloat64()
+	}
+	res, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbar := res.P[len(y)].At(0, 0)
+	// Solve the Riccati fixed point: P = P·σε²/(P+σε²) + σξ² → P² − σξ²P − σξ²σε² = 0.
+	want := (sigX2 + math.Sqrt(sigX2*sigX2+4*sigX2*sigE2)) / 2
+	if math.Abs(pbar-want) > 1e-6 {
+		t.Fatalf("steady-state P = %v, want %v", pbar, want)
+	}
+}
+
+func TestSmootherMatchesFilterAtLastStep(t *testing.T) {
+	y := []float64{1, 2, 1.5, 1.8, 2.2}
+	m := localLevel(0.6, 0.3, 0, 5, 0)
+	fr, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := m.Smooth(y, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the final time point the smoothed state equals the filtered state
+	// a_{T|T} = a_T + P_T·Zᵀ·v_T/F_T.
+	last := len(y) - 1
+	filtered := fr.A[last][0] + fr.P[last].At(0, 0)*fr.V[last]/fr.F[last]
+	if math.Abs(sr.Alpha[last][0]-filtered) > 1e-10 {
+		t.Fatalf("smoothed last = %v, filtered = %v", sr.Alpha[last][0], filtered)
+	}
+}
+
+func TestSmootherRecoversSmoothLevel(t *testing.T) {
+	// Noisy observations of a constant level: smoothed level ≈ mean.
+	rng := rand.New(rand.NewPCG(3, 4))
+	y := make([]float64, 100)
+	var sum float64
+	for i := range y {
+		y[i] = 7 + rng.NormFloat64()*0.3
+		sum += y[i]
+	}
+	mean := sum / float64(len(y))
+	m := localLevel(0.3, 0.001, 0, DiffuseVariance, 1)
+	fr, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := m.Smooth(y, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 5; tt < 95; tt++ {
+		if math.Abs(sr.Alpha[tt][0]-mean) > 0.15 {
+			t.Fatalf("smoothed level at %d = %v, want ≈%v", tt, sr.Alpha[tt][0], mean)
+		}
+	}
+	// Smoothed variance must not exceed predicted variance.
+	for tt := 1; tt < len(y); tt++ {
+		if sr.V[tt].At(0, 0) > fr.P[tt].At(0, 0)+1e-9 {
+			t.Fatalf("smoothing increased variance at %d", tt)
+		}
+	}
+}
+
+func TestSmootherHandlesMissing(t *testing.T) {
+	y := []float64{1, math.NaN(), math.NaN(), 2}
+	m := localLevel(0.2, 0.2, 0, 5, 0)
+	fr, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := m.Smooth(y, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoothed level across the gap should interpolate between 1 and 2.
+	for tt := 1; tt <= 2; tt++ {
+		v := sr.Alpha[tt][0]
+		if v < 0.9 || v > 2.1 {
+			t.Fatalf("smoothed gap value at %d = %v", tt, v)
+		}
+	}
+	if sr.Alpha[1][0] >= sr.Alpha[2][0] {
+		t.Fatal("interpolation should increase toward the later observation")
+	}
+}
+
+func TestForecastLocalLevel(t *testing.T) {
+	y := []float64{2, 2.1, 1.9, 2.0, 2.05}
+	m := localLevel(0.3, 0.1, 0, 10, 0)
+	fr, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(fr, len(y), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local level forecasts are flat at the last filtered level.
+	for i := 1; i < 6; i++ {
+		if math.Abs(fc.Mean[i]-fc.Mean[0]) > 1e-10 {
+			t.Fatalf("local level forecast not flat: %v", fc.Mean)
+		}
+	}
+	if math.Abs(fc.Mean[0]-2.0) > 0.2 {
+		t.Fatalf("forecast level = %v, want ≈2", fc.Mean[0])
+	}
+	// Forecast variance must increase with horizon.
+	for i := 1; i < 6; i++ {
+		if fc.Variance[i] <= fc.Variance[i-1] {
+			t.Fatalf("forecast variance not increasing: %v", fc.Variance)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	good := localLevel(1, 1, 0, 1, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*Model){
+		"empty A1":    func(m *Model) { m.A1 = nil },
+		"wrong T":     func(m *Model) { m.T = linalg.NewMatrix(2, 2) },
+		"wrong Q":     func(m *Model) { m.Q = linalg.NewMatrix(2, 2) },
+		"wrong P1":    func(m *Model) { m.P1 = linalg.NewMatrix(2, 2) },
+		"nil Z":       func(m *Model) { m.Z = nil },
+		"negative H":  func(m *Model) { m.H = -1 },
+		"neg diffuse": func(m *Model) { m.DiffuseCount = -1 },
+	}
+	for name, mutate := range cases {
+		m := localLevel(1, 1, 0, 1, 0)
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestFilterDegenerateModel(t *testing.T) {
+	// All variances zero: F becomes 0 → ErrDegenerate.
+	m := localLevel(0, 0, 0, 0, 0)
+	if _, err := m.Filter([]float64{1, 2}); err == nil {
+		t.Fatal("degenerate model accepted")
+	}
+}
+
+func TestFilterWrongZLength(t *testing.T) {
+	m := localLevel(1, 1, 0, 1, 0)
+	m.Z = func(int) []float64 { return []float64{1, 2} }
+	if _, err := m.Filter([]float64{1}); err == nil {
+		t.Fatal("wrong Z length accepted")
+	}
+}
+
+func TestSignalAt(t *testing.T) {
+	y := []float64{3, 3, 3, 3}
+	m := localLevel(0.1, 0.01, 0, DiffuseVariance, 1)
+	fr, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := m.Smooth(y, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SignalAt(sr, 2); math.Abs(got-3) > 0.05 {
+		t.Fatalf("signal = %v, want ≈3", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package kalman implements the linear Gaussian state space machinery the
+// paper's trend model (§V) rests on: the Kalman filter in prediction-error
+// form for univariate observations, the fixed-interval state smoother, the
+// prediction-error-decomposition log-likelihood, and multi-step forecasting.
+//
+// The model is
+//
+//	y_t     = Z_t·α_t + ε_t,          ε_t ~ N(0, H)
+//	α_{t+1} = T·α_t  + R·η_t,         η_t ~ N(0, Q)
+//
+// with a possibly time-varying observation row Z_t (the paper's intervention
+// regressor w_t lives there) and approximate diffuse initialization via a
+// large P₁ plus a likelihood burn-in.
+package kalman
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mictrend/internal/linalg"
+)
+
+// DiffuseVariance is the large prior variance used for approximately diffuse
+// initial state elements.
+const DiffuseVariance = 1e7
+
+// ErrDegenerate is returned when a filtering step encounters a non-positive
+// prediction variance, which indicates an invalid model (e.g. all variances
+// zero).
+var ErrDegenerate = errors.New("kalman: non-positive prediction variance")
+
+// Model is a univariate-observation linear Gaussian state space model.
+type Model struct {
+	// T is the n×n state transition matrix.
+	T *linalg.Matrix
+	// R is the n×r disturbance selection matrix.
+	R *linalg.Matrix
+	// Q is the r×r disturbance covariance.
+	Q *linalg.Matrix
+	// H is the observation noise variance.
+	H float64
+	// Z returns the 1×n observation row at time t. It must be valid for
+	// t ≥ len(data) too when forecasting. The returned slice is read only
+	// and must remain valid until the next call.
+	Z func(t int) []float64
+	// A1 is the initial state mean (length n).
+	A1 []float64
+	// P1 is the n×n initial state covariance.
+	P1 *linalg.Matrix
+	// DiffuseCount is the number of leading observations excluded from the
+	// log-likelihood to absorb the approximate diffuse initialization.
+	DiffuseCount int
+	// SkipLik lists additional observation indices excluded from the
+	// log-likelihood — used for diffuse state elements whose regressor first
+	// activates mid-sample (the intervention coefficient λ).
+	SkipLik []int
+}
+
+// Dim returns the state dimension.
+func (m *Model) Dim() int { return len(m.A1) }
+
+// Validate checks dimensional consistency.
+func (m *Model) Validate() error {
+	n := len(m.A1)
+	if n == 0 {
+		return errors.New("kalman: empty initial state")
+	}
+	if m.T == nil || m.T.Rows() != n || m.T.Cols() != n {
+		return fmt.Errorf("kalman: T must be %dx%d", n, n)
+	}
+	if m.R == nil || m.R.Rows() != n {
+		return fmt.Errorf("kalman: R must have %d rows", n)
+	}
+	r := m.R.Cols()
+	if m.Q == nil || m.Q.Rows() != r || m.Q.Cols() != r {
+		return fmt.Errorf("kalman: Q must be %dx%d", r, r)
+	}
+	if m.P1 == nil || m.P1.Rows() != n || m.P1.Cols() != n {
+		return fmt.Errorf("kalman: P1 must be %dx%d", n, n)
+	}
+	if m.Z == nil {
+		return errors.New("kalman: missing observation function Z")
+	}
+	if m.H < 0 {
+		return errors.New("kalman: negative observation variance")
+	}
+	if m.DiffuseCount < 0 {
+		return errors.New("kalman: negative diffuse count")
+	}
+	for _, idx := range m.SkipLik {
+		if idx < 0 {
+			return errors.New("kalman: negative SkipLik index")
+		}
+	}
+	return nil
+}
+
+// FilterResult holds per-step filter output in prediction form: A[t] and
+// P[t] are the one-step-ahead predicted state mean/covariance given data up
+// to t−1; V, F are innovations and their variances; K and L feed the
+// smoother.
+type FilterResult struct {
+	A [][]float64      // predicted state means, length T+1 (last is next-period prediction)
+	P []*linalg.Matrix // predicted state covariances, length T+1
+	V []float64 // innovations, length T (NaN where y was missing)
+	// Contributed[t] is true when observation t entered the log-likelihood
+	// (present, past the diffuse burn-in, and not in SkipLik).
+	Contributed []bool
+	F []float64        // innovation variances, length T
+	K []*linalg.Matrix // Kalman gains (n×1), length T
+	L []*linalg.Matrix // L_t = T − K_t·Z_t, length T
+
+	LogLik    float64 // prediction error decomposition log-likelihood
+	LikCount  int     // observations contributing to LogLik
+	NumParams int     // copied from nothing; set by higher layers if desired
+}
+
+// Filter runs the Kalman filter over y. Missing observations are encoded as
+// NaN and skipped (the state is propagated without an update).
+func (m *Model) Filter(y []float64) (*FilterResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.Dim()
+	steps := len(y)
+	res := &FilterResult{
+		A:           make([][]float64, steps+1),
+		P:           make([]*linalg.Matrix, steps+1),
+		V:           make([]float64, steps),
+		F:           make([]float64, steps),
+		K:           make([]*linalg.Matrix, steps),
+		L:           make([]*linalg.Matrix, steps),
+		Contributed: make([]bool, steps),
+	}
+	skip := make(map[int]bool, len(m.SkipLik))
+	for _, idx := range m.SkipLik {
+		skip[idx] = true
+	}
+
+	// RQRᵀ is constant: precompute.
+	rq := linalg.NewMatrix(n, m.Q.Cols())
+	rq.Mul(m.R, m.Q)
+	rqr := linalg.NewMatrix(n, n)
+	rqr.MulTransB(rq, m.R)
+
+	a := append([]float64(nil), m.A1...)
+	p := m.P1.Clone()
+	// Scratch buffers reused across steps.
+	pzt := make([]float64, n)    // P·Zᵀ
+	ta := make([]float64, n)     // T·a
+	tp := linalg.NewMatrix(n, n) // T·P
+
+	for t := 0; t < steps; t++ {
+		res.A[t] = append([]float64(nil), a...)
+		res.P[t] = p.Clone()
+		z := m.Z(t)
+		if len(z) != n {
+			return nil, fmt.Errorf("kalman: Z(%d) has length %d, want %d", t, len(z), n)
+		}
+
+		if math.IsNaN(y[t]) {
+			// Missing observation: pure prediction step.
+			res.V[t] = math.NaN()
+			res.F[t] = math.Inf(1)
+			res.K[t] = linalg.NewMatrix(n, 1)
+			res.L[t] = m.T.Clone()
+			ta = linalg.MulVec(ta, m.T, a)
+			copy(a, ta)
+			tp.Mul(m.T, p)
+			next := linalg.NewMatrix(n, n)
+			next.MulTransB(tp, m.T)
+			next.Add(next, rqr)
+			next.Symmetrize()
+			p = next
+			continue
+		}
+
+		// Innovation and its variance.
+		var zaDot float64
+		for i, zi := range z {
+			zaDot += zi * a[i]
+		}
+		v := y[t] - zaDot
+		// pzt = P·Zᵀ.
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += p.At(i, j) * z[j]
+			}
+			pzt[i] = s
+		}
+		f := m.H
+		for i, zi := range z {
+			f += zi * pzt[i]
+		}
+		if f <= 0 || math.IsNaN(f) {
+			return nil, ErrDegenerate
+		}
+		res.V[t] = v
+		res.F[t] = f
+		if t >= m.DiffuseCount && !skip[t] {
+			res.LogLik += -0.5 * (math.Log(2*math.Pi) + math.Log(f) + v*v/f)
+			res.LikCount++
+			res.Contributed[t] = true
+		}
+
+		// Gain K = T·P·Zᵀ/F and L = T − K·Z.
+		k := linalg.NewMatrix(n, 1)
+		tpz := linalg.MulVec(nil, m.T, pzt)
+		for i := 0; i < n; i++ {
+			k.Set(i, 0, tpz[i]/f)
+		}
+		res.K[t] = k
+		l := m.T.Clone()
+		for i := 0; i < n; i++ {
+			ki := k.At(i, 0)
+			for j := 0; j < n; j++ {
+				l.Set(i, j, l.At(i, j)-ki*z[j])
+			}
+		}
+		res.L[t] = l
+
+		// State prediction: a ← T·a + K·v; P ← T·P·Lᵀ + RQRᵀ.
+		ta = linalg.MulVec(ta, m.T, a)
+		for i := 0; i < n; i++ {
+			a[i] = ta[i] + k.At(i, 0)*v
+		}
+		tp.Mul(m.T, p)
+		next := linalg.NewMatrix(n, n)
+		next.MulTransB(tp, l)
+		next.Add(next, rqr)
+		next.Symmetrize()
+		p = next
+	}
+	res.A[steps] = append([]float64(nil), a...)
+	res.P[steps] = p
+	return res, nil
+}
+
+// LogLikelihood runs the filter and returns only the log-likelihood.
+func (m *Model) LogLikelihood(y []float64) (float64, error) {
+	res, err := m.Filter(y)
+	if err != nil {
+		return 0, err
+	}
+	return res.LogLik, nil
+}

@@ -1,0 +1,112 @@
+package kalman
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mictrend/internal/linalg"
+)
+
+// TestTimeVaryingZRecoversRegression checks the filter against ordinary
+// regression: with a constant-coefficient state and Z_t = [1, t], the final
+// filtered state must match the least squares line fit (the Kalman filter
+// with diffuse prior IS recursive least squares).
+func TestTimeVaryingZRecoversRegression(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	n := 60
+	trueIntercept, trueSlope := 3.0, 0.7
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = trueIntercept + trueSlope*float64(i) + rng.NormFloat64()*0.5
+	}
+	zBuf := make([]float64, 2)
+	m := &Model{
+		T: linalg.Identity(2),
+		R: linalg.NewMatrix(2, 1), // no state noise: constant coefficients
+		Q: linalg.NewMatrixFrom(1, 1, []float64{0}),
+		H: 0.25,
+		Z: func(tt int) []float64 {
+			zBuf[0] = 1
+			zBuf[1] = float64(tt)
+			return zBuf
+		},
+		A1:           []float64{0, 0},
+		P1:           linalg.NewMatrixFrom(2, 2, []float64{DiffuseVariance, 0, 0, DiffuseVariance}),
+		DiffuseCount: 2,
+	}
+	fr, err := m.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fr.A[n] // final prediction = final filtered state (T = I)
+
+	// Closed-form least squares for comparison.
+	var sx, sy, sxx, sxy float64
+	for i, v := range y {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	nn := float64(n)
+	slope := (nn*sxy - sx*sy) / (nn*sxx - sx*sx)
+	intercept := (sy - slope*sx) / nn
+
+	if math.Abs(got[0]-intercept) > 1e-3 {
+		t.Fatalf("intercept = %v, LS = %v", got[0], intercept)
+	}
+	if math.Abs(got[1]-slope) > 1e-4 {
+		t.Fatalf("slope = %v, LS = %v", got[1], slope)
+	}
+}
+
+// TestSkipLikExcludesObservations verifies the SkipLik mechanism used for
+// mid-sample diffuse elements.
+func TestSkipLikExcludesObservations(t *testing.T) {
+	y := []float64{1, 2, 3, 4, 5, 6}
+	base := localLevel(0.5, 0.2, 0, 5, 0)
+	full, err := base.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := localLevel(0.5, 0.2, 0, 5, 0)
+	skipped.SkipLik = []int{2, 4}
+	part, err := skipped.Filter(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.LikCount != full.LikCount-2 {
+		t.Fatalf("LikCount = %d, want %d", part.LikCount, full.LikCount-2)
+	}
+	if part.Contributed[2] || part.Contributed[4] {
+		t.Fatal("skipped indices marked as contributed")
+	}
+	if !part.Contributed[0] || !part.Contributed[5] {
+		t.Fatal("unskipped indices not contributed")
+	}
+	// The state path is identical — skipping only affects the likelihood.
+	for i := range y {
+		if math.Abs(part.A[i][0]-full.A[i][0]) > 1e-12 {
+			t.Fatal("SkipLik changed the filtered states")
+		}
+	}
+	// And the likelihood excludes exactly those two terms.
+	want := full.LogLik
+	for _, idx := range []int{2, 4} {
+		v, f := full.V[idx], full.F[idx]
+		want -= -0.5 * (math.Log(2*math.Pi) + math.Log(f) + v*v/f)
+	}
+	if math.Abs(part.LogLik-want) > 1e-10 {
+		t.Fatalf("LogLik = %v, want %v", part.LogLik, want)
+	}
+}
+
+func TestValidateRejectsNegativeSkip(t *testing.T) {
+	m := localLevel(1, 1, 0, 1, 0)
+	m.SkipLik = []int{-1}
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative skip index accepted")
+	}
+}

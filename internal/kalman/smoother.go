@@ -1,0 +1,91 @@
+package kalman
+
+import (
+	"math"
+
+	"mictrend/internal/linalg"
+)
+
+// SmoothResult holds fixed-interval smoothed state estimates: Alpha[t] is
+// E[α_t | y_1..y_T] and V[t] its covariance.
+type SmoothResult struct {
+	Alpha [][]float64
+	V     []*linalg.Matrix
+}
+
+// Smooth runs the Durbin–Koopman fixed-interval smoother on a filter result.
+// y is the same series the filter consumed (needed only for its length).
+func (m *Model) Smooth(y []float64, fr *FilterResult) (*SmoothResult, error) {
+	n := m.Dim()
+	steps := len(y)
+	out := &SmoothResult{
+		Alpha: make([][]float64, steps),
+		V:     make([]*linalg.Matrix, steps),
+	}
+	r := make([]float64, n)        // r_t running backward
+	nMat := linalg.NewMatrix(n, n) // N_t running backward
+	// Scratch.
+	lr := make([]float64, n)
+	ln := linalg.NewMatrix(n, n)
+	lnl := linalg.NewMatrix(n, n)
+	pn := linalg.NewMatrix(n, n)
+	pnp := linalg.NewMatrix(n, n)
+
+	for t := steps - 1; t >= 0; t-- {
+		z := m.Z(t)
+		l := fr.L[t]
+		// r_{t-1} = Zᵀ·v/F + Lᵀ·r   (first term dropped when y_t missing)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += l.At(j, i) * r[j]
+			}
+			lr[i] = s
+		}
+		if !math.IsNaN(fr.V[t]) {
+			scale := fr.V[t] / fr.F[t]
+			for i, zi := range z {
+				lr[i] += zi * scale
+			}
+		}
+		copy(r, lr)
+
+		// N_{t-1} = Zᵀ·Z/F + Lᵀ·N·L   (first term dropped when missing)
+		ln.MulTransA(l, nMat)
+		lnl.Mul(ln, l)
+		if !math.IsNaN(fr.V[t]) {
+			inv := 1 / fr.F[t]
+			for i, zi := range z {
+				for j, zj := range z {
+					lnl.Set(i, j, lnl.At(i, j)+zi*zj*inv)
+				}
+			}
+		}
+		nMat.CopyFrom(lnl)
+		nMat.Symmetrize()
+
+		// α̂_t = a_t + P_t·r_{t-1};  V_t = P_t − P_t·N_{t-1}·P_t.
+		alpha := linalg.MulVec(nil, fr.P[t], r)
+		for i := range alpha {
+			alpha[i] += fr.A[t][i]
+		}
+		out.Alpha[t] = alpha
+		pn.Mul(fr.P[t], nMat)
+		pnp.Mul(pn, fr.P[t])
+		vt := fr.P[t].Clone()
+		vt.Sub(vt, pnp)
+		vt.Symmetrize()
+		out.V[t] = vt
+	}
+	return out, nil
+}
+
+// SignalAt returns the smoothed signal Z_t·α̂_t at time t.
+func (m *Model) SignalAt(sr *SmoothResult, t int) float64 {
+	z := m.Z(t)
+	var s float64
+	for i, zi := range z {
+		s += zi * sr.Alpha[t][i]
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read; the input is not modified.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.data[i*n+i] = math.Sqrt(sum)
+			} else {
+				l.data[i*n+j] = sum / l.data[j*n+j]
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// SolveVec solves A·x = b using the factorization, returning x.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveVec rhs length %d, want %d", len(b), n)
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l.data[i*n+k] * y[k]
+		}
+		y[i] = sum / c.l.data[i*n+i]
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.l.data[k*n+i] * x[k]
+		}
+		x[i] = sum / c.l.data[i*n+i]
+	}
+	return x, nil
+}
+
+// LogDet returns log det(A) = 2·Σ log L[i,i].
+func (c *Cholesky) LogDet() float64 {
+	n := c.l.rows
+	var ld float64
+	for i := 0; i < n; i++ {
+		ld += math.Log(c.l.data[i*n+i])
+	}
+	return 2 * ld
+}

@@ -1,0 +1,59 @@
+package medmodel
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"mictrend/internal/mic"
+)
+
+// WriteCSV exports the reproduced pair series as CSV for external plotting
+// tools: one row per disease–medicine pair with columns
+// disease,medicine,m0,m1,…  Codes are resolved through the vocabularies.
+// Rows are sorted by (disease, medicine) code for stable diffs.
+func (s *SeriesSet) WriteCSV(w io.Writer, diseases, medicines *mic.Vocab) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 2+s.T)
+	header[0] = "disease"
+	header[1] = "medicine"
+	for t := 0; t < s.T; t++ {
+		header[2+t] = fmt.Sprintf("m%02d", t)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	type row struct {
+		d, m   string
+		series []float64
+	}
+	rows := make([]row, 0, len(s.Pairs))
+	for pair, series := range s.Pairs {
+		rows = append(rows, row{
+			d:      diseases.Code(int32(pair.Disease)),
+			m:      medicines.Code(int32(pair.Medicine)),
+			series: series,
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].d != rows[b].d {
+			return rows[a].d < rows[b].d
+		}
+		return rows[a].m < rows[b].m
+	})
+	record := make([]string, 2+s.T)
+	for _, r := range rows {
+		record[0] = r.d
+		record[1] = r.m
+		for t, v := range r.series {
+			record[2+t] = strconv.FormatFloat(v, 'f', 3, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

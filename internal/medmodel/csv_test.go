@@ -1,0 +1,54 @@
+package medmodel
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"mictrend/internal/mic"
+)
+
+func TestWriteCSV(t *testing.T) {
+	diseases := mic.NewVocab()
+	medicines := mic.NewVocab()
+	d0 := mic.DiseaseID(diseases.Intern("flu"))
+	d1 := mic.DiseaseID(diseases.Intern("cold"))
+	m0 := mic.MedicineID(medicines.Intern("antiviral"))
+	s := &SeriesSet{T: 3, Pairs: map[mic.Pair][]float64{
+		{Disease: d1, Medicine: m0}: {1, 2, 3},
+		{Disease: d0, Medicine: m0}: {4, 5, 6},
+	}}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, diseases, medicines); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(records))
+	}
+	if strings.Join(records[0], ",") != "disease,medicine,m00,m01,m02" {
+		t.Fatalf("header = %v", records[0])
+	}
+	// Sorted by disease code: "cold" before "flu".
+	if records[1][0] != "cold" || records[2][0] != "flu" {
+		t.Fatalf("rows not sorted: %v / %v", records[1], records[2])
+	}
+	if records[2][2] != "4.000" {
+		t.Fatalf("value cell = %q", records[2][2])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	s := &SeriesSet{T: 2, Pairs: map[mic.Pair][]float64{}}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, mic.NewVocab(), mic.NewVocab()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "disease,medicine") {
+		t.Fatal("missing header")
+	}
+}

@@ -1,0 +1,160 @@
+package medmodel
+
+import (
+	"math"
+
+	"mictrend/internal/mic"
+)
+
+// FitOptions tunes the EM loop.
+type FitOptions struct {
+	// MaxIter bounds EM iterations (default 50).
+	MaxIter int
+	// Tol is the relative log-likelihood improvement below which EM stops
+	// (default 1e-6).
+	Tol float64
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	return o
+}
+
+// Fit estimates the latent-variable medication model for one month with the
+// EM algorithm of §IV-C: θ is closed-form (Eq. 2), η is closed-form (Eq. 4),
+// and Φ alternates with the responsibilities Q via Eqs. 5–6, starting from
+// the cooccurrence estimate (which also fixes Φ's support: a (d, m) pair can
+// only carry probability if it cooccurs in some record).
+func Fit(month *mic.Monthly, vocabMedicines int, opts FitOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	recs, err := usableRecords(month)
+	if err != nil {
+		return nil, err
+	}
+
+	phi := cooccurrencePhi(recs)
+	model := &Model{
+		Eta: EstimateEta(month),
+		Phi: phi,
+		M:   vocabMedicines,
+	}
+
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// E-step folded into the M-step accumulation: for every medicine
+		// occurrence, distribute one unit of count across the record's
+		// diseases proportionally to θ_rd·φ_dm (Eq. 6), accumulating Eq. 5's
+		// numerator.
+		next := make(map[mic.DiseaseID]map[mic.MedicineID]float64, len(phi))
+		rowSums := make(map[mic.DiseaseID]float64, len(phi))
+		for _, r := range recs {
+			theta := Theta(r)
+			for _, med := range r.Medicines {
+				var denom float64
+				for d, th := range theta {
+					if row, ok := phi[d]; ok {
+						denom += th * row[med]
+					}
+				}
+				if denom <= 0 {
+					continue
+				}
+				for d, th := range theta {
+					row, ok := phi[d]
+					if !ok {
+						continue
+					}
+					q := th * row[med] / denom
+					if q == 0 {
+						continue
+					}
+					nrow, ok := next[d]
+					if !ok {
+						nrow = make(map[mic.MedicineID]float64)
+						next[d] = nrow
+					}
+					nrow[med] += q
+					rowSums[d] += q
+				}
+			}
+		}
+		// Normalize rows (Eq. 5 denominator).
+		for d, nrow := range next {
+			sum := rowSums[d]
+			if sum <= 0 {
+				delete(next, d)
+				continue
+			}
+			for med := range nrow {
+				nrow[med] /= sum
+			}
+		}
+		phi = next
+		model.Phi = phi
+		model.Iterations = iter + 1
+
+		ll := logLikelihood(recs, phi)
+		model.LogLik = ll
+		if prevLL != math.Inf(-1) {
+			denom := math.Abs(prevLL)
+			if denom == 0 {
+				denom = 1
+			}
+			if (ll-prevLL)/denom < opts.Tol {
+				break
+			}
+		}
+		prevLL = ll
+	}
+	return model, nil
+}
+
+// FitAll fits one model per month of the dataset.
+func FitAll(d *mic.Dataset, opts FitOptions) ([]*Model, error) {
+	models := make([]*Model, d.T())
+	for i, month := range d.Months {
+		m, err := Fit(month, d.Medicines.Len(), opts)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	return models, nil
+}
+
+// cooccurrencePhi computes the Eq. 10 estimate used both as the Cooccurrence
+// baseline and as EM initialization. Cooc_r(d, m) counts each occurrence of
+// medicine m in a record once per distinct disease d of the record.
+func cooccurrencePhi(recs []*mic.Record) map[mic.DiseaseID]map[mic.MedicineID]float64 {
+	phi := make(map[mic.DiseaseID]map[mic.MedicineID]float64)
+	rowSums := make(map[mic.DiseaseID]float64)
+	for _, r := range recs {
+		for _, dc := range r.Diseases {
+			row, ok := phi[dc.Disease]
+			if !ok {
+				row = make(map[mic.MedicineID]float64)
+				phi[dc.Disease] = row
+			}
+			for _, med := range r.Medicines {
+				row[med]++
+				rowSums[dc.Disease]++
+			}
+		}
+	}
+	for d, row := range phi {
+		sum := rowSums[d]
+		if sum <= 0 {
+			delete(phi, d)
+			continue
+		}
+		for med := range row {
+			row[med] /= sum
+		}
+	}
+	return phi
+}

@@ -1,0 +1,162 @@
+package medmodel
+
+import (
+	"errors"
+
+	"mictrend/internal/mic"
+)
+
+// SeriesSet holds reproduced monthly time series: Pairs is the paper's
+// X_P (Eq. 7); disease and medicine series (Eq. 8) are marginal sums.
+type SeriesSet struct {
+	// T is the number of months.
+	T int
+	// Pairs maps each disease–medicine pair to its monthly estimated
+	// prescription counts.
+	Pairs map[mic.Pair][]float64
+
+	diseaseSeries  map[mic.DiseaseID][]float64
+	medicineSeries map[mic.MedicineID][]float64
+}
+
+// linkEstimator distributes each medicine occurrence of a record over the
+// record's diseases; implemented by the proposed model (responsibilities,
+// Eq. 7) and by the cooccurrence baseline (θ-weighted φ, the paper's Fig. 2a
+// comparator).
+type linkEstimator interface {
+	Responsibility(r *mic.Record, med mic.MedicineID) map[mic.DiseaseID]float64
+}
+
+// Responsibility for the cooccurrence baseline implements the paper's
+// straightforward approach verbatim (§III-A): "assume the number of
+// cooccurrences between each disease and medicine in MIC data as the
+// prescription count". Every distinct disease of the record receives the
+// full count for each medicine occurrence — deliberately NOT normalized, so
+// frequent comorbid diseases (hypertension) soak up counts for unrelated
+// medicines, the mis-prediction Figure 2a illustrates.
+func (c *Cooccurrence) Responsibility(r *mic.Record, med mic.MedicineID) map[mic.DiseaseID]float64 {
+	out := make(map[mic.DiseaseID]float64, len(r.Diseases))
+	for _, dc := range r.Diseases {
+		out[dc.Disease] = 1
+	}
+	return out
+}
+
+// Reproduce applies fitted monthly models to their months and accumulates
+// the pair time series x_dmt (Eq. 7). models[i] must correspond to
+// dataset.Months[i].
+func Reproduce(d *mic.Dataset, models []*Model) (*SeriesSet, error) {
+	ests := make([]linkEstimator, len(models))
+	for i, m := range models {
+		ests[i] = m
+	}
+	return reproduce(d, ests)
+}
+
+// ReproduceCooccurrence reproduces the pair series with the cooccurrence
+// baseline (the paper's Fig. 2a).
+func ReproduceCooccurrence(d *mic.Dataset, models []*Cooccurrence) (*SeriesSet, error) {
+	ests := make([]linkEstimator, len(models))
+	for i, m := range models {
+		ests[i] = m
+	}
+	return reproduce(d, ests)
+}
+
+func reproduce(d *mic.Dataset, ests []linkEstimator) (*SeriesSet, error) {
+	if len(ests) != d.T() {
+		return nil, errors.New("medmodel: one model per month required")
+	}
+	s := &SeriesSet{T: d.T(), Pairs: make(map[mic.Pair][]float64)}
+	for t, month := range d.Months {
+		est := ests[t]
+		for i := range month.Records {
+			r := &month.Records[i]
+			if len(r.Diseases) == 0 {
+				continue
+			}
+			for _, med := range r.Medicines {
+				for dis, q := range est.Responsibility(r, med) {
+					if q == 0 {
+						continue
+					}
+					key := mic.Pair{Disease: dis, Medicine: med}
+					series, ok := s.Pairs[key]
+					if !ok {
+						series = make([]float64, s.T)
+						s.Pairs[key] = series
+					}
+					series[t] += q
+				}
+			}
+		}
+	}
+	s.buildMarginals()
+	return s, nil
+}
+
+func (s *SeriesSet) buildMarginals() {
+	s.diseaseSeries = make(map[mic.DiseaseID][]float64)
+	s.medicineSeries = make(map[mic.MedicineID][]float64)
+	for pair, series := range s.Pairs {
+		ds, ok := s.diseaseSeries[pair.Disease]
+		if !ok {
+			ds = make([]float64, s.T)
+			s.diseaseSeries[pair.Disease] = ds
+		}
+		ms, ok := s.medicineSeries[pair.Medicine]
+		if !ok {
+			ms = make([]float64, s.T)
+			s.medicineSeries[pair.Medicine] = ms
+		}
+		for t, v := range series {
+			ds[t] += v
+			ms[t] += v
+		}
+	}
+}
+
+// Pair returns the reproduced series for a pair, or nil.
+func (s *SeriesSet) Pair(p mic.Pair) []float64 { return s.Pairs[p] }
+
+// Disease returns x_dt = Σ_m x_dmt (Eq. 8), or nil.
+func (s *SeriesSet) Disease(d mic.DiseaseID) []float64 { return s.diseaseSeries[d] }
+
+// Medicine returns x_mt = Σ_d x_dmt (Eq. 8), or nil.
+func (s *SeriesSet) Medicine(m mic.MedicineID) []float64 { return s.medicineSeries[m] }
+
+// Diseases returns the ids with a nonzero series.
+func (s *SeriesSet) Diseases() []mic.DiseaseID {
+	out := make([]mic.DiseaseID, 0, len(s.diseaseSeries))
+	for d := range s.diseaseSeries {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Medicines returns the ids with a nonzero series.
+func (s *SeriesSet) Medicines() []mic.MedicineID {
+	out := make([]mic.MedicineID, 0, len(s.medicineSeries))
+	for m := range s.medicineSeries {
+		out = append(out, m)
+	}
+	return out
+}
+
+// FilterMinTotal returns a copy keeping only pairs whose total frequency
+// over the whole period is at least minTotal — the paper's §VI reliability
+// filter ("total frequency during the said period is less than 10").
+func (s *SeriesSet) FilterMinTotal(minTotal float64) *SeriesSet {
+	out := &SeriesSet{T: s.T, Pairs: make(map[mic.Pair][]float64)}
+	for pair, series := range s.Pairs {
+		var total float64
+		for _, v := range series {
+			total += v
+		}
+		if total >= minTotal {
+			out.Pairs[pair] = series
+		}
+	}
+	out.buildMarginals()
+	return out
+}

@@ -1,0 +1,164 @@
+package medmodel
+
+import (
+	"math"
+
+	"mictrend/internal/mic"
+)
+
+// The paper's §IX names temporal evolution of the distributions (Dynamic
+// Topic Model / Topic Tracking Model style) as the most promising extension
+// of the medication model. FitSmoothed implements it as maximum a posteriori
+// EM: each month's φ_d carries a Dirichlet prior centered at the previous
+// month's fitted distribution with concentration PriorWeight, which
+// stabilizes sparse months without constraining months with plenty of data.
+
+// FitSmoothed fits one month with a Dirichlet prior centered at prior's φ.
+// priorWeight is the pseudo-count mass added per disease (0 disables the
+// prior and reduces to Fit). The prior also extends the support: a pair
+// absent from this month's cooccurrences but present in the prior keeps
+// probability mass, so rare pairs do not flicker in and out month to month.
+func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior *Model, priorWeight float64) (*Model, error) {
+	if prior == nil || priorWeight <= 0 {
+		return Fit(month, vocabMedicines, opts)
+	}
+	opts = opts.withDefaults()
+	recs, err := usableRecords(month)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initialize from this month's cooccurrences blended with the prior.
+	phi := cooccurrencePhi(recs)
+	blendPrior(phi, prior.Phi, priorWeight)
+
+	model := &Model{
+		Eta: EstimateEta(month),
+		Phi: phi,
+		M:   vocabMedicines,
+	}
+	prevLL := negInf()
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		next := make(map[mic.DiseaseID]map[mic.MedicineID]float64, len(phi))
+		rowSums := make(map[mic.DiseaseID]float64, len(phi))
+		// E/M accumulation as in Fit…
+		for _, r := range recs {
+			theta := Theta(r)
+			for _, med := range r.Medicines {
+				var denom float64
+				for d, th := range theta {
+					if row, ok := phi[d]; ok {
+						denom += th * row[med]
+					}
+				}
+				if denom <= 0 {
+					continue
+				}
+				for d, th := range theta {
+					row, ok := phi[d]
+					if !ok {
+						continue
+					}
+					q := th * row[med] / denom
+					if q == 0 {
+						continue
+					}
+					nrow, ok := next[d]
+					if !ok {
+						nrow = make(map[mic.MedicineID]float64)
+						next[d] = nrow
+					}
+					nrow[med] += q
+					rowSums[d] += q
+				}
+			}
+		}
+		// …plus the MAP step: add priorWeight·φ_prev as pseudo-counts.
+		for d, prow := range prior.Phi {
+			nrow, ok := next[d]
+			if !ok {
+				nrow = make(map[mic.MedicineID]float64)
+				next[d] = nrow
+			}
+			for med, p := range prow {
+				add := priorWeight * p
+				nrow[med] += add
+				rowSums[d] += add
+			}
+		}
+		for d, nrow := range next {
+			sum := rowSums[d]
+			if sum <= 0 {
+				delete(next, d)
+				continue
+			}
+			for med := range nrow {
+				nrow[med] /= sum
+			}
+		}
+		phi = next
+		model.Phi = phi
+		model.Iterations = iter + 1
+
+		ll := logLikelihood(recs, phi)
+		model.LogLik = ll
+		if prevLL != negInf() {
+			denom := prevLL
+			if denom < 0 {
+				denom = -denom
+			}
+			if denom == 0 {
+				denom = 1
+			}
+			if (ll-prevLL)/denom < opts.Tol {
+				break
+			}
+		}
+		prevLL = ll
+	}
+	return model, nil
+}
+
+// FitAllSmoothed fits one model per month, chaining each month's prior to
+// the previous month's posterior.
+func FitAllSmoothed(d *mic.Dataset, opts FitOptions, priorWeight float64) ([]*Model, error) {
+	models := make([]*Model, d.T())
+	var prev *Model
+	for i, month := range d.Months {
+		m, err := FitSmoothed(month, d.Medicines.Len(), opts, prev, priorWeight)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+		prev = m
+	}
+	return models, nil
+}
+
+// blendPrior mixes prior rows into phi so the EM support covers both.
+func blendPrior(phi, prior map[mic.DiseaseID]map[mic.MedicineID]float64, weight float64) {
+	// Normalize the blend as (counts-model): current rows are distributions;
+	// treat the prior as weight pseudo-observations against 1 unit of the
+	// cooccurrence distribution, then re-normalize.
+	for d, prow := range prior {
+		row, ok := phi[d]
+		if !ok {
+			row = make(map[mic.MedicineID]float64)
+			phi[d] = row
+		}
+		for med, p := range prow {
+			row[med] += weight * p
+		}
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum > 0 {
+			for med := range row {
+				row[med] /= sum
+			}
+		}
+	}
+}
+
+func negInf() float64 { return math.Inf(-1) }

@@ -1,0 +1,158 @@
+package mic
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The on-disk format is line-oriented JSON (JSONL), optionally gzipped:
+// a header line describing vocabularies and hospitals, followed by one line
+// per record. Line-oriented framing keeps memory flat when streaming
+// population-scale corpora.
+
+type fileHeader struct {
+	Version   int        `json:"version"`
+	Months    int        `json:"months"`
+	Diseases  []string   `json:"diseases"`
+	Medicines []string   `json:"medicines"`
+	Hospitals []Hospital `json:"hospitals"`
+}
+
+type fileRecord struct {
+	Month     int          `json:"t"`
+	Hospital  int32        `json:"h"`
+	Patient   int32        `json:"p"`
+	Diseases  [][2]int32   `json:"d"` // pairs of (disease id, count)
+	Medicines []MedicineID `json:"m"`
+}
+
+const codecVersion = 1
+
+// Write serializes the dataset to w as JSONL.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := fileHeader{
+		Version:   codecVersion,
+		Months:    len(d.Months),
+		Diseases:  d.Diseases.Codes(),
+		Medicines: d.Medicines.Codes(),
+		Hospitals: d.Hospitals,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("mic: encoding header: %w", err)
+	}
+	for _, m := range d.Months {
+		for i := range m.Records {
+			r := &m.Records[i]
+			fr := fileRecord{Month: m.Month, Hospital: int32(r.Hospital), Patient: r.Patient, Medicines: r.Medicines}
+			for _, dc := range r.Diseases {
+				fr.Diseases = append(fr.Diseases, [2]int32{int32(dc.Disease), int32(dc.Count)})
+			}
+			if err := enc.Encode(fr); err != nil {
+				return fmt.Errorf("mic: encoding record: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset previously produced by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	dec := json.NewDecoder(br)
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("mic: decoding header: %w", err)
+	}
+	if hdr.Version != codecVersion {
+		return nil, fmt.Errorf("mic: unsupported file version %d", hdr.Version)
+	}
+	if hdr.Months < 0 {
+		return nil, fmt.Errorf("mic: negative month count %d", hdr.Months)
+	}
+	d := NewDataset()
+	for _, code := range hdr.Diseases {
+		d.Diseases.Intern(code)
+	}
+	for _, code := range hdr.Medicines {
+		d.Medicines.Intern(code)
+	}
+	d.Hospitals = hdr.Hospitals
+	d.Months = make([]*Monthly, hdr.Months)
+	for t := range d.Months {
+		d.Months[t] = &Monthly{Month: t}
+	}
+	for {
+		var fr fileRecord
+		if err := dec.Decode(&fr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("mic: decoding record: %w", err)
+		}
+		if fr.Month < 0 || fr.Month >= hdr.Months {
+			return nil, fmt.Errorf("mic: record month %d out of range [0,%d)", fr.Month, hdr.Months)
+		}
+		rec := Record{Hospital: HospitalID(fr.Hospital), Patient: fr.Patient, Medicines: fr.Medicines}
+		for _, pair := range fr.Diseases {
+			rec.Diseases = append(rec.Diseases, DiseaseCount{Disease: DiseaseID(pair[0]), Count: int(pair[1])})
+		}
+		m := d.Months[fr.Month]
+		m.Records = append(m.Records, rec)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteFile writes the dataset to path, gzip-compressing when the path ends
+// in ".gz".
+func WriteFile(path string, d *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = gz
+	}
+	return Write(w, d)
+}
+
+// ReadFile reads a dataset from path, transparently decompressing ".gz"
+// files.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return Read(r)
+}

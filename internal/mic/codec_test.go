@@ -1,0 +1,131 @@
+package mic
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := buildTestDataset(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func TestCodecFileRoundTripPlain(t *testing.T) {
+	d := buildTestDataset(t)
+	path := filepath.Join(t.TempDir(), "data.jsonl")
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func TestCodecFileRoundTripGzip(t *testing.T) {
+	d := buildTestDataset(t)
+	path := filepath.Join(t.TempDir(), "data.jsonl.gz")
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"version":99,"months":0}` + "\n")); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestReadRejectsOutOfRangeMonth(t *testing.T) {
+	input := `{"version":1,"months":1,"diseases":["d"],"medicines":["m"],"hospitals":[{"Code":"H","City":"c","Beds":1}]}
+{"t":5,"h":0,"p":0,"d":[[0,1]],"m":[0]}
+`
+	if _, err := Read(strings.NewReader(input)); err == nil {
+		t.Fatal("out-of-range month accepted")
+	}
+}
+
+func TestReadRejectsInvalidIDs(t *testing.T) {
+	input := `{"version":1,"months":1,"diseases":["d"],"medicines":["m"],"hospitals":[{"Code":"H","City":"c","Beds":1}]}
+{"t":0,"h":0,"p":0,"d":[[7,1]],"m":[0]}
+`
+	if _, err := Read(strings.NewReader(input)); err == nil {
+		t.Fatal("out-of-range disease id accepted (Validate should catch it)")
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func assertDatasetsEqual(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.T() != want.T() {
+		t.Fatalf("months = %d, want %d", got.T(), want.T())
+	}
+	if got.Diseases.Len() != want.Diseases.Len() || got.Medicines.Len() != want.Medicines.Len() {
+		t.Fatal("vocabulary sizes differ")
+	}
+	for i := int32(0); int(i) < want.Diseases.Len(); i++ {
+		if got.Diseases.Code(i) != want.Diseases.Code(i) {
+			t.Fatalf("disease code %d differs", i)
+		}
+	}
+	if len(got.Hospitals) != len(want.Hospitals) {
+		t.Fatal("hospital tables differ")
+	}
+	for i := range want.Hospitals {
+		if got.Hospitals[i] != want.Hospitals[i] {
+			t.Fatalf("hospital %d differs: %+v vs %+v", i, got.Hospitals[i], want.Hospitals[i])
+		}
+	}
+	for ti := range want.Months {
+		wm, gm := want.Months[ti], got.Months[ti]
+		if len(gm.Records) != len(wm.Records) {
+			t.Fatalf("month %d records = %d, want %d", ti, len(gm.Records), len(wm.Records))
+		}
+		for ri := range wm.Records {
+			wr, gr := &wm.Records[ri], &gm.Records[ri]
+			if gr.Hospital != wr.Hospital || gr.Patient != wr.Patient {
+				t.Fatalf("month %d record %d metadata differs", ti, ri)
+			}
+			if len(gr.Diseases) != len(wr.Diseases) || len(gr.Medicines) != len(wr.Medicines) {
+				t.Fatalf("month %d record %d bags differ in size", ti, ri)
+			}
+			for j := range wr.Diseases {
+				if gr.Diseases[j] != wr.Diseases[j] {
+					t.Fatalf("month %d record %d disease %d differs", ti, ri, j)
+				}
+			}
+			for j := range wr.Medicines {
+				if gr.Medicines[j] != wr.Medicines[j] {
+					t.Fatalf("month %d record %d medicine %d differs", ti, ri, j)
+				}
+			}
+		}
+	}
+}

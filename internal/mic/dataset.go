@@ -1,0 +1,140 @@
+package mic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEmptyDataset is returned by operations that need at least one month of
+// records.
+var ErrEmptyDataset = errors.New("mic: empty dataset")
+
+// Dataset is a multi-month MIC corpus: T monthly record collections sharing
+// disease/medicine vocabularies and a hospital table.
+type Dataset struct {
+	Months    []*Monthly
+	Diseases  *Vocab
+	Medicines *Vocab
+	Hospitals []Hospital
+}
+
+// NewDataset returns an empty dataset with fresh vocabularies.
+func NewDataset() *Dataset {
+	return &Dataset{Diseases: NewVocab(), Medicines: NewVocab()}
+}
+
+// T returns the number of months.
+func (d *Dataset) T() int { return len(d.Months) }
+
+// NumRecords returns the total record count across all months.
+func (d *Dataset) NumRecords() int {
+	var n int
+	for _, m := range d.Months {
+		n += len(m.Records)
+	}
+	return n
+}
+
+// AddHospital appends a hospital and returns its id.
+func (d *Dataset) AddHospital(h Hospital) HospitalID {
+	d.Hospitals = append(d.Hospitals, h)
+	return HospitalID(len(d.Hospitals) - 1)
+}
+
+// Hospital returns the hospital metadata for id. It panics on an
+// out-of-range id.
+func (d *Dataset) Hospital(id HospitalID) Hospital {
+	if id < 0 || int(id) >= len(d.Hospitals) {
+		panic(fmt.Sprintf("mic: hospital id %d out of range (%d hospitals)", id, len(d.Hospitals)))
+	}
+	return d.Hospitals[id]
+}
+
+// Validate checks internal consistency: month indices are sequential,
+// disease/medicine ids are within vocabulary range, hospital ids are within
+// the hospital table, and disease counts are positive.
+func (d *Dataset) Validate() error {
+	if d.Diseases == nil || d.Medicines == nil {
+		return errors.New("mic: dataset missing vocabularies")
+	}
+	for i, m := range d.Months {
+		if m == nil {
+			return fmt.Errorf("mic: month %d is nil", i)
+		}
+		if m.Month != i {
+			return fmt.Errorf("mic: month at position %d has index %d", i, m.Month)
+		}
+		for ri := range m.Records {
+			r := &m.Records[ri]
+			if int(r.Hospital) >= len(d.Hospitals) || r.Hospital < 0 {
+				return fmt.Errorf("mic: month %d record %d references hospital %d of %d", i, ri, r.Hospital, len(d.Hospitals))
+			}
+			for _, dc := range r.Diseases {
+				if dc.Disease < 0 || int(dc.Disease) >= d.Diseases.Len() {
+					return fmt.Errorf("mic: month %d record %d has disease id %d out of range", i, ri, dc.Disease)
+				}
+				if dc.Count <= 0 {
+					return fmt.Errorf("mic: month %d record %d has non-positive disease count %d", i, ri, dc.Count)
+				}
+			}
+			for _, med := range r.Medicines {
+				if med < 0 || int(med) >= d.Medicines.Len() {
+					return fmt.Errorf("mic: month %d record %d has medicine id %d out of range", i, ri, med)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Summary aggregates the corpus statistics the paper reports in §VI (average
+// monthly counts of institutions, patients, records, diseases, medicines,
+// and per-record disease/medicine frequencies).
+type Summary struct {
+	Months              int
+	AvgRecordsPerMonth  float64
+	AvgDiseasesPerMonth float64 // unique diseases per month
+	AvgMedsPerMonth     float64 // unique medicines per month
+	AvgDiseasesPerRec   float64 // disease mentions per record (paper: 7.435)
+	AvgMedsPerRec       float64 // medicine mentions per record (paper: 4.788)
+	Hospitals           int
+}
+
+// Summarize computes the corpus Summary.
+func (d *Dataset) Summarize() (Summary, error) {
+	if len(d.Months) == 0 {
+		return Summary{}, ErrEmptyDataset
+	}
+	var s Summary
+	s.Months = len(d.Months)
+	s.Hospitals = len(d.Hospitals)
+	var totalRecords, totalDiseaseMentions, totalMedMentions int
+	var totalUniqueDiseases, totalUniqueMeds int
+	for _, m := range d.Months {
+		totalRecords += len(m.Records)
+		diseases := make(map[DiseaseID]struct{})
+		meds := make(map[MedicineID]struct{})
+		for i := range m.Records {
+			r := &m.Records[i]
+			totalDiseaseMentions += r.NumDiseaseMentions()
+			totalMedMentions += len(r.Medicines)
+			for _, dc := range r.Diseases {
+				diseases[dc.Disease] = struct{}{}
+			}
+			for _, med := range r.Medicines {
+				meds[med] = struct{}{}
+			}
+		}
+		totalUniqueDiseases += len(diseases)
+		totalUniqueMeds += len(meds)
+	}
+	t := float64(len(d.Months))
+	s.AvgRecordsPerMonth = float64(totalRecords) / t
+	s.AvgDiseasesPerMonth = float64(totalUniqueDiseases) / t
+	s.AvgMedsPerMonth = float64(totalUniqueMeds) / t
+	if totalRecords > 0 {
+		s.AvgDiseasesPerRec = float64(totalDiseaseMentions) / float64(totalRecords)
+		s.AvgMedsPerRec = float64(totalMedMentions) / float64(totalRecords)
+	}
+	return s, nil
+}

@@ -1,0 +1,53 @@
+package mic
+
+// FilterOptions holds the frequency thresholds the paper applies in §VI
+// before model fitting: diseases and medicines appearing fewer than
+// MinMonthlyFreq times in a monthly dataset are dropped from that month.
+type FilterOptions struct {
+	// MinMonthlyFreq is the minimum within-month frequency for a disease or
+	// medicine to be kept (the paper uses 5).
+	MinMonthlyFreq int
+}
+
+// DefaultFilterOptions mirrors the paper: frequency < 5 within a month is
+// dropped.
+func DefaultFilterOptions() FilterOptions {
+	return FilterOptions{MinMonthlyFreq: 5}
+}
+
+// FilterMonthly returns a copy of month with rare diseases and medicines
+// removed according to opts. Records left with no diseases or no medicines
+// are dropped entirely (they carry no information for link prediction).
+func FilterMonthly(month *Monthly, opts FilterOptions) *Monthly {
+	diseaseFreq := month.DiseaseFrequencies()
+	medFreq := month.MedicineFrequencies()
+	out := &Monthly{Month: month.Month}
+	for i := range month.Records {
+		r := &month.Records[i]
+		nr := Record{Hospital: r.Hospital, Patient: r.Patient}
+		for _, dc := range r.Diseases {
+			if diseaseFreq[dc.Disease] >= opts.MinMonthlyFreq {
+				nr.Diseases = append(nr.Diseases, dc)
+			}
+		}
+		for _, med := range r.Medicines {
+			if medFreq[med] >= opts.MinMonthlyFreq {
+				nr.Medicines = append(nr.Medicines, med)
+			}
+		}
+		if len(nr.Diseases) > 0 && len(nr.Medicines) > 0 {
+			out.Records = append(out.Records, nr)
+		}
+	}
+	return out
+}
+
+// FilterDataset applies FilterMonthly to every month, sharing the original
+// vocabularies and hospital table.
+func FilterDataset(d *Dataset, opts FilterOptions) *Dataset {
+	out := &Dataset{Diseases: d.Diseases, Medicines: d.Medicines, Hospitals: d.Hospitals}
+	for _, m := range d.Months {
+		out.Months = append(out.Months, FilterMonthly(m, opts))
+	}
+	return out
+}

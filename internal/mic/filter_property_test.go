@@ -1,0 +1,104 @@
+package mic
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: after FilterMonthly, no surviving record references a code whose
+// original within-month frequency was below the threshold, and every
+// surviving record still has both bags non-empty.
+func TestFilterMonthlyProperty(t *testing.T) {
+	f := func(seed uint64, thresholdRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		threshold := 1 + int(thresholdRaw%8)
+		m := &Monthly{Month: 0}
+		for i := 0; i < 30; i++ {
+			r := Record{}
+			for j := 0; j < 1+rng.IntN(3); j++ {
+				r.Diseases = append(r.Diseases, DiseaseCount{
+					Disease: DiseaseID(rng.IntN(6)), Count: 1 + rng.IntN(2),
+				})
+			}
+			for j := 0; j < 1+rng.IntN(4); j++ {
+				r.Medicines = append(r.Medicines, MedicineID(rng.IntN(7)))
+			}
+			m.Records = append(m.Records, r)
+		}
+		origDisease := m.DiseaseFrequencies()
+		origMed := m.MedicineFrequencies()
+		out := FilterMonthly(m, FilterOptions{MinMonthlyFreq: threshold})
+		for i := range out.Records {
+			r := &out.Records[i]
+			if len(r.Diseases) == 0 || len(r.Medicines) == 0 {
+				return false
+			}
+			for _, dc := range r.Diseases {
+				if origDisease[dc.Disease] < threshold {
+					return false
+				}
+			}
+			for _, med := range r.Medicines {
+				if origMed[med] < threshold {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: codec round trip preserves any randomly built dataset exactly.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 18))
+		d := NewDataset()
+		for i := 0; i < 4; i++ {
+			d.Diseases.Intern(string(rune('a' + i)))
+			d.Medicines.Intern(string(rune('A' + i)))
+		}
+		h := d.AddHospital(Hospital{Code: "H", City: "c", Beds: 10})
+		months := 1 + int(seed%4)
+		for t := 0; t < months; t++ {
+			m := &Monthly{Month: t}
+			for i := 0; i < rng.IntN(10); i++ {
+				m.Records = append(m.Records, Record{
+					Hospital:  h,
+					Patient:   int32(rng.IntN(100)),
+					Diseases:  []DiseaseCount{{Disease: DiseaseID(rng.IntN(4)), Count: 1 + rng.IntN(3)}},
+					Medicines: []MedicineID{MedicineID(rng.IntN(4))},
+				})
+			}
+			d.Months = append(d.Months, m)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.T() != d.T() || back.NumRecords() != d.NumRecords() {
+			return false
+		}
+		for t := range d.Months {
+			for i := range d.Months[t].Records {
+				a, b := &d.Months[t].Records[i], &back.Months[t].Records[i]
+				if a.Patient != b.Patient || len(a.Diseases) != len(b.Diseases) || len(a.Medicines) != len(b.Medicines) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+

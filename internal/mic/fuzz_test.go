@@ -1,0 +1,50 @@
+package mic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the codec never panics on malformed input and that
+// anything it accepts round-trips. Run with `go test -fuzz=FuzzRead`; under
+// plain `go test` the seed corpus below is executed.
+func FuzzRead(f *testing.F) {
+	// Valid file seed.
+	d := NewDataset()
+	dis := DiseaseID(d.Diseases.Intern("flu"))
+	med := MedicineID(d.Medicines.Intern("drug"))
+	h := d.AddHospital(Hospital{Code: "H", City: "c", Beds: 3})
+	d.Months = []*Monthly{{Month: 0, Records: []Record{{
+		Hospital: h, Diseases: []DiseaseCount{{dis, 1}}, Medicines: []MedicineID{med},
+	}}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1,"months":-1}`))
+	f.Add([]byte(`{"version":1,"months":1,"diseases":["d"],"medicines":["m"],"hospitals":[{"Code":"H"}]}
+{"t":0,"h":0,"p":0,"d":[[0,1]],"m":[0]}`))
+	f.Add([]byte(`{"version":1,"months":2}` + "\n" + `{"t":9}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must validate and round-trip.
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var out strings.Builder
+		if err := Write(&out, ds); err != nil {
+			t.Fatalf("accepted dataset fails to serialize: %v", err)
+		}
+		if _, err := Read(strings.NewReader(out.String())); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package mic defines the Medical Insurance Claim data model the whole
+// reproduction operates on: monthly collections of claim records, each
+// holding a bag of diagnosed diseases and a bag of prescribed medicines with
+// the disease→medicine prescription links deliberately absent (paper §III-A),
+// plus the hospital metadata (city, bed class) needed for the paper's §VII
+// applications. The package also provides vocabularies, a JSONL+gzip codec,
+// the paper's §VI frequency filters, and dataset splits.
+package mic
+
+import "fmt"
+
+// DiseaseID identifies a disease code within a Dataset's disease vocabulary.
+type DiseaseID int32
+
+// MedicineID identifies a medicine code within a Dataset's medicine
+// vocabulary.
+type MedicineID int32
+
+// HospitalID indexes a Dataset's hospital table.
+type HospitalID int32
+
+// Pair identifies a disease–medicine pair, the unit of the paper's
+// prescription time series.
+type Pair struct {
+	Disease  DiseaseID
+	Medicine MedicineID
+}
+
+// HospitalClass groups hospitals by bed count the way the paper's §VII-C
+// inter-hospital gap analysis does.
+type HospitalClass int
+
+// Hospital classes, thresholded on bed counts per the paper: small [0,20)
+// ("clinics"), medium [20,400), large [400,∞) ("advanced treatment
+// hospitals").
+const (
+	SmallHospital HospitalClass = iota
+	MediumHospital
+	LargeHospital
+	numHospitalClasses
+)
+
+// NumHospitalClasses is the number of hospital size classes.
+const NumHospitalClasses = int(numHospitalClasses)
+
+// ClassifyBeds maps a bed count to its HospitalClass.
+func ClassifyBeds(beds int) HospitalClass {
+	switch {
+	case beds < 20:
+		return SmallHospital
+	case beds < 400:
+		return MediumHospital
+	default:
+		return LargeHospital
+	}
+}
+
+// String returns the class name used in reports.
+func (c HospitalClass) String() string {
+	switch c {
+	case SmallHospital:
+		return "small"
+	case MediumHospital:
+		return "medium"
+	case LargeHospital:
+		return "large"
+	default:
+		return fmt.Sprintf("HospitalClass(%d)", int(c))
+	}
+}
+
+// Hospital carries the per-institution metadata attached to records.
+type Hospital struct {
+	Code string // external identifier
+	City string // city name, used by the geographical spread analysis
+	Beds int    // bed count, determines the HospitalClass
+}
+
+// Class returns the hospital's size class.
+func (h Hospital) Class() HospitalClass { return ClassifyBeds(h.Beds) }
+
+// DiseaseCount is one entry of a record's disease bag: a disease and how
+// many times it was diagnosed in the record's month (N_rd in the paper).
+type DiseaseCount struct {
+	Disease DiseaseID
+	Count   int
+}
+
+// Record is a single monthly MIC record: the diseases diagnosed for one
+// patient at one institution in one month, and the medicines prescribed,
+// with no link between the two bags.
+type Record struct {
+	Hospital  HospitalID
+	Patient   int32 // anonymized patient index; -1 when unknown
+	Diseases  []DiseaseCount
+	Medicines []MedicineID
+}
+
+// NumDiseaseMentions returns N_r: the total number of disease diagnoses in
+// the record counting multiplicity.
+func (r *Record) NumDiseaseMentions() int {
+	var n int
+	for _, dc := range r.Diseases {
+		n += dc.Count
+	}
+	return n
+}
+
+// NumMedicines returns L_r: the number of medicine prescriptions in the
+// record.
+func (r *Record) NumMedicines() int { return len(r.Medicines) }
+
+// HasDisease reports whether the record's disease bag contains d.
+func (r *Record) HasDisease(d DiseaseID) bool {
+	for _, dc := range r.Diseases {
+		if dc.Disease == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() Record {
+	c := Record{Hospital: r.Hospital, Patient: r.Patient}
+	c.Diseases = append([]DiseaseCount(nil), r.Diseases...)
+	c.Medicines = append([]MedicineID(nil), r.Medicines...)
+	return c
+}
+
+// Monthly is one month's record collection (the paper's R^(t)).
+type Monthly struct {
+	Month   int // 0-based month index within the dataset period
+	Records []Record
+}
+
+// NumRecords returns R^(t).
+func (m *Monthly) NumRecords() int { return len(m.Records) }
+
+// DiseaseFrequencies returns, for each disease appearing in the month, the
+// total number of diagnoses (counting multiplicity).
+func (m *Monthly) DiseaseFrequencies() map[DiseaseID]int {
+	freq := make(map[DiseaseID]int)
+	for i := range m.Records {
+		for _, dc := range m.Records[i].Diseases {
+			freq[dc.Disease] += dc.Count
+		}
+	}
+	return freq
+}
+
+// MedicineFrequencies returns, for each medicine appearing in the month, the
+// total number of prescriptions.
+func (m *Monthly) MedicineFrequencies() map[MedicineID]int {
+	freq := make(map[MedicineID]int)
+	for i := range m.Records {
+		for _, med := range m.Records[i].Medicines {
+			freq[med]++
+		}
+	}
+	return freq
+}

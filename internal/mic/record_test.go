@@ -1,0 +1,202 @@
+package mic
+
+import "testing"
+
+func TestClassifyBeds(t *testing.T) {
+	cases := []struct {
+		beds int
+		want HospitalClass
+	}{
+		{0, SmallHospital},
+		{19, SmallHospital},
+		{20, MediumHospital},
+		{399, MediumHospital},
+		{400, LargeHospital},
+		{1200, LargeHospital},
+	}
+	for _, c := range cases {
+		if got := ClassifyBeds(c.beds); got != c.want {
+			t.Errorf("ClassifyBeds(%d) = %v, want %v", c.beds, got, c.want)
+		}
+	}
+}
+
+func TestHospitalClassString(t *testing.T) {
+	if SmallHospital.String() != "small" || MediumHospital.String() != "medium" || LargeHospital.String() != "large" {
+		t.Fatal("class names wrong")
+	}
+	if HospitalClass(9).String() != "HospitalClass(9)" {
+		t.Fatal("unknown class formatting wrong")
+	}
+}
+
+func TestRecordCounts(t *testing.T) {
+	r := Record{
+		Diseases:  []DiseaseCount{{Disease: 1, Count: 3}, {Disease: 2, Count: 1}},
+		Medicines: []MedicineID{10, 11, 10},
+	}
+	if got := r.NumDiseaseMentions(); got != 4 {
+		t.Fatalf("NumDiseaseMentions = %d, want 4", got)
+	}
+	if got := r.NumMedicines(); got != 3 {
+		t.Fatalf("NumMedicines = %d, want 3", got)
+	}
+	if !r.HasDisease(1) || r.HasDisease(3) {
+		t.Fatal("HasDisease wrong")
+	}
+}
+
+func TestRecordCloneIsDeep(t *testing.T) {
+	r := Record{
+		Diseases:  []DiseaseCount{{Disease: 1, Count: 1}},
+		Medicines: []MedicineID{5},
+	}
+	c := r.Clone()
+	c.Diseases[0].Count = 99
+	c.Medicines[0] = 77
+	if r.Diseases[0].Count != 1 || r.Medicines[0] != 5 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMonthlyFrequencies(t *testing.T) {
+	m := Monthly{Records: []Record{
+		{Diseases: []DiseaseCount{{1, 2}, {2, 1}}, Medicines: []MedicineID{10, 10}},
+		{Diseases: []DiseaseCount{{1, 1}}, Medicines: []MedicineID{11}},
+	}}
+	df := m.DiseaseFrequencies()
+	if df[1] != 3 || df[2] != 1 {
+		t.Fatalf("disease freq = %v", df)
+	}
+	mf := m.MedicineFrequencies()
+	if mf[10] != 2 || mf[11] != 1 {
+		t.Fatalf("medicine freq = %v", mf)
+	}
+	if m.NumRecords() != 2 {
+		t.Fatalf("NumRecords = %d", m.NumRecords())
+	}
+}
+
+func TestVocabInternLookup(t *testing.T) {
+	v := NewVocab()
+	a := v.Intern("flu")
+	b := v.Intern("cold")
+	if a == b {
+		t.Fatal("distinct codes shared an id")
+	}
+	if again := v.Intern("flu"); again != a {
+		t.Fatal("re-interning changed the id")
+	}
+	if id, ok := v.Lookup("cold"); !ok || id != b {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := v.Lookup("unknown"); ok {
+		t.Fatal("Lookup invented a code")
+	}
+	if v.Code(a) != "flu" {
+		t.Fatal("Code round trip failed")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	codes := v.Codes()
+	if len(codes) != 2 || codes[0] != "flu" || codes[1] != "cold" {
+		t.Fatalf("Codes = %v", codes)
+	}
+}
+
+func TestVocabCodePanicsOutOfRange(t *testing.T) {
+	v := NewVocab()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Code out of range did not panic")
+		}
+	}()
+	v.Code(0)
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := NewDataset()
+	dis := DiseaseID(d.Diseases.Intern("flu"))
+	med := MedicineID(d.Medicines.Intern("oseltamivir"))
+	h := d.AddHospital(Hospital{Code: "H1", City: "tsu", Beds: 10})
+	d.Months = []*Monthly{{Month: 0, Records: []Record{{
+		Hospital:  h,
+		Diseases:  []DiseaseCount{{dis, 1}},
+		Medicines: []MedicineID{med},
+	}}}}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+
+	// Out-of-range disease.
+	bad := *d
+	bad.Months = []*Monthly{{Month: 0, Records: []Record{{Hospital: h, Diseases: []DiseaseCount{{99, 1}}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range disease accepted")
+	}
+
+	// Wrong month index.
+	bad2 := *d
+	bad2.Months = []*Monthly{{Month: 5}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("wrong month index accepted")
+	}
+
+	// Non-positive disease count.
+	bad3 := *d
+	bad3.Months = []*Monthly{{Month: 0, Records: []Record{{Hospital: h, Diseases: []DiseaseCount{{dis, 0}}}}}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("zero disease count accepted")
+	}
+
+	// Unknown hospital.
+	bad4 := *d
+	bad4.Months = []*Monthly{{Month: 0, Records: []Record{{Hospital: 9, Diseases: []DiseaseCount{{dis, 1}}}}}}
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("unknown hospital accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := NewDataset()
+	dis1 := DiseaseID(d.Diseases.Intern("d1"))
+	dis2 := DiseaseID(d.Diseases.Intern("d2"))
+	med1 := MedicineID(d.Medicines.Intern("m1"))
+	h := d.AddHospital(Hospital{Code: "H1"})
+	d.Months = []*Monthly{
+		{Month: 0, Records: []Record{
+			{Hospital: h, Diseases: []DiseaseCount{{dis1, 2}, {dis2, 1}}, Medicines: []MedicineID{med1, med1}},
+			{Hospital: h, Diseases: []DiseaseCount{{dis1, 1}}, Medicines: []MedicineID{med1}},
+		}},
+		{Month: 1, Records: []Record{
+			{Hospital: h, Diseases: []DiseaseCount{{dis2, 1}}, Medicines: []MedicineID{med1}},
+		}},
+	}
+	s, err := d.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Months != 2 || s.Hospitals != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.AvgRecordsPerMonth != 1.5 {
+		t.Fatalf("AvgRecordsPerMonth = %v", s.AvgRecordsPerMonth)
+	}
+	// Month 0 has 2 unique diseases, month 1 has 1 → avg 1.5.
+	if s.AvgDiseasesPerMonth != 1.5 {
+		t.Fatalf("AvgDiseasesPerMonth = %v", s.AvgDiseasesPerMonth)
+	}
+	// Disease mentions: (3+1)+(1) = 5 over 3 records.
+	if s.AvgDiseasesPerRec != 5.0/3.0 {
+		t.Fatalf("AvgDiseasesPerRec = %v", s.AvgDiseasesPerRec)
+	}
+	if s.AvgMedsPerRec != 4.0/3.0 {
+		t.Fatalf("AvgMedsPerRec = %v", s.AvgMedsPerRec)
+	}
+
+	empty := NewDataset()
+	if _, err := empty.Summarize(); err == nil {
+		t.Fatal("empty dataset summarized")
+	}
+}

@@ -1,0 +1,327 @@
+// Package micgen generates synthetic Medical Insurance Claim corpora that
+// substitute for the paper's proprietary Mie-prefecture dataset. The
+// generator draws records from a disease/medicine catalog that carries the
+// exact phenomena the paper's models exist to detect — seasonal epidemics,
+// new-medicine releases, generic substitution with per-city adoption lags,
+// price revisions, indication expansions, comorbidity-driven cooccurrence
+// noise, and hospital-class-specific antibiotic misuse — and keeps the true
+// prescription links as ground truth alongside the linkless records.
+package micgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// SeasonPeak is one Gaussian bump in a disease's month-of-year prevalence
+// profile. Month is 0-based within the year (0 = January when the dataset
+// starts in January; the generator only cares about month-of-year phase).
+type SeasonPeak struct {
+	Month     int     // 0..11 peak month within the year
+	Amplitude float64 // multiplier added at the peak
+	Width     float64 // standard deviation in months
+}
+
+// Disease is a catalog entry for a diagnosable condition.
+type Disease struct {
+	Code       string
+	Name       string
+	Prevalence float64      // base weight in the diagnosis distribution
+	Peaks      []SeasonPeak // seasonal profile; empty = flat
+	Chronic    bool         // chronic diseases recur for the same patient
+	Viral      bool         // virus-caused (antibiotics are inappropriate)
+	Bacterial  bool         // bacteria-caused (antibiotics are appropriate)
+	// OutbreakMonths lists absolute dataset months with an epidemic spike
+	// (the paper's influenza winter-2014 outlier).
+	OutbreakMonths []int
+	// OutbreakBoost multiplies prevalence during an outbreak month.
+	OutbreakBoost float64
+	// MedicationProb is the probability a diagnosis of this disease leads to
+	// a prescription. Defaults to DefaultMedicationProb when zero.
+	MedicationProb float64
+}
+
+// Indication links a medicine to a disease it treats.
+type Indication struct {
+	Disease string  // disease code
+	Weight  float64 // relative preference among the disease's medicines
+	// StartMonth is the absolute dataset month from which this indication is
+	// in effect (0 = from the beginning). A positive value models the
+	// paper's §III-B "indication expansion" structural change.
+	StartMonth int
+	// RampMonths is how many months the indication takes to reach full
+	// weight after StartMonth (linear ramp; 0 = immediate).
+	RampMonths int
+}
+
+// Medicine is a catalog entry for a prescribable drug.
+type Medicine struct {
+	Code       string
+	Name       string
+	Popularity float64 // base multiplier across all its indications
+	// ReleaseMonth is the absolute dataset month the medicine goes on sale
+	// (0 = available from the beginning) — the §III-B "new medicine" change.
+	ReleaseMonth int
+	// ReleaseRamp is how many months uptake takes to saturate after release.
+	ReleaseRamp int
+	// GenericOf names the original medicine this is a generic of ("" for
+	// originals). Generics steal share from their original after release,
+	// with a per-city adoption lag.
+	GenericOf string
+	// Authorized marks an authorized generic (identical manufacturing),
+	// which adopts faster and wins a larger share (paper Fig. 8).
+	Authorized bool
+	// PriceCutMonth is the absolute month of a price revision that boosts
+	// prescriptions (-1 = none).
+	PriceCutMonth int
+	// PriceCutBoost multiplies popularity after the price cut.
+	PriceCutBoost float64
+	// Antibiotic marks the medicine as an antibiotic for the §VII-C misuse
+	// scenario.
+	Antibiotic  bool
+	Indications []Indication
+}
+
+// City is a geographic unit for the §VII-B spread analysis.
+type City struct {
+	Name string
+	Row  int // position in the display grid of Figure 8
+	Col  int
+	// GenericLag delays generic adoption by this many months in this city.
+	GenericLag int
+	// GenericResistance scales down generic share (1 = none; the paper's
+	// "northernmost area" keeps using the original).
+	GenericResistance float64
+	// Population weight: relative share of hospitals/records in this city.
+	Weight float64
+}
+
+// Catalog bundles the full synthetic world.
+type Catalog struct {
+	Diseases  []Disease
+	Medicines []Medicine
+	Cities    []City
+
+	diseaseIdx  map[string]int
+	medicineIdx map[string]int
+}
+
+// DefaultMedicationProb is the chance a diagnosis leads to medication when a
+// disease does not override it.
+const DefaultMedicationProb = 0.7
+
+// buildIndex populates the code lookup tables; it is idempotent.
+func (c *Catalog) buildIndex() {
+	if c.diseaseIdx != nil && len(c.diseaseIdx) == len(c.Diseases) &&
+		c.medicineIdx != nil && len(c.medicineIdx) == len(c.Medicines) {
+		return
+	}
+	c.diseaseIdx = make(map[string]int, len(c.Diseases))
+	for i, d := range c.Diseases {
+		c.diseaseIdx[d.Code] = i
+	}
+	c.medicineIdx = make(map[string]int, len(c.Medicines))
+	for i, m := range c.Medicines {
+		c.medicineIdx[m.Code] = i
+	}
+}
+
+// DiseaseByCode returns the catalog disease with the given code.
+func (c *Catalog) DiseaseByCode(code string) (*Disease, bool) {
+	c.buildIndex()
+	i, ok := c.diseaseIdx[code]
+	if !ok {
+		return nil, false
+	}
+	return &c.Diseases[i], true
+}
+
+// MedicineByCode returns the catalog medicine with the given code.
+func (c *Catalog) MedicineByCode(code string) (*Medicine, bool) {
+	c.buildIndex()
+	i, ok := c.medicineIdx[code]
+	if !ok {
+		return nil, false
+	}
+	return &c.Medicines[i], true
+}
+
+// Validate checks referential integrity of the catalog.
+func (c *Catalog) Validate() error {
+	c.buildIndex()
+	if len(c.Diseases) == 0 || len(c.Medicines) == 0 || len(c.Cities) == 0 {
+		return fmt.Errorf("micgen: catalog needs diseases, medicines, and cities")
+	}
+	if len(c.diseaseIdx) != len(c.Diseases) {
+		return fmt.Errorf("micgen: duplicate disease codes")
+	}
+	if len(c.medicineIdx) != len(c.Medicines) {
+		return fmt.Errorf("micgen: duplicate medicine codes")
+	}
+	for _, m := range c.Medicines {
+		if len(m.Indications) == 0 {
+			return fmt.Errorf("micgen: medicine %s has no indications", m.Code)
+		}
+		for _, ind := range m.Indications {
+			if _, ok := c.diseaseIdx[ind.Disease]; !ok {
+				return fmt.Errorf("micgen: medicine %s indicates unknown disease %s", m.Code, ind.Disease)
+			}
+			if ind.Weight <= 0 {
+				return fmt.Errorf("micgen: medicine %s has non-positive indication weight for %s", m.Code, ind.Disease)
+			}
+		}
+		if m.GenericOf != "" {
+			if _, ok := c.medicineIdx[m.GenericOf]; !ok {
+				return fmt.Errorf("micgen: generic %s references unknown original %s", m.Code, m.GenericOf)
+			}
+		}
+	}
+	for _, d := range c.Diseases {
+		if d.Prevalence <= 0 {
+			return fmt.Errorf("micgen: disease %s has non-positive prevalence", d.Code)
+		}
+	}
+	return nil
+}
+
+// seasonalWeight returns the diagnosis weight of disease d at absolute
+// month t (0-based), combining base prevalence, the month-of-year seasonal
+// profile, and outbreak spikes.
+func seasonalWeight(d *Disease, t int) float64 {
+	w := d.Prevalence
+	if len(d.Peaks) > 0 {
+		moy := t % 12
+		factor := 0.15 // off-season floor so seasonal diseases never vanish
+		for _, p := range d.Peaks {
+			dist := float64(circularMonthDistance(moy, p.Month))
+			width := p.Width
+			if width <= 0 {
+				width = 1
+			}
+			factor += p.Amplitude * math.Exp(-dist*dist/(2*width*width))
+		}
+		w *= factor
+	}
+	for _, om := range d.OutbreakMonths {
+		if om == t {
+			boost := d.OutbreakBoost
+			if boost <= 1 {
+				boost = 3
+			}
+			w *= boost
+		}
+	}
+	return w
+}
+
+// circularMonthDistance returns the wrap-around distance between two
+// months-of-year (0..11), at most 6.
+func circularMonthDistance(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > 6 {
+		d = 12 - d
+	}
+	return d
+}
+
+// availability returns the uptake multiplier of medicine m at absolute month
+// t: 0 before release, ramping linearly to 1 over ReleaseRamp months, with
+// the price-cut boost applied when past PriceCutMonth.
+func availability(m *Medicine, t int) float64 {
+	if t < m.ReleaseMonth {
+		return 0
+	}
+	a := 1.0
+	if m.ReleaseRamp > 0 {
+		a = math.Min(1, float64(t-m.ReleaseMonth+1)/float64(m.ReleaseRamp))
+	}
+	if m.PriceCutMonth >= 0 && t >= m.PriceCutMonth {
+		boost := m.PriceCutBoost
+		if boost <= 0 {
+			boost = 1.5
+		}
+		a *= boost
+	}
+	return a
+}
+
+// indicationWeight returns the effective weight of one indication at month
+// t, honoring the expansion start month and ramp.
+func indicationWeight(ind *Indication, t int) float64 {
+	if t < ind.StartMonth {
+		return 0
+	}
+	w := ind.Weight
+	if ind.RampMonths > 0 {
+		w *= math.Min(1, float64(t-ind.StartMonth+1)/float64(ind.RampMonths))
+	}
+	return w
+}
+
+// bulkCatalog appends nDiseases/nMedicines procedurally generated entries to
+// the scenario catalog so corpora can be scaled up while keeping the named
+// scenarios intact. Bulk medicines indicate 1–3 bulk diseases; a fraction
+// receive release or expansion events to populate the change point
+// experiments.
+func bulkCatalog(c *Catalog, nDiseases, nMedicines, months int, rng *rand.Rand) {
+	startDiseases := len(c.Diseases)
+	for i := 0; i < nDiseases; i++ {
+		d := Disease{
+			Code:       fmt.Sprintf("D-B%03d", i),
+			Name:       fmt.Sprintf("bulk disease %d", i),
+			Prevalence: 0.2 + rng.Float64()*1.3,
+			Chronic:    rng.Float64() < 0.4,
+		}
+		if rng.Float64() < 0.3 {
+			d.Peaks = []SeasonPeak{{
+				Month:     rng.IntN(12),
+				Amplitude: 0.8 + rng.Float64()*1.5,
+				Width:     1 + rng.Float64()*1.5,
+			}}
+		}
+		c.Diseases = append(c.Diseases, d)
+	}
+	for i := 0; i < nMedicines; i++ {
+		m := Medicine{
+			Code:          fmt.Sprintf("M-B%03d", i),
+			Name:          fmt.Sprintf("bulk medicine %d", i),
+			Popularity:    0.4 + rng.Float64()*1.2,
+			PriceCutMonth: -1,
+		}
+		nInd := 1 + rng.IntN(3)
+		seen := map[int]bool{}
+		for j := 0; j < nInd; j++ {
+			di := startDiseases + rng.IntN(nDiseases)
+			if seen[di] {
+				continue
+			}
+			seen[di] = true
+			ind := Indication{Disease: c.Diseases[di].Code, Weight: 0.3 + rng.Float64()}
+			m.Indications = append(m.Indications, ind)
+		}
+		// A slice of bulk medicines carries structural events so the change
+		// point experiments see hundreds of true positives.
+		switch ev := rng.Float64(); {
+		case ev < 0.15 && months > 12:
+			m.ReleaseMonth = 6 + rng.IntN(months-12)
+			m.ReleaseRamp = 18 + rng.IntN(24)
+		case ev < 0.22 && months > 12:
+			m.PriceCutMonth = 6 + rng.IntN(months-12)
+			m.PriceCutBoost = 1.4 + rng.Float64()
+		case ev < 0.3 && months > 14 && len(m.Indications) > 0:
+			// Late indication expansion onto a new bulk disease.
+			di := startDiseases + rng.IntN(nDiseases)
+			m.Indications = append(m.Indications, Indication{
+				Disease:    c.Diseases[di].Code,
+				Weight:     0.6 + rng.Float64(),
+				StartMonth: 8 + rng.IntN(months-14),
+				RampMonths: 3 + rng.IntN(6),
+			})
+		}
+		c.Medicines = append(c.Medicines, m)
+	}
+}

@@ -1,0 +1,469 @@
+package micgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mictrend/internal/mic"
+)
+
+// smallConfig is a fast configuration for unit tests.
+func smallConfig() Config {
+	return Config{
+		Seed:            1,
+		Months:          30,
+		RecordsPerMonth: 300,
+		Patients:        600,
+		BulkDiseases:    10,
+		BulkMedicines:   12,
+	}
+}
+
+func TestGenerateProducesValidDataset(t *testing.T) {
+	ds, truth, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.T() != 30 {
+		t.Fatalf("months = %d", ds.T())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRecords() == 0 {
+		t.Fatal("no records generated")
+	}
+	if len(truth.PairCounts) == 0 {
+		t.Fatal("no ground-truth links")
+	}
+	// Every month must hold some records.
+	for _, m := range ds.Months {
+		if len(m.Records) == 0 {
+			t.Fatalf("month %d empty", m.Month)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, ta, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, tb, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRecords() != b.NumRecords() {
+		t.Fatalf("record counts differ: %d vs %d", a.NumRecords(), b.NumRecords())
+	}
+	if len(ta.PairCounts) != len(tb.PairCounts) {
+		t.Fatal("truth differs between identical configs")
+	}
+	for i := range a.Months {
+		if len(a.Months[i].Records) != len(b.Months[i].Records) {
+			t.Fatalf("month %d sizes differ", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg2 := smallConfig()
+	cfg2.Seed = 99
+	a, _, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRecords() == b.NumRecords() {
+		// Counts could coincide; compare first-month first-record contents too.
+		ra, rb := a.Months[0].Records[0], b.Months[0].Records[0]
+		if ra.Hospital == rb.Hospital && len(ra.Medicines) == len(rb.Medicines) && len(ra.Diseases) == len(rb.Diseases) {
+			t.Log("seeds produced suspiciously similar corpora; acceptable but unusual")
+		}
+	}
+}
+
+func TestTruthLinkCountsMatchRecords(t *testing.T) {
+	ds, truth, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total medicine mentions in records must equal total true links.
+	var recordMeds, truthLinks float64
+	for _, m := range ds.Months {
+		for i := range m.Records {
+			recordMeds += float64(len(m.Records[i].Medicines))
+		}
+	}
+	for _, series := range truth.PairCounts {
+		for _, v := range series {
+			truthLinks += v
+		}
+	}
+	if recordMeds != truthLinks {
+		t.Fatalf("medicine mentions %v != true links %v", recordMeds, truthLinks)
+	}
+}
+
+func TestTruthLinkDiseasePresentInRecord(t *testing.T) {
+	// Every medicine in a record must be attributable to some disease in the
+	// same record (the generator only prescribes for diagnosed diseases).
+	ds, _, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ds.Months {
+		for i := range m.Records {
+			if len(m.Records[i].Medicines) > 0 && len(m.Records[i].Diseases) == 0 {
+				t.Fatal("record has medicines but no diseases")
+			}
+		}
+	}
+}
+
+func TestNewMedicineAbsentBeforeRelease(t *testing.T) {
+	ds, truth, err := Generate(Config{Seed: 3, Months: 20, RecordsPerMonth: 400, BulkDiseases: 5, BulkMedicines: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newID, ok := ds.Medicines.Lookup(MedicineNewBronch)
+	if !ok {
+		t.Fatal("scenario medicine missing from vocabulary")
+	}
+	for tm := 0; tm < NewBronchReleaseMonth; tm++ {
+		for i := range ds.Months[tm].Records {
+			for _, med := range ds.Months[tm].Records[i].Medicines {
+				if med == mic.MedicineID(newID) {
+					t.Fatalf("new medicine prescribed in month %d before release %d", tm, NewBronchReleaseMonth)
+				}
+			}
+		}
+	}
+	// And it must appear afterwards.
+	var after float64
+	for _, series := range truth.PairCounts {
+		_ = series
+	}
+	for p, series := range truth.PairCounts {
+		if p.Medicine == mic.MedicineID(newID) {
+			for tm := NewBronchReleaseMonth; tm < 20; tm++ {
+				after += series[tm]
+			}
+		}
+	}
+	if after == 0 {
+		t.Fatal("new medicine never prescribed after release")
+	}
+}
+
+func TestGenericsShiftShareAfterRelease(t *testing.T) {
+	cfg := Config{Seed: 5, Months: 36, RecordsPerMonth: 1200, BulkDiseases: 5, BulkMedicines: 5}
+	ds, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(code string, from, to int) float64 {
+		id, ok := ds.Medicines.Lookup(code)
+		if !ok {
+			t.Fatalf("medicine %s missing", code)
+		}
+		var sum float64
+		for p, series := range truth.PairCounts {
+			if p.Medicine == mic.MedicineID(id) {
+				for tm := from; tm < to; tm++ {
+					sum += series[tm]
+				}
+			}
+		}
+		return sum
+	}
+	pre := count(MedicineAntiplOrig, GenericReleaseMonth-6, GenericReleaseMonth)
+	post := count(MedicineAntiplOrig, 30, 36)
+	if post >= pre {
+		t.Fatalf("original did not decline: pre=%v post=%v", pre, post)
+	}
+	g3 := count(MedicineGeneric3, 30, 36)
+	g1 := count(MedicineGeneric1, 30, 36)
+	if g3 == 0 {
+		t.Fatal("authorized generic never prescribed")
+	}
+	if g3 <= g1 {
+		t.Fatalf("authorized generic (%v) should dominate generic 1 (%v)", g3, g1)
+	}
+	// No generic before release.
+	if pre3 := count(MedicineGeneric3, 0, GenericReleaseMonth); pre3 != 0 {
+		t.Fatalf("generic prescribed before release: %v", pre3)
+	}
+}
+
+func TestSeasonalWeightShapes(t *testing.T) {
+	hay := Disease{Code: "d", Prevalence: 1, Peaks: []SeasonPeak{{Month: 1, Amplitude: 3, Width: 1}}}
+	peak := seasonalWeight(&hay, 1)
+	trough := seasonalWeight(&hay, 7)
+	if peak <= 2*trough {
+		t.Fatalf("seasonal contrast too weak: peak=%v trough=%v", peak, trough)
+	}
+	// Periodicity: month 1 and month 13 identical.
+	if seasonalWeight(&hay, 1) != seasonalWeight(&hay, 13) {
+		t.Fatal("seasonality is not 12-month periodic")
+	}
+	flat := Disease{Code: "f", Prevalence: 2}
+	for tm := 0; tm < 24; tm++ {
+		if seasonalWeight(&flat, tm) != 2 {
+			t.Fatal("flat disease should have constant weight")
+		}
+	}
+	burst := Disease{Code: "b", Prevalence: 1, OutbreakMonths: []int{5}, OutbreakBoost: 4}
+	if got := seasonalWeight(&burst, 5); got != 4 {
+		t.Fatalf("outbreak weight = %v, want 4", got)
+	}
+	if got := seasonalWeight(&burst, 6); got != 1 {
+		t.Fatalf("non-outbreak weight = %v, want 1", got)
+	}
+}
+
+func TestCircularMonthDistance(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 6, 6}, {0, 11, 1}, {11, 0, 1}, {3, 9, 6}, {2, 10, 4},
+	}
+	for _, c := range cases {
+		if got := circularMonthDistance(c.a, c.b); got != c.want {
+			t.Errorf("distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAvailabilityRampAndPriceCut(t *testing.T) {
+	m := Medicine{ReleaseMonth: 10, ReleaseRamp: 4, PriceCutMonth: 20, PriceCutBoost: 2}
+	if availability(&m, 9) != 0 {
+		t.Fatal("available before release")
+	}
+	if got := availability(&m, 10); got != 0.25 {
+		t.Fatalf("ramp month 1 = %v, want 0.25", got)
+	}
+	if got := availability(&m, 13); got != 1 {
+		t.Fatalf("ramp saturation = %v, want 1", got)
+	}
+	if got := availability(&m, 20); got != 2 {
+		t.Fatalf("price cut = %v, want 2", got)
+	}
+	noCut := Medicine{PriceCutMonth: -1}
+	if availability(&noCut, 0) != 1 {
+		t.Fatal("always-available medicine wrong")
+	}
+}
+
+func TestIndicationWeightExpansion(t *testing.T) {
+	ind := Indication{Disease: "d", Weight: 2, StartMonth: 10, RampMonths: 4}
+	if indicationWeight(&ind, 9) != 0 {
+		t.Fatal("weight before expansion")
+	}
+	if got := indicationWeight(&ind, 10); got != 0.5 {
+		t.Fatalf("ramp start = %v, want 0.5", got)
+	}
+	if got := indicationWeight(&ind, 13); got != 2 {
+		t.Fatalf("ramp end = %v, want 2", got)
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	c := NewCatalog(43, 5, 5, rng)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown indication disease.
+	bad := &Catalog{
+		Diseases:  []Disease{{Code: "d", Prevalence: 1}},
+		Medicines: []Medicine{{Code: "m", Indications: []Indication{{Disease: "nope", Weight: 1}}}},
+		Cities:    defaultCities(),
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dangling indication accepted")
+	}
+	// Generic of unknown original.
+	bad2 := &Catalog{
+		Diseases: []Disease{{Code: "d", Prevalence: 1}},
+		Medicines: []Medicine{{Code: "m", GenericOf: "ghost",
+			Indications: []Indication{{Disease: "d", Weight: 1}}}},
+		Cities: defaultCities(),
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("dangling generic accepted")
+	}
+	// Empty catalog.
+	if err := (&Catalog{}).Validate(); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+}
+
+func TestTruthChangesRecorded(t *testing.T) {
+	_, truth, err := Generate(Config{Seed: 7, Months: 30, RecordsPerMonth: 100, BulkDiseases: 5, BulkMedicines: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[ChangeKind]bool{}
+	for _, c := range truth.Changes {
+		kinds[c.Kind] = true
+	}
+	for _, k := range []ChangeKind{ChangeRelease, ChangeExpansion, ChangeDiagShift} {
+		if !kinds[k] {
+			t.Errorf("missing true change kind %v", k)
+		}
+	}
+	rel := truth.ChangesFor(MedicineNewOsteo)
+	if len(rel) != 1 || rel[0].Month != NewOsteoReleaseMonth || rel[0].Kind != ChangeRelease {
+		t.Fatalf("ChangesFor(new osteo) = %+v", rel)
+	}
+}
+
+func TestTruthRelevance(t *testing.T) {
+	_, truth, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truth.Relevant(DiseaseHypertension, MedicineDepressor) {
+		t.Fatal("depressor should be relevant to hypertension")
+	}
+	if truth.Relevant(DiseaseHypertension, MedicineAnalgesic) {
+		t.Fatal("analgesic should NOT be relevant to hypertension")
+	}
+	// Expanded indication counts as relevant.
+	if !truth.Relevant(DiseaseAsthma, MedicineExpBronch) {
+		t.Fatal("expanded indication should be relevant")
+	}
+	// Misuse is not relevance: antibiotic not indicated for viral colds.
+	if truth.Relevant(DiseaseCommonCold, MedicineAntibiotic) {
+		t.Fatal("antibiotic should not be relevant to the viral cold")
+	}
+}
+
+func TestAntibioticMisuseSkewsByClass(t *testing.T) {
+	cfg := Config{Seed: 11, Months: 12, RecordsPerMonth: 3000, BulkDiseases: 5, BulkMedicines: 5}
+	ds, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = truth
+	abxID, _ := ds.Medicines.Lookup(MedicineAntibiotic)
+	coldID, _ := ds.Diseases.Lookup(DiseaseCommonCold)
+	fluID, _ := ds.Diseases.Lookup(DiseaseInfluenza)
+	// Count, per hospital class, records where the antibiotic cooccurs with
+	// a viral disease.
+	viralCooc := map[mic.HospitalClass]int{}
+	totalAbx := map[mic.HospitalClass]int{}
+	for _, m := range ds.Months {
+		for i := range m.Records {
+			r := &m.Records[i]
+			hasAbx := false
+			for _, med := range r.Medicines {
+				if med == mic.MedicineID(abxID) {
+					hasAbx = true
+					break
+				}
+			}
+			if !hasAbx {
+				continue
+			}
+			class := ds.Hospitals[r.Hospital].Class()
+			totalAbx[class]++
+			if r.HasDisease(mic.DiseaseID(coldID)) || r.HasDisease(mic.DiseaseID(fluID)) {
+				viralCooc[class]++
+			}
+		}
+	}
+	if totalAbx[mic.SmallHospital] == 0 || totalAbx[mic.LargeHospital] == 0 {
+		t.Skip("not enough antibiotic prescriptions to compare classes")
+	}
+	smallRate := float64(viralCooc[mic.SmallHospital]) / float64(totalAbx[mic.SmallHospital])
+	largeRate := float64(viralCooc[mic.LargeHospital]) / float64(totalAbx[mic.LargeHospital])
+	if smallRate <= largeRate {
+		t.Fatalf("misuse rate small=%v should exceed large=%v", smallRate, largeRate)
+	}
+}
+
+func TestDiagShiftOppositeTrends(t *testing.T) {
+	cfg := Config{Seed: 13, Months: 40, RecordsPerMonth: 1500, BulkDiseases: 5, BulkMedicines: 5}
+	ds, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oralID, _ := ds.Diseases.Lookup(DiseaseOralFeeding)
+	dehyID, _ := ds.Diseases.Lookup(DiseaseDehydration)
+	countIn := func(d int32, from, to int) float64 {
+		var sum float64
+		for tm := from; tm < to; tm++ {
+			for i := range ds.Months[tm].Records {
+				for _, dc := range ds.Months[tm].Records[i].Diseases {
+					if dc.Disease == mic.DiseaseID(d) {
+						sum += float64(dc.Count)
+					}
+				}
+			}
+		}
+		return sum
+	}
+	dehyEarly := countIn(dehyID, 8, DiagShiftMonth)
+	dehyLate := countIn(dehyID, 30, 40)
+	oralEarly := countIn(oralID, 8, DiagShiftMonth)
+	oralLate := countIn(oralID, 30, 40)
+	// Normalize per month.
+	dehyEarly /= float64(DiagShiftMonth - 8)
+	dehyLate /= 10
+	oralEarly /= float64(DiagShiftMonth - 8)
+	oralLate /= 10
+	if dehyLate >= dehyEarly {
+		t.Fatalf("dehydration should decline: early=%v late=%v", dehyEarly, dehyLate)
+	}
+	if oralLate <= oralEarly {
+		t.Fatalf("oral feeding difficulty should rise: early=%v late=%v", oralEarly, oralLate)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(rng, 1.4))
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1.4) > 0.05 {
+		t.Fatalf("poisson mean = %v, want ≈1.4", mean)
+	}
+}
+
+func TestSampleWeightedNeverPicksZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	weights := []float64{0, 3, 0, 1, 0}
+	for i := 0; i < 1000; i++ {
+		got := sampleWeighted(rng, weights, 4)
+		if got != 1 && got != 3 {
+			t.Fatalf("picked zero-weight index %d", got)
+		}
+	}
+}
+
+func TestSummaryResemblesPaperShape(t *testing.T) {
+	ds, _, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ds.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's corpus averages ~7.4 diseases and ~4.8 medicines per
+	// record; ours must at least exhibit the same multi-disease,
+	// multi-medicine pathology that makes link prediction necessary.
+	if s.AvgDiseasesPerRec < 1.5 {
+		t.Fatalf("diseases per record = %v, want > 1.5", s.AvgDiseasesPerRec)
+	}
+	if s.AvgMedsPerRec < 1.2 {
+		t.Fatalf("medicines per record = %v, want > 1.2", s.AvgMedsPerRec)
+	}
+}

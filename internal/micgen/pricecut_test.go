@@ -1,0 +1,59 @@
+package micgen
+
+import (
+	"testing"
+
+	"mictrend/internal/mic"
+)
+
+// TestPriceCutShiftsShare checks the §III-B price revision scenario: after
+// the statin's price cut its share of hyperlipidemia prescriptions rises at
+// the competitor's expense.
+func TestPriceCutShiftsShare(t *testing.T) {
+	ds, truth, err := Generate(Config{
+		Seed: 23, Months: 30, RecordsPerMonth: 1500, BulkDiseases: 4, BulkMedicines: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok := ds.Medicines.Lookup(MedicinePriceCut)
+	if !ok {
+		t.Fatal("price-cut statin missing")
+	}
+	count := func(code string, from, to int) float64 {
+		id, ok := ds.Medicines.Lookup(code)
+		if !ok {
+			t.Fatalf("medicine %s missing", code)
+		}
+		var sum float64
+		for p, series := range truth.PairCounts {
+			if p.Medicine == mic.MedicineID(id) {
+				for tm := from; tm < to; tm++ {
+					sum += series[tm]
+				}
+			}
+		}
+		return sum
+	}
+	window := 10
+	cheapBefore := count(MedicinePriceCut, StatinPriceCutMonth-window, StatinPriceCutMonth)
+	cheapAfter := count(MedicinePriceCut, StatinPriceCutMonth, StatinPriceCutMonth+window)
+	compBefore := count("M-STATN", StatinPriceCutMonth-window, StatinPriceCutMonth)
+	compAfter := count("M-STATN", StatinPriceCutMonth, StatinPriceCutMonth+window)
+	shareBefore := cheapBefore / (cheapBefore + compBefore)
+	shareAfter := cheapAfter / (cheapAfter + compAfter)
+	if shareAfter <= shareBefore+0.05 {
+		t.Fatalf("price cut share: before %.3f, after %.3f — no visible boost", shareBefore, shareAfter)
+	}
+	// The event must be recorded as ground truth.
+	changes := truth.ChangesFor(MedicinePriceCut)
+	found := false
+	for _, c := range changes {
+		if c.Kind == ChangePriceCut && c.Month == StatinPriceCutMonth {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("price-cut event missing from truth: %+v", changes)
+	}
+}

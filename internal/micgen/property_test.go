@@ -1,0 +1,144 @@
+package micgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mictrend/internal/mic"
+)
+
+// Property: any sane configuration yields a valid dataset whose true links
+// exactly match the records' medicine bags.
+func TestGenerateAlwaysValidProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property generation is heavy")
+	}
+	f := func(seed uint64, monthsRaw, recordsRaw uint8) bool {
+		cfg := Config{
+			Seed:            seed,
+			Months:          6 + int(monthsRaw%18),
+			RecordsPerMonth: 50 + int(recordsRaw)%200,
+			BulkDiseases:    3,
+			BulkMedicines:   4,
+		}
+		ds, truth, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		if err := ds.Validate(); err != nil {
+			return false
+		}
+		// Conservation: total medicine mentions == total true links.
+		var mentions, links float64
+		for _, m := range ds.Months {
+			for i := range m.Records {
+				mentions += float64(len(m.Records[i].Medicines))
+			}
+		}
+		for _, series := range truth.PairCounts {
+			if len(series) != cfg.Months {
+				return false
+			}
+			for _, v := range series {
+				links += v
+			}
+		}
+		return mentions == links
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the disease of every true link appears in some record of the
+// month (links are never invented).
+func TestTrueLinksGroundedProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property generation is heavy")
+	}
+	f := func(seed uint64) bool {
+		ds, truth, err := Generate(Config{
+			Seed: seed, Months: 8, RecordsPerMonth: 120, BulkDiseases: 3, BulkMedicines: 4,
+		})
+		if err != nil {
+			return false
+		}
+		// Build per-month presence sets.
+		present := make([]map[mic.DiseaseID]bool, ds.T())
+		for t, m := range ds.Months {
+			present[t] = make(map[mic.DiseaseID]bool)
+			for i := range m.Records {
+				for _, dc := range m.Records[i].Diseases {
+					present[t][dc.Disease] = true
+				}
+			}
+		}
+		for pair, series := range truth.PairCounts {
+			for tm, v := range series {
+				if v > 0 && !present[tm][pair.Disease] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: availability is monotone non-decreasing up to the price cut and
+// stays within [0, boost].
+func TestAvailabilityMonotoneProperty(t *testing.T) {
+	f := func(release, ramp uint8) bool {
+		m := Medicine{
+			ReleaseMonth:  int(release % 30),
+			ReleaseRamp:   int(ramp % 20),
+			PriceCutMonth: -1,
+		}
+		prev := -1.0
+		for t := 0; t < 60; t++ {
+			a := availability(&m, t)
+			if a < 0 || a > 1 {
+				return false
+			}
+			if a < prev {
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: seasonalWeight is always positive and 12-month periodic (absent
+// outbreaks).
+func TestSeasonalWeightPeriodicProperty(t *testing.T) {
+	f := func(month, amp, width uint8) bool {
+		d := Disease{
+			Code:       "x",
+			Prevalence: 1,
+			Peaks: []SeasonPeak{{
+				Month:     int(month % 12),
+				Amplitude: 0.1 + float64(amp%40)/10,
+				Width:     0.5 + float64(width%30)/10,
+			}},
+		}
+		for t := 0; t < 24; t++ {
+			w := seasonalWeight(&d, t)
+			if !(w > 0) {
+				return false
+			}
+			if w != seasonalWeight(&d, t+12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package micgen
+
+import "math/rand/v2"
+
+// Scenario entity codes referenced by the experiment harness. Keeping them
+// as constants lets the figure reproductions address the exact series the
+// paper plots.
+const (
+	// Figure 2 / hypertension mis-prediction scenario.
+	DiseaseHypertension = "D-HTN"
+	DiseaseArthritis    = "D-OA" // osteoarthritis, comorbid with hypertension
+	MedicineDepressor   = "M-DEPR"
+	MedicineAnalgesic   = "M-NSAID" // anti-inflammatory analgesic
+	// Figure 3a / seasonality scenario.
+	DiseaseHayFever   = "D-HAY"
+	DiseaseHeatstroke = "D-HEAT"
+	DiseaseInfluenza  = "D-FLU"
+	MedicineAntihist  = "M-AHIST"
+	MedicineRehydrate = "M-ORS"
+	MedicineAntiviral = "M-AVIR"
+	// Figure 3b / new-medicine scenario (bronchodilator).
+	DiseaseAsthma     = "D-ASTH"
+	DiseaseBronchitis = "D-BRON"
+	DiseaseCOPD       = "D-COPD"
+	MedicineNewBronch = "M-NBRON"
+	// Figure 3c & 7a / indication-expansion scenarios.
+	MedicineExpBronch = "M-XBRON" // bronchodilator gaining asthma indication
+	DiseaseLewyBody   = "D-LEWY"
+	MedicineLewyDrug  = "M-LEWY" // existing drug gaining Lewy body indication
+	DiseaseParkinson  = "D-PARK" // its original indication
+	// Figure 6c / new osteoporosis medicine.
+	DiseaseOsteoporosis = "D-OSTP"
+	MedicineNewOsteo    = "M-NOSTP"
+	MedicineOldOsteo    = "M-OOSTP"
+	// Figure 6d & 8 / generic substitution scenario (anti-platelet).
+	DiseaseStroke      = "D-STRK"
+	MedicineAntiplOrig = "M-APLT"
+	MedicineGeneric1   = "M-APG1"
+	MedicineGeneric2   = "M-APG2"
+	MedicineGeneric3   = "M-APG3" // authorized generic
+	// Figure 6b / multi-peak diarrhea.
+	DiseaseDiarrhea    = "D-DIAR"
+	MedicineAntidiarrh = "M-ADIA"
+	// Figure 7b / diagnostics substitution scenario.
+	DiseaseOralFeeding = "D-ORAL" // oral feeding difficulty (rising)
+	DiseaseDehydration = "D-DEHY" // dehydration (falling, opposite trend)
+	MedicineInfusion   = "M-INFU"
+	// Price-revision scenario (§III-B "revision of medicine price").
+	MedicinePriceCut = "M-PRICE" // statin whose price is cut mid-window
+	DiseaseLipidemia = "D-LIPID"
+	// Table II / antibiotic misuse scenario.
+	DiseaseCommonCold    = "D-COLD" // acute upper respiratory inflammation (viral)
+	DiseasePharyngitis   = "D-PHAR"
+	DiseaseAcuteBronch   = "D-ABRN" // acute bronchitis (bacterial-ish, antibiotic OK)
+	DiseaseSinusitis     = "D-SINU" // chronic sinusitis
+	DiseasePneumonia     = "D-PNEU"
+	DiseaseMycobacterial = "D-MYCO" // nontuberculous mycobacterial infection
+	MedicineAntibiotic   = "M-ABX"
+	MedicineColdRemedy   = "M-COLD"
+)
+
+// Scenario event months (absolute, 0-based) in the default 43-month window,
+// mirroring the paper's case studies.
+const (
+	// NewBronchReleaseMonth is when M-NBRON goes on sale (paper Fig. 3b:
+	// "around November 2011" — month 8 of our window).
+	NewBronchReleaseMonth = 8
+	// NewOsteoReleaseMonth is when M-NOSTP is released (paper Fig. 6c:
+	// August 2013 — month 5 of a March-2013 start).
+	NewOsteoReleaseMonth = 5
+	// GenericReleaseMonth is when the three anti-platelet generics launch
+	// (paper Fig. 6d).
+	GenericReleaseMonth = 18
+	// AsthmaExpansionMonth is when M-XBRON gains the bronchial asthma
+	// indication (paper Fig. 3c: "around the end of 2014" — month 21).
+	AsthmaExpansionMonth = 21
+	// LewyExpansionMonth is when M-LEWY gains the Lewy body dementia
+	// indication (paper Fig. 7a).
+	LewyExpansionMonth = 24
+	// DiagShiftMonth is when dehydration diagnoses start migrating to oral
+	// feeding difficulty (paper Fig. 7b).
+	DiagShiftMonth = 20
+	// FluOutbreakMonth is the influenza outlier winter (paper Fig. 6a:
+	// winter 2014/2015 — month 21 ≈ December 2014).
+	FluOutbreakMonth = 21
+	// StatinPriceCutMonth is when M-PRICE's price revision takes effect.
+	StatinPriceCutMonth = 14
+)
+
+// scenarioDiseases returns the named diseases of the paper's case studies.
+// months is the dataset length, used to place outbreaks.
+func scenarioDiseases(months int) []Disease {
+	flu := Disease{
+		Code: DiseaseInfluenza, Name: "influenza", Prevalence: 2.2, Viral: true,
+		Peaks:         []SeasonPeak{{Month: 10, Amplitude: 3.5, Width: 1.2}}, // winter peak (dataset starts in March)
+		OutbreakBoost: 2.5,
+	}
+	if FluOutbreakMonth < months {
+		flu.OutbreakMonths = []int{FluOutbreakMonth, FluOutbreakMonth + 1}
+	}
+	return []Disease{
+		{Code: DiseaseHypertension, Name: "hypertension", Prevalence: 6.0, Chronic: true},
+		{Code: DiseaseArthritis, Name: "osteoarthritis", Prevalence: 4.0, Chronic: true},
+		{Code: DiseaseHayFever, Name: "hay fever", Prevalence: 1.8, Peaks: []SeasonPeak{{Month: 1, Amplitude: 3.0, Width: 1.1}}},    // spring (month-of-year 1 = April for a March start)
+		{Code: DiseaseHeatstroke, Name: "heatstroke", Prevalence: 0.9, Peaks: []SeasonPeak{{Month: 5, Amplitude: 3.2, Width: 0.9}}}, // summer
+		flu,
+		{Code: DiseaseAsthma, Name: "bronchial asthma", Prevalence: 1.5, Chronic: true},
+		{Code: DiseaseBronchitis, Name: "chronic bronchitis", Prevalence: 1.2, Chronic: true, Bacterial: true},
+		{Code: DiseaseCOPD, Name: "COPD", Prevalence: 1.4, Chronic: true},
+		{Code: DiseaseLewyBody, Name: "Lewy body dementia", Prevalence: 0.7, Chronic: true},
+		{Code: DiseaseParkinson, Name: "Parkinson's disease", Prevalence: 1.0, Chronic: true},
+		{Code: DiseaseOsteoporosis, Name: "osteoporosis", Prevalence: 2.5, Chronic: true},
+		{Code: DiseaseStroke, Name: "cerebral infarction sequelae", Prevalence: 3.5, Chronic: true},
+		{Code: DiseaseDiarrhea, Name: "diarrhea", Prevalence: 1.0, Peaks: []SeasonPeak{
+			{Month: 0, Amplitude: 1.6, Width: 1.0}, {Month: 7, Amplitude: 1.6, Width: 1.0}, // two season-change peaks
+		}},
+		{Code: DiseaseOralFeeding, Name: "oral feeding difficulty", Prevalence: 0.8, Chronic: true},
+		{Code: DiseaseDehydration, Name: "dehydration", Prevalence: 1.0},
+		{Code: DiseaseLipidemia, Name: "hyperlipidemia", Prevalence: 1.8, Chronic: true},
+		{Code: DiseaseCommonCold, Name: "acute upper respiratory inflammation", Prevalence: 3.0, Viral: true,
+			Peaks: []SeasonPeak{{Month: 9, Amplitude: 1.8, Width: 2.0}}},
+		{Code: DiseasePharyngitis, Name: "pharyngitis", Prevalence: 1.1, Bacterial: true},
+		{Code: DiseaseAcuteBronch, Name: "acute bronchitis", Prevalence: 1.6, Bacterial: true,
+			Peaks: []SeasonPeak{{Month: 9, Amplitude: 1.2, Width: 2.2}}},
+		{Code: DiseaseSinusitis, Name: "chronic sinusitis", Prevalence: 0.9, Chronic: true, Bacterial: true},
+		{Code: DiseasePneumonia, Name: "pneumonia", Prevalence: 0.8, Bacterial: true},
+		{Code: DiseaseMycobacterial, Name: "nontuberculous mycobacterial infection", Prevalence: 0.4, Chronic: true, Bacterial: true},
+	}
+}
+
+// scenarioMedicines returns the named medicines of the paper's case studies.
+func scenarioMedicines() []Medicine {
+	return []Medicine{
+		{Code: MedicineDepressor, Name: "depressor", Popularity: 1.4, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseHypertension, Weight: 1.0}}},
+		{Code: MedicineAnalgesic, Name: "anti-inflammatory analgesic", Popularity: 1.6, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseArthritis, Weight: 1.0}}},
+		{Code: MedicineAntihist, Name: "antihistamine", Popularity: 1.2, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseHayFever, Weight: 1.0}}},
+		{Code: MedicineRehydrate, Name: "oral rehydration salts", Popularity: 1.0, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseHeatstroke, Weight: 1.0}, {Disease: DiseaseDehydration, Weight: 0.5}}},
+		{Code: MedicineAntiviral, Name: "anti-influenza antiviral", Popularity: 1.3, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseInfluenza, Weight: 1.0}}},
+		{Code: MedicineNewBronch, Name: "new bronchodilator", Popularity: 1.2,
+			ReleaseMonth: NewBronchReleaseMonth, ReleaseRamp: 70, PriceCutMonth: -1,
+			Indications: []Indication{
+				{Disease: DiseaseAsthma, Weight: 0.8},
+				{Disease: DiseaseBronchitis, Weight: 0.7},
+				{Disease: DiseaseCOPD, Weight: 0.9},
+			}},
+		{Code: MedicineExpBronch, Name: "bronchodilator with asthma expansion", Popularity: 1.1, PriceCutMonth: -1,
+			Indications: []Indication{
+				{Disease: DiseaseCOPD, Weight: 1.0},
+				{Disease: DiseaseBronchitis, Weight: 0.6},
+				{Disease: DiseaseAsthma, Weight: 1.0, StartMonth: AsthmaExpansionMonth, RampMonths: 8},
+			}},
+		{Code: MedicineLewyDrug, Name: "drug gaining Lewy body indication", Popularity: 1.0, PriceCutMonth: -1,
+			Indications: []Indication{
+				{Disease: DiseaseParkinson, Weight: 1.0},
+				{Disease: DiseaseLewyBody, Weight: 1.2, StartMonth: LewyExpansionMonth, RampMonths: 6},
+			}},
+		{Code: MedicineNewOsteo, Name: "new osteoporosis medicine", Popularity: 1.6,
+			ReleaseMonth: NewOsteoReleaseMonth, ReleaseRamp: 70, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseOsteoporosis, Weight: 1.4}}},
+		{Code: MedicineOldOsteo, Name: "established osteoporosis medicine", Popularity: 1.2, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseOsteoporosis, Weight: 1.0}}},
+		{Code: MedicineAntiplOrig, Name: "anti-platelet original", Popularity: 1.5, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
+		{Code: MedicineGeneric1, Name: "anti-platelet generic 1", Popularity: 1.5,
+			ReleaseMonth: GenericReleaseMonth, ReleaseRamp: 30, GenericOf: MedicineAntiplOrig, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
+		{Code: MedicineGeneric2, Name: "anti-platelet generic 2", Popularity: 1.5,
+			ReleaseMonth: GenericReleaseMonth, ReleaseRamp: 36, GenericOf: MedicineAntiplOrig, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
+		{Code: MedicineGeneric3, Name: "anti-platelet authorized generic", Popularity: 1.5,
+			ReleaseMonth: GenericReleaseMonth, ReleaseRamp: 30, GenericOf: MedicineAntiplOrig, Authorized: true, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
+		{Code: MedicineAntidiarrh, Name: "antidiarrheal", Popularity: 1.0, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseDiarrhea, Weight: 1.0}}},
+		{Code: MedicineInfusion, Name: "nutritional infusion", Popularity: 1.1, PriceCutMonth: -1,
+			Indications: []Indication{
+				{Disease: DiseaseOralFeeding, Weight: 1.0},
+				{Disease: DiseaseDehydration, Weight: 0.8},
+			}},
+		{Code: MedicinePriceCut, Name: "statin with price revision", Popularity: 0.8,
+			PriceCutMonth: StatinPriceCutMonth, PriceCutBoost: 1.8,
+			Indications: []Indication{{Disease: DiseaseLipidemia, Weight: 0.9}}},
+		{Code: "M-STATN", Name: "competing statin", Popularity: 1.0, PriceCutMonth: -1,
+			Indications: []Indication{{Disease: DiseaseLipidemia, Weight: 1.0}}},
+		{Code: MedicineAntibiotic, Name: "macrolide antibiotic", Popularity: 1.4, Antibiotic: true, PriceCutMonth: -1,
+			Indications: []Indication{
+				{Disease: DiseaseAcuteBronch, Weight: 1.3},
+				{Disease: DiseaseBronchitis, Weight: 0.8},
+				{Disease: DiseaseSinusitis, Weight: 0.7},
+				{Disease: DiseasePharyngitis, Weight: 0.6},
+				{Disease: DiseasePneumonia, Weight: 0.7},
+				{Disease: DiseaseMycobacterial, Weight: 0.9},
+			}},
+		{Code: MedicineColdRemedy, Name: "common cold remedy", Popularity: 1.2, PriceCutMonth: -1,
+			Indications: []Indication{
+				{Disease: DiseaseCommonCold, Weight: 1.0},
+				{Disease: DiseasePharyngitis, Weight: 0.5},
+			}},
+	}
+}
+
+// defaultCities lays out an 3×3 grid of cities with heterogeneous generic
+// adoption, including one holdout area that keeps the original medicine
+// (paper Fig. 8's northernmost area).
+func defaultCities() []City {
+	return []City{
+		{Name: "north-west", Row: 0, Col: 0, GenericLag: 6, GenericResistance: 0.15, Weight: 0.8},
+		{Name: "north", Row: 0, Col: 1, GenericLag: 8, GenericResistance: 0.1, Weight: 0.7},
+		{Name: "north-east", Row: 0, Col: 2, GenericLag: 3, GenericResistance: 0.6, Weight: 0.9},
+		{Name: "west", Row: 1, Col: 0, GenericLag: 1, GenericResistance: 0.9, Weight: 1.1},
+		{Name: "central", Row: 1, Col: 1, GenericLag: 0, GenericResistance: 1.0, Weight: 1.6},
+		{Name: "east", Row: 1, Col: 2, GenericLag: 2, GenericResistance: 0.8, Weight: 1.0},
+		{Name: "south-west", Row: 2, Col: 0, GenericLag: 2, GenericResistance: 0.85, Weight: 0.9},
+		{Name: "south", Row: 2, Col: 1, GenericLag: 1, GenericResistance: 0.95, Weight: 1.2},
+		{Name: "south-east", Row: 2, Col: 2, GenericLag: 4, GenericResistance: 0.7, Weight: 0.8},
+	}
+}
+
+// NewCatalog builds the default catalog: the paper's named scenarios plus
+// bulkDiseases/bulkMedicines procedurally generated entries (seeded by rng)
+// to reach a realistic corpus breadth.
+func NewCatalog(months, bulkDiseases, bulkMedicines int, rng *rand.Rand) *Catalog {
+	c := &Catalog{
+		Diseases:  scenarioDiseases(months),
+		Medicines: scenarioMedicines(),
+		Cities:    defaultCities(),
+	}
+	if bulkDiseases > 0 && bulkMedicines > 0 {
+		bulkCatalog(c, bulkDiseases, bulkMedicines, months, rng)
+	}
+	c.buildIndex()
+	return c
+}

@@ -1,0 +1,118 @@
+package micgen
+
+import "mictrend/internal/mic"
+
+// Pair identifies a disease–medicine pair by dataset vocabulary ids.
+type Pair = mic.Pair
+
+// ChangeKind categorizes a true structural event injected by the generator.
+type ChangeKind int
+
+// Change kinds, mirroring the paper's §III-B taxonomy.
+const (
+	ChangeRelease   ChangeKind = iota // medicine-derived: new medicine on sale
+	ChangePriceCut                    // medicine-derived: price revision
+	ChangeExpansion                   // prescription-derived: new indication
+	ChangeDiagShift                   // prescription-derived: diagnostics substitution
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeRelease:
+		return "release"
+	case ChangePriceCut:
+		return "price-cut"
+	case ChangeExpansion:
+		return "indication-expansion"
+	case ChangeDiagShift:
+		return "diagnostics-shift"
+	default:
+		return "unknown"
+	}
+}
+
+// TrueChange is a ground-truth structural event: the paper had to infer
+// these from fitted models; the generator knows them exactly.
+type TrueChange struct {
+	Kind     ChangeKind
+	Medicine string // medicine code ("" for pure disease events)
+	Disease  string // disease code ("" for medicine-wide events)
+	Month    int    // absolute dataset month the event takes effect
+}
+
+// Truth carries everything the generator knows that the MIC records hide.
+type Truth struct {
+	Catalog *Catalog
+	// PairCounts[p][t] is the true number of prescriptions of p.Medicine for
+	// p.Disease in month t — the quantity the paper's Eq. 7 estimates.
+	PairCounts map[Pair][]float64
+	// Changes lists every injected structural event.
+	Changes []TrueChange
+	// Months is the dataset length.
+	Months int
+
+	relevant map[[2]string]bool
+}
+
+// newTruth initializes the truth tracker for a catalog and period length.
+func newTruth(c *Catalog, months int) *Truth {
+	t := &Truth{
+		Catalog:    c,
+		PairCounts: make(map[Pair][]float64),
+		Months:     months,
+		relevant:   make(map[[2]string]bool),
+	}
+	for _, m := range c.Medicines {
+		for _, ind := range m.Indications {
+			t.relevant[[2]string{ind.Disease, m.Code}] = true
+		}
+		if m.ReleaseMonth > 0 && m.ReleaseMonth < months {
+			t.Changes = append(t.Changes, TrueChange{Kind: ChangeRelease, Medicine: m.Code, Month: m.ReleaseMonth})
+		}
+		if m.PriceCutMonth > 0 && m.PriceCutMonth < months {
+			t.Changes = append(t.Changes, TrueChange{Kind: ChangePriceCut, Medicine: m.Code, Month: m.PriceCutMonth})
+		}
+		for _, ind := range m.Indications {
+			if ind.StartMonth > 0 && ind.StartMonth < months {
+				t.Changes = append(t.Changes, TrueChange{
+					Kind: ChangeExpansion, Medicine: m.Code, Disease: ind.Disease, Month: ind.StartMonth,
+				})
+			}
+		}
+	}
+	return t
+}
+
+// addLink records one true prescription link at month tm.
+func (t *Truth) addLink(p Pair, tm int) {
+	series, ok := t.PairCounts[p]
+	if !ok {
+		series = make([]float64, t.Months)
+		t.PairCounts[p] = series
+	}
+	series[tm]++
+}
+
+// Relevant reports whether medicine mCode is indicated (at any time) for
+// disease dCode — the generator-side equivalent of the paper's
+// package-insert relevance judgments.
+func (t *Truth) Relevant(dCode, mCode string) bool {
+	return t.relevant[[2]string{dCode, mCode}]
+}
+
+// PairSeries returns the true monthly link counts for a pair, or nil if the
+// pair never occurred.
+func (t *Truth) PairSeries(p Pair) []float64 { return t.PairCounts[p] }
+
+// ChangesFor returns the true change months affecting the given medicine
+// code (and optionally a specific disease for expansions).
+func (t *Truth) ChangesFor(mCode string) []TrueChange {
+	var out []TrueChange
+	for _, c := range t.Changes {
+		if c.Medicine == mCode {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package optimize
+
+import "math"
+
+// GoldenSection minimizes the univariate function f on the interval [a, b]
+// to within tol using golden-section search. It returns the minimizing x and
+// f(x). The function should be unimodal on the interval; for multimodal
+// functions the result is a local minimum.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (x, fx float64, err error) {
+	if b <= a || tol <= 0 {
+		return 0, 0, ErrInvalidInput
+	}
+	invPhi := (math.Sqrt(5) - 1) / 2 // 1/φ ≈ 0.618
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	if fc < fd {
+		return c, fc, nil
+	}
+	return d, fd, nil
+}
+
+// GridMin evaluates f at n+1 evenly spaced points on [a, b] and returns the
+// minimizing point and value. It is the robust fallback for objectives that
+// are cheap but not unimodal.
+func GridMin(f func(float64) float64, a, b float64, n int) (x, fx float64, err error) {
+	if b < a || n < 1 {
+		return 0, 0, ErrInvalidInput
+	}
+	bestX, bestF := a, f(a)
+	for i := 1; i <= n; i++ {
+		xi := a + (b-a)*float64(i)/float64(n)
+		fi := f(xi)
+		if fi < bestF {
+			bestX, bestF = xi, fi
+		}
+	}
+	return bestX, bestF, nil
+}

@@ -1,0 +1,169 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)
+	}
+	res, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.X[0]-3) > 1e-5 || math.Abs(res.X[1]+1) > 1e-5 {
+		t.Fatalf("minimum at %v, want [3 -1]", res.X)
+	}
+	if res.F > 1e-9 {
+		t.Fatalf("F = %v", res.F)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Fatalf("minimum at %v (f=%v), want [1 1]", res.X, res.F)
+	}
+}
+
+func TestNelderMead1D(t *testing.T) {
+	f := func(x []float64) float64 { return math.Cosh(x[0] - 2) }
+	res, err := NelderMead(f, []float64{-5}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-5 {
+		t.Fatalf("minimum at %v, want 2", res.X[0])
+	}
+}
+
+func TestNelderMeadRespectsInfConstraint(t *testing.T) {
+	// Constrain x >= 0 by returning +Inf; minimum of (x-(-3))² on x>=0 is 0.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.Inf(1)
+		}
+		return (x[0] + 3) * (x[0] + 3)
+	}
+	res, err := NelderMead(f, []float64{5}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] < 0 {
+		t.Fatalf("violated constraint: %v", res.X)
+	}
+	if math.Abs(res.X[0]) > 1e-4 {
+		t.Fatalf("minimum at %v, want 0", res.X[0])
+	}
+}
+
+func TestNelderMeadTreatsNaNAsInf(t *testing.T) {
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return x[0] * x[0]
+	}
+	res, err := NelderMead(f, []float64{4}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.F) {
+		t.Fatal("NaN leaked into the result")
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	if _, err := NelderMead(func(x []float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Fatal("empty start accepted")
+	}
+}
+
+func TestNelderMeadMaxIterStops(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 { calls++; return x[0] } // unbounded below
+	res, err := NelderMead(f, []float64{0}, NelderMeadOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("unbounded objective reported convergence")
+	}
+	if res.Iterations != 10 {
+		t.Fatalf("iterations = %d, want 10", res.Iterations)
+	}
+	if res.Evals != calls {
+		t.Fatalf("Evals = %d, actual calls = %d", res.Evals, calls)
+	}
+}
+
+// Property: for random convex quadratics the minimizer lands near the known
+// optimum.
+func TestNelderMeadQuadraticProperty(t *testing.T) {
+	f := func(cx, cy int8) bool {
+		tx, ty := float64(cx)/10, float64(cy)/10
+		obj := func(x []float64) float64 {
+			return 2*(x[0]-tx)*(x[0]-tx) + 0.5*(x[1]-ty)*(x[1]-ty)
+		}
+		res, err := NelderMead(obj, []float64{1, -1}, NelderMeadOptions{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.X[0]-tx) < 1e-4 && math.Abs(res.X[1]-ty) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1.5) * (x - 1.5) }
+	x, fx, err := GoldenSection(f, -10, 10, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.5) > 1e-6 {
+		t.Fatalf("minimum at %v, want 1.5", x)
+	}
+	if fx > 1e-10 {
+		t.Fatalf("f = %v", fx)
+	}
+}
+
+func TestGoldenSectionInvalid(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, _, err := GoldenSection(f, 1, 0, 1e-8); err == nil {
+		t.Fatal("inverted bracket accepted")
+	}
+	if _, _, err := GoldenSection(f, 0, 1, -1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestGridMin(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 0.3) }
+	x, _, err := GridMin(f, 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.3) > 0.05+1e-12 {
+		t.Fatalf("grid minimum at %v", x)
+	}
+	if _, _, err := GridMin(f, 1, 0, 10); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}

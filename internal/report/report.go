@@ -1,0 +1,176 @@
+// Package report renders the experiment harness output: aligned ASCII
+// tables for the paper's tables and simple ASCII line charts for its
+// figures, so `cmd/experiments` can print paper-shaped results to any
+// terminal without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float with three decimals, using a compact form for
+// NaN/Inf.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, "| "+strings.Join(parts, " | ")+" |")
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(t.Headers)
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// LinePlot renders one or more equal-length series as an ASCII chart.
+type LinePlot struct {
+	Title  string
+	Height int // rows, default 12
+	Series []PlotSeries
+}
+
+// PlotSeries is one line in a LinePlot.
+type PlotSeries struct {
+	Name   string
+	Symbol byte
+	Values []float64
+}
+
+// Add appends a series with an automatically assigned symbol when sym is 0.
+func (p *LinePlot) Add(name string, values []float64) {
+	symbols := []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+	sym := symbols[len(p.Series)%len(symbols)]
+	p.Series = append(p.Series, PlotSeries{Name: name, Symbol: sym, Values: values})
+}
+
+// Render writes the chart to w. Series are scaled to the common min/max.
+func (p *LinePlot) Render(w io.Writer) {
+	if p.Title != "" {
+		fmt.Fprintln(w, p.Title)
+	}
+	height := p.Height
+	if height <= 0 {
+		height = 12
+	}
+	width := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		if len(s.Values) > width {
+			width = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if width == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.Series {
+		for x, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			level := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+			row := height - 1 - level
+			grid[row][x] = s.Symbol
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.1f ", hi)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.1f ", lo)
+		}
+		fmt.Fprintf(w, "%s|%s|\n", label, string(line))
+	}
+	var legend []string
+	for _, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Symbol, s.Name))
+	}
+	fmt.Fprintln(w, "        "+strings.Join(legend, "  "))
+}

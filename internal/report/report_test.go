@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.23456)
+	tb.AddRow("b", "raw")
+	tb.AddRow("count", 42)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatal("int row missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All table lines equally wide.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	if FormatFloat(math.NaN()) != "NaN" {
+		t.Fatal("NaN")
+	}
+	if FormatFloat(math.Inf(1)) != "+Inf" || FormatFloat(math.Inf(-1)) != "-Inf" {
+		t.Fatal("Inf")
+	}
+	if FormatFloat(1.5) != "1.500" {
+		t.Fatal("plain float")
+	}
+}
+
+func TestLinePlotRender(t *testing.T) {
+	p := &LinePlot{Title: "chart", Height: 6}
+	p.Add("rise", []float64{0, 1, 2, 3, 4, 5})
+	p.Add("flat", []float64{2.5, 2.5, 2.5, 2.5, 2.5, 2.5})
+	var buf bytes.Buffer
+	p.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "*=rise") || !strings.Contains(out, "+=flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 { // title + 6 rows + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The rising series must hit the top row at the last column and the
+	// bottom row at the first.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("top row missing peak:\n%s", out)
+	}
+	if !strings.Contains(lines[6], "*") {
+		t.Fatalf("bottom row missing start:\n%s", out)
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	p := &LinePlot{}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	p := &LinePlot{Height: 4}
+	p.Add("c", []float64{7, 7, 7})
+	var buf bytes.Buffer
+	p.Render(&buf) // must not divide by zero
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("constant series not drawn")
+	}
+}
+
+func TestLinePlotNaNSkipped(t *testing.T) {
+	p := &LinePlot{Height: 4}
+	p.Add("gap", []float64{1, math.NaN(), 3})
+	var buf bytes.Buffer
+	p.Render(&buf)
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into the chart")
+	}
+}

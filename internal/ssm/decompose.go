@@ -1,0 +1,84 @@
+package ssm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decomposition splits a fitted series into the components of the paper's
+// Eq. 9, in original data units: x_t = Level + Seasonal + Intervention +
+// Irregular. Fitted is the smoothed signal (x_t − ε̂_t).
+type Decomposition struct {
+	Level        []float64
+	Seasonal     []float64
+	Intervention []float64
+	Irregular    []float64
+	Fitted       []float64
+}
+
+// Decompose runs the fixed-interval smoother and extracts the component
+// series, rescaled back to data units.
+func (f *Fit) Decompose() (*Decomposition, error) {
+	sr, err := f.Model.Smooth(f.Scaled, f.Filter)
+	if err != nil {
+		return nil, err
+	}
+	n := len(f.Scaled)
+	d := &Decomposition{
+		Level:        make([]float64, n),
+		Seasonal:     make([]float64, n),
+		Intervention: make([]float64, n),
+		Irregular:    make([]float64, n),
+		Fitted:       make([]float64, n),
+	}
+	dim := f.Model.Dim()
+	hasSeason := f.Config.Seasonal
+	ivs := f.Config.Interventions()
+	base := dim - len(ivs)
+	for t := 0; t < n; t++ {
+		alpha := sr.Alpha[t]
+		level := alpha[0]
+		var seasonal, intervention float64
+		if hasSeason {
+			seasonal = alpha[1]
+		}
+		for j, iv := range ivs {
+			intervention += alpha[base+j] * iv.Regressor(t)
+		}
+		signal := level + seasonal + intervention
+		d.Level[t] = level * f.Scale
+		d.Seasonal[t] = seasonal * f.Scale
+		d.Intervention[t] = intervention * f.Scale
+		d.Fitted[t] = signal * f.Scale
+		d.Irregular[t] = (f.Scaled[t] - signal) * f.Scale
+	}
+	return d, nil
+}
+
+// Forecast returns h-step-ahead predictions in data units, with standard
+// errors. The intervention regressor extends past the sample, so a detected
+// slope shift keeps contributing to the forecast (the paper's Fig. 9
+// advantage over ARIMA).
+func (f *Fit) Forecast(h int) (mean, se []float64, err error) {
+	if h <= 0 {
+		return nil, nil, fmt.Errorf("ssm: non-positive forecast horizon %d", h)
+	}
+	fc, err := f.Model.Forecast(f.Filter, len(f.Scaled), h)
+	if err != nil {
+		return nil, nil, err
+	}
+	mean = make([]float64, h)
+	se = make([]float64, h)
+	for i := 0; i < h; i++ {
+		mean[i] = fc.Mean[i] * f.Scale
+		se[i] = sqrtNonNeg(fc.Variance[i]) * f.Scale
+	}
+	return mean, se, nil
+}
+
+func sqrtNonNeg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,217 @@
+package ssm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mictrend/internal/kalman"
+	"mictrend/internal/optimize"
+	"mictrend/internal/stat"
+)
+
+// ErrSeriesTooShort is returned when a series is shorter than the model can
+// identify.
+var ErrSeriesTooShort = errors.New("ssm: series too short for the requested model")
+
+// Fit is a maximum-likelihood-fitted structural model.
+type Fit struct {
+	Config Config
+	Model  *kalman.Model
+	Filter *kalman.FilterResult
+
+	// LogLik is the maximized log-likelihood of the scaled series.
+	LogLik float64
+	// AIC = −2·LogLik + 2·NumParams.
+	AIC float64
+	// NumParams is k in the AIC formula.
+	NumParams int
+	// EpsVar, XiVar, OmegaVar are the estimated disturbance variances on the
+	// scaled series.
+	EpsVar, XiVar, OmegaVar float64
+	// Lambda is the first intervention's coefficient (0 without an
+	// intervention), on the scaled series.
+	Lambda float64
+	// Lambdas holds every intervention coefficient in Config.Interventions()
+	// order, on the scaled series.
+	Lambdas []float64
+
+	// Scaled is the series the model was fitted to (y divided by Scale).
+	Scaled []float64
+	// Scale is the divisor applied to the input series for numerical
+	// conditioning; multiply model-scale quantities by Scale to return to
+	// data units.
+	Scale float64
+}
+
+// FitConfig fits the structural model selected by cfg to y by maximum
+// likelihood. The observation variance is concentrated out of the
+// likelihood (the standard Commandeur–Koopman device), so the optimizer
+// works over one or two relative variances only: q_ξ = σξ²/σε² and, with
+// seasonality, q_ω = σω²/σε². The series is internally rescaled to unit
+// magnitude; reported LogLik/AIC refer to the scaled series, which is
+// consistent across model variants of the same series and therefore valid
+// for the paper's AIC comparisons.
+func FitConfig(y []float64, cfg Config) (*Fit, error) {
+	cfg = cfg.withDefaults()
+	minLen := cfg.stateDim() + cfg.numVariances() + 2
+	if len(y) < minLen {
+		return nil, fmt.Errorf("%w: len %d < %d", ErrSeriesTooShort, len(y), minLen)
+	}
+	for _, iv := range cfg.Interventions() {
+		if iv.Month < 0 || iv.Month >= len(y) {
+			return nil, fmt.Errorf("ssm: change point %d outside series of length %d", iv.Month, len(y))
+		}
+	}
+
+	scaled, scale := rescale(y)
+
+	// Optimize relative log-variances with σε² concentrated out.
+	nq := 1
+	if cfg.Seasonal {
+		nq = 2
+	}
+	start := make([]float64, nq)
+	start[0] = math.Log(0.2) // q_ξ
+	if cfg.Seasonal {
+		start[1] = math.Log(0.1) // q_ω
+	}
+	objective := func(params []float64) float64 {
+		ll, _, err := concentratedLogLik(scaled, cfg, params)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -ll
+	}
+	res, err := optimize.NelderMead(objective, start, optimize.NelderMeadOptions{MaxIter: cfg.MaxIter, Step: 1.0})
+	if err != nil {
+		return nil, err
+	}
+	if math.IsInf(res.F, 1) {
+		return nil, errors.New("ssm: likelihood optimization failed to find a finite value")
+	}
+	logLik, sigma2, err := concentratedLogLik(scaled, cfg, res.X)
+	if err != nil {
+		return nil, err
+	}
+
+	epsVar := sigma2
+	xiVar := sigma2 * math.Exp(res.X[0])
+	omegaVar := 0.0
+	if cfg.Seasonal {
+		omegaVar = sigma2 * math.Exp(res.X[1])
+	}
+	m, err := build(cfg, epsVar, xiVar, omegaVar)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := m.Filter(scaled)
+	if err != nil {
+		return nil, err
+	}
+	fit := &Fit{
+		Config:    cfg,
+		Model:     m,
+		Filter:    fr,
+		LogLik:    logLik,
+		NumParams: cfg.NumParams(),
+		EpsVar:    epsVar,
+		XiVar:     xiVar,
+		OmegaVar:  omegaVar,
+		Scaled:    scaled,
+		Scale:     scale,
+	}
+	fit.AIC = -2*fit.LogLik + 2*float64(fit.NumParams)
+	if ivs := cfg.Interventions(); len(ivs) > 0 {
+		// λ coefficients are the trailing elements of the final predicted
+		// state, in Interventions() order.
+		final := fr.A[len(scaled)]
+		base := m.Dim() - len(ivs)
+		fit.Lambdas = append([]float64(nil), final[base:]...)
+		fit.Lambda = fit.Lambdas[0]
+	}
+	return fit, nil
+}
+
+// concentratedLogLik evaluates the profile log-likelihood at relative
+// log-variances params, returning the log-likelihood and the implied
+// observation variance σ̂².
+func concentratedLogLik(scaled []float64, cfg Config, params []float64) (logLik, sigma2 float64, err error) {
+	for _, p := range params {
+		// Relative log-variances beyond e^±20 add nothing but conditioning
+		// trouble on unit-scaled series.
+		if p < -20 || p > 20 || math.IsNaN(p) {
+			return 0, 0, errors.New("ssm: parameter out of range")
+		}
+	}
+	qXi := math.Exp(params[0])
+	qOmega := 0.0
+	if cfg.Seasonal {
+		qOmega = math.Exp(params[1])
+	}
+	m, err := build(cfg, 1, qXi, qOmega)
+	if err != nil {
+		return 0, 0, err
+	}
+	fr, err := m.Filter(scaled)
+	if err != nil {
+		return 0, 0, err
+	}
+	if fr.LikCount == 0 {
+		return 0, 0, errors.New("ssm: no likelihood contributions")
+	}
+	var sumLogF, sumV2F float64
+	for t := range fr.V {
+		if !fr.Contributed[t] {
+			continue
+		}
+		sumLogF += math.Log(fr.F[t])
+		sumV2F += fr.V[t] * fr.V[t] / fr.F[t]
+	}
+	n := float64(fr.LikCount)
+	sigma2 = sumV2F / n
+	// Floor the concentrated variance: a deterministic (perfectly fitted)
+	// series would otherwise send the profile likelihood to +∞ and the
+	// rebuilt model's prediction variances so far below the diffuse prior
+	// (1e7) that covariance updates cancel to negative values in float64.
+	// 1e-6 on a unit-scaled series is far below any practical noise level.
+	const sigmaFloor = 1e-6
+	if !(sigma2 > sigmaFloor) {
+		sigma2 = sigmaFloor
+	}
+	logLik = -0.5*n*math.Log(2*math.Pi) - 0.5*sumLogF - 0.5*n*(math.Log(sigma2)+1)
+	return logLik, sigma2, nil
+}
+
+// AICAt is the change point search primitive: it fits the full model
+// (level + optional seasonal + intervention at cp, or no intervention for
+// cp == NoChangePoint) and returns its AIC.
+func AICAt(y []float64, seasonal bool, cp int) (float64, error) {
+	fit, err := FitConfig(y, Config{Seasonal: seasonal, ChangePoint: cp})
+	if err != nil {
+		return 0, err
+	}
+	return fit.AIC, nil
+}
+
+// rescale divides y by a positive magnitude (its standard deviation, falling
+// back to the mean absolute value, falling back to 1) so variance estimation
+// starts well-conditioned regardless of count magnitude.
+func rescale(y []float64) (scaled []float64, scale float64) {
+	scale = stat.StdDev(y)
+	if !(scale > 0) { // catches 0 and NaN
+		var sum float64
+		for _, v := range y {
+			sum += math.Abs(v)
+		}
+		scale = sum / float64(len(y))
+	}
+	if !(scale > 0) {
+		scale = 1
+	}
+	scaled = make([]float64, len(y))
+	for i, v := range y {
+		scaled[i] = v / scale
+	}
+	return scaled, scale
+}

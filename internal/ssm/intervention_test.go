@@ -1,0 +1,212 @@
+package ssm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// synthTwoBreaks builds a series with slope shifts at cp1 and cp2.
+func synthTwoBreaks(n, cp1, cp2 int, s1, s2, noise float64, seed uint64) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 77))
+	y := make([]float64, n)
+	level := 10.0
+	for t := 0; t < n; t++ {
+		level += rng.NormFloat64() * 0.05
+		y[t] = level +
+			s1*InterventionRegressor(cp1, t) +
+			s2*InterventionRegressor(cp2, t) +
+			rng.NormFloat64()*noise
+	}
+	return y
+}
+
+func TestInterventionKinds(t *testing.T) {
+	slope := Intervention{Kind: SlopeShift, Month: 10}
+	if slope.Regressor(9) != 0 || slope.Regressor(10) != 1 || slope.Regressor(15) != 6 {
+		t.Fatal("slope regressor wrong")
+	}
+	level := Intervention{Kind: LevelShift, Month: 10}
+	if level.Regressor(9) != 0 || level.Regressor(10) != 1 || level.Regressor(40) != 1 {
+		t.Fatal("level regressor wrong")
+	}
+	none := Intervention{Kind: SlopeShift, Month: NoChangePoint}
+	if none.Regressor(5) != 0 {
+		t.Fatal("no-change regressor should be 0")
+	}
+	if SlopeShift.String() != "slope-shift" || LevelShift.String() != "level-shift" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestConfigInterventionsMerging(t *testing.T) {
+	c := Config{ChangePoint: 5, Extra: []Intervention{
+		{Kind: LevelShift, Month: 10},
+		{Kind: SlopeShift, Month: NoChangePoint}, // ignored
+	}}
+	ivs := c.Interventions()
+	if len(ivs) != 2 {
+		t.Fatalf("interventions = %d, want 2", len(ivs))
+	}
+	if ivs[0].Month != 5 || ivs[0].Kind != SlopeShift {
+		t.Fatal("legacy change point should come first as a slope shift")
+	}
+	if ivs[1].Month != 10 || ivs[1].Kind != LevelShift {
+		t.Fatal("extra intervention lost")
+	}
+	if c.stateDim() != 3 { // level + 2 lambdas
+		t.Fatalf("stateDim = %d", c.stateDim())
+	}
+	if c.NumParams() != 5 { // 2 variances + 3 states
+		t.Fatalf("NumParams = %d", c.NumParams())
+	}
+}
+
+func TestFitTwoInterventions(t *testing.T) {
+	cp1, cp2 := 12, 28
+	y := synthTwoBreaks(43, cp1, cp2, 0.8, 1.2, 0.3, 1)
+	fit, err := FitConfig(y, Config{
+		ChangePoint: NoChangePoint,
+		Extra: []Intervention{
+			{Kind: SlopeShift, Month: cp1},
+			{Kind: SlopeShift, Month: cp2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fit.Lambdas) != 2 {
+		t.Fatalf("lambdas = %v", fit.Lambdas)
+	}
+	l1 := fit.Lambdas[0] * fit.Scale
+	l2 := fit.Lambdas[1] * fit.Scale
+	if math.Abs(l1-0.8) > 0.35 {
+		t.Fatalf("λ1 = %v, want ≈0.8", l1)
+	}
+	if math.Abs(l2-1.2) > 0.35 {
+		t.Fatalf("λ2 = %v, want ≈1.2", l2)
+	}
+	// The two-intervention model must beat both single-intervention models.
+	single1, err := FitConfig(y, Config{ChangePoint: cp1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single2, err := FitConfig(y, Config{ChangePoint: cp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.AIC >= single1.AIC || fit.AIC >= single2.AIC {
+		t.Fatalf("two-break AIC %v should beat singles %v / %v", fit.AIC, single1.AIC, single2.AIC)
+	}
+}
+
+func TestLevelShiftFitsStepSeries(t *testing.T) {
+	// A step change: level shift should fit better than a slope shift.
+	rng := rand.New(rand.NewPCG(2, 3))
+	cp := 20
+	y := make([]float64, 43)
+	for t := range y {
+		v := 5.0
+		if t >= cp {
+			v = 12
+		}
+		y[t] = v + rng.NormFloat64()*0.4
+	}
+	levelFit, err := FitConfig(y, Config{
+		ChangePoint: NoChangePoint,
+		Extra:       []Intervention{{Kind: LevelShift, Month: cp}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopeFit, err := FitConfig(y, Config{ChangePoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levelFit.AIC >= slopeFit.AIC {
+		t.Fatalf("level shift AIC %v should beat slope shift %v on a step", levelFit.AIC, slopeFit.AIC)
+	}
+	// λ ≈ step height.
+	if got := levelFit.Lambda * levelFit.Scale; math.Abs(got-7) > 1.5 {
+		t.Fatalf("step height λ = %v, want ≈7", got)
+	}
+}
+
+func TestTwoInterventionDecomposition(t *testing.T) {
+	cp1, cp2 := 10, 25
+	y := synthTwoBreaks(40, cp1, cp2, 1.0, -0.6, 0.2, 4)
+	fit, err := FitConfig(y, Config{
+		ChangePoint: NoChangePoint,
+		Extra: []Intervention{
+			{Kind: SlopeShift, Month: cp1},
+			{Kind: SlopeShift, Month: cp2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fit.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction must hold with multiple interventions.
+	for i := range y {
+		recon := d.Level[i] + d.Seasonal[i] + d.Intervention[i] + d.Irregular[i]
+		if math.Abs(recon-y[i]) > 1e-8 {
+			t.Fatalf("reconstruction at %d: %v vs %v", i, recon, y[i])
+		}
+	}
+	// Intervention component is zero before the first break.
+	for i := 0; i < cp1; i++ {
+		if d.Intervention[i] != 0 {
+			t.Fatalf("intervention nonzero at %d before first break", i)
+		}
+	}
+	// And substantial at the end.
+	if math.Abs(d.Intervention[39]) < 1 {
+		t.Fatalf("intervention at end = %v, want substantial", d.Intervention[39])
+	}
+}
+
+func TestExtraInterventionOutOfRangeRejected(t *testing.T) {
+	y := synthTwoBreaks(43, NoChangePoint, NoChangePoint, 0, 0, 0.3, 5)
+	_, err := FitConfig(y, Config{
+		ChangePoint: NoChangePoint,
+		Extra:       []Intervention{{Kind: SlopeShift, Month: 99}},
+	})
+	if err == nil {
+		t.Fatal("out-of-range extra intervention accepted")
+	}
+}
+
+func TestSameMonthInterventionsSkipDistinctObservations(t *testing.T) {
+	// Two interventions at the same month (slope + level): the model must
+	// still fit without double-charging one observation.
+	rng := rand.New(rand.NewPCG(6, 7))
+	cp := 15
+	y := make([]float64, 43)
+	level := 5.0
+	for t := range y {
+		v := level
+		if t >= cp {
+			v += 4 + 0.5*float64(t-cp+1) // level + slope change together
+		}
+		y[t] = v + rng.NormFloat64()*0.3
+	}
+	fit, err := FitConfig(y, Config{
+		ChangePoint: NoChangePoint,
+		Extra: []Intervention{
+			{Kind: LevelShift, Month: cp},
+			{Kind: SlopeShift, Month: cp},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(fit.AIC) || math.IsInf(fit.AIC, 0) {
+		t.Fatalf("AIC = %v", fit.AIC)
+	}
+	if len(fit.Lambdas) != 2 {
+		t.Fatalf("lambdas = %v", fit.Lambdas)
+	}
+}

@@ -1,0 +1,250 @@
+// Package ssm implements the paper's structural time series model (§V,
+// Eq. 9): a local level plus an optional 12-month dummy-variable seasonal
+// plus slope-shift interventions, observed with Gaussian noise. Disturbance
+// variances are estimated by maximum likelihood through the Kalman filter;
+// models are scored with AIC; fitted models decompose the series into the
+// level/seasonal/intervention/irregular components shown in the paper's
+// Figures 6–7 and forecast as in Figure 9.
+//
+// Beyond the paper's single slope shift, the package supports multiple
+// simultaneous interventions and level-shift interventions — the extension
+// the paper's §IX explicitly proposes ("state space models can accept more
+// than one intervention variable, we can extend our model in that way").
+package ssm
+
+import (
+	"errors"
+	"fmt"
+
+	"mictrend/internal/kalman"
+	"mictrend/internal/linalg"
+)
+
+// NoChangePoint marks the absence of an intervention (the paper's
+// t_CP = ∞).
+const NoChangePoint = -1
+
+// InterventionKind selects the structural change shape an intervention
+// models (Commandeur & Koopman's intervention taxonomy).
+type InterventionKind int
+
+// Intervention kinds.
+const (
+	// SlopeShift is the paper's choice: w_t = max(0, t−cp+1), an ongoing
+	// increase in the slope after the change point.
+	SlopeShift InterventionKind = iota
+	// LevelShift is a step: w_t = 1 for t ≥ cp — the natural shape for
+	// price revisions and one-off substitutions.
+	LevelShift
+)
+
+// String names the kind.
+func (k InterventionKind) String() string {
+	if k == LevelShift {
+		return "level-shift"
+	}
+	return "slope-shift"
+}
+
+// Intervention is one structural change regressor with an unknown
+// coefficient λ estimated by the filter.
+type Intervention struct {
+	Kind  InterventionKind
+	Month int // 0-based change point
+}
+
+// Regressor returns the intervention's dummy value at time t.
+func (iv Intervention) Regressor(t int) float64 {
+	if iv.Month == NoChangePoint || t < iv.Month {
+		return 0
+	}
+	if iv.Kind == LevelShift {
+		return 1
+	}
+	return float64(t - iv.Month + 1)
+}
+
+// Config selects the model variant. Note that ChangePoint 0 means an
+// intervention starting at month 0; set ChangePoint to NoChangePoint for the
+// intervention-free variants (the paper's "LL" and "LL+S" ablation rows).
+type Config struct {
+	// Seasonal enables the dummy seasonal component with the given Period
+	// (default 12 when Seasonal is set and Period is 0).
+	Seasonal bool
+	Period   int
+	// ChangePoint is the 0-based month of the paper's single slope-shift
+	// intervention, or NoChangePoint for none. The regressor is
+	// w_t = max(0, t−cp+1). Each intervention coefficient λ is initialized
+	// diffusely and its first active observation is excluded from the
+	// likelihood (the same convention the level and seasonal diffuse
+	// elements follow), so AIC values stay comparable across candidate
+	// change points and against the intervention-free model.
+	ChangePoint int
+	// Extra lists additional interventions beyond ChangePoint — the §IX
+	// multiple-change-point extension. Entries with Month == NoChangePoint
+	// are ignored.
+	Extra []Intervention
+	// MaxIter bounds the variance optimization (default 400).
+	MaxIter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seasonal && c.Period <= 0 {
+		c.Period = 12
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 400
+	}
+	return c
+}
+
+// Interventions returns the merged intervention list: the legacy single
+// slope shift (when set) followed by Extra.
+func (c Config) Interventions() []Intervention {
+	var out []Intervention
+	if c.ChangePoint != NoChangePoint {
+		out = append(out, Intervention{Kind: SlopeShift, Month: c.ChangePoint})
+	}
+	for _, iv := range c.Extra {
+		if iv.Month != NoChangePoint {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// HasIntervention reports whether the config includes any intervention
+// component.
+func (c Config) HasIntervention() bool { return len(c.Interventions()) > 0 }
+
+// stateDim returns the state vector length: level + (period−1) seasonal
+// states + one λ per intervention.
+func (c Config) stateDim() int {
+	n := 1
+	if c.Seasonal {
+		n += c.Period - 1
+	}
+	return n + len(c.Interventions())
+}
+
+// numVariances returns the count of estimated disturbance variances:
+// observation ε and level ξ always; seasonal ω when present.
+func (c Config) numVariances() int {
+	if c.Seasonal {
+		return 3
+	}
+	return 2
+}
+
+// NumParams returns k for AIC: estimated variances plus initial state
+// elements (the C&K convention of charging each diffuse/estimated initial
+// state value as a parameter, which also charges every λ exactly once).
+func (c Config) NumParams() int {
+	return c.numVariances() + c.stateDim()
+}
+
+// InterventionRegressor returns the slope-shift dummy w_t for a change point
+// cp: 0 before cp, then 1, 2, 3, … (the paper's w_qt = t−t_CP+1).
+func InterventionRegressor(cp, t int) float64 {
+	return Intervention{Kind: SlopeShift, Month: cp}.Regressor(t)
+}
+
+// build assembles the kalman.Model for the config and variance triple.
+// Variances are (εVar, ξVar, ωVar); ωVar ignored without seasonality.
+func build(cfg Config, epsVar, xiVar, omegaVar float64) (*kalman.Model, error) {
+	if epsVar < 0 || xiVar < 0 || omegaVar < 0 {
+		return nil, errors.New("ssm: negative variance")
+	}
+	cfg = cfg.withDefaults()
+	ivs := cfg.Interventions()
+	n := cfg.stateDim()
+	period := cfg.Period
+	base := n - len(ivs) // first λ index
+
+	tm := linalg.NewMatrix(n, n)
+	tm.Set(0, 0, 1) // level random walk
+	if cfg.Seasonal {
+		// Seasonal block occupies rows/cols 1..period-1:
+		// γ'_1 = −Σ γ_s; γ'_s = γ_{s-1}.
+		for s := 1; s <= period-1; s++ {
+			tm.Set(1, s, -1)
+		}
+		for s := 2; s <= period-1; s++ {
+			tm.Set(s, s-1, 1)
+		}
+	}
+	for j := range ivs {
+		tm.Set(base+j, base+j, 1) // each λ constant
+	}
+
+	nDist := 1 // level disturbance ξ
+	if cfg.Seasonal {
+		nDist = 2 // plus seasonal disturbance ω
+	}
+	r := linalg.NewMatrix(n, nDist)
+	r.Set(0, 0, 1)
+	if cfg.Seasonal {
+		r.Set(1, 1, 1)
+	}
+	q := linalg.NewMatrix(nDist, nDist)
+	q.Set(0, 0, xiVar)
+	if cfg.Seasonal {
+		q.Set(1, 1, omegaVar)
+	}
+
+	p1 := linalg.NewMatrix(n, n)
+	diffuse := 1
+	p1.Set(0, 0, kalman.DiffuseVariance)
+	if cfg.Seasonal {
+		for s := 1; s <= period-1; s++ {
+			p1.Set(s, s, kalman.DiffuseVariance)
+		}
+		diffuse += period - 1
+	}
+	// Every λ is diffuse; its initialization consumes its first active
+	// observation. Skip indices must be distinct so each λ is charged one
+	// observation: when two interventions activate at the same month (or
+	// inside the leading burn-in) the later one charges the next free index.
+	var skipLik []int
+	used := make(map[int]bool)
+	for j := range ivs {
+		p1.Set(base+j, base+j, kalman.DiffuseVariance)
+		idx := ivs[j].Month
+		if idx < diffuse {
+			idx = diffuse
+		}
+		for used[idx] {
+			idx++
+		}
+		used[idx] = true
+		skipLik = append(skipLik, idx)
+	}
+
+	zBuf := make([]float64, n)
+	zBuf[0] = 1
+	if cfg.Seasonal {
+		zBuf[1] = 1
+	}
+	z := func(t int) []float64 {
+		for j, iv := range ivs {
+			zBuf[base+j] = iv.Regressor(t)
+		}
+		return zBuf
+	}
+
+	m := &kalman.Model{
+		T:            tm,
+		R:            r,
+		Q:            q,
+		H:            epsVar,
+		Z:            z,
+		A1:           make([]float64, n),
+		P1:           p1,
+		DiffuseCount: diffuse,
+		SkipLik:      skipLik,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("ssm: built invalid model: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,68 @@
+package stat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooFewSamples is returned when a test is given fewer pairs than it can
+// work with.
+var ErrTooFewSamples = errors.New("stat: too few samples")
+
+// TTestResult holds the outcome of a paired t-test plus the Cohen's d effect
+// size the paper reports alongside every significance claim.
+type TTestResult struct {
+	T       float64 // t statistic
+	DF      float64 // degrees of freedom (n−1)
+	P       float64 // two-sided p-value
+	CohensD float64 // mean(diff)/sd(diff)
+	N       int     // number of pairs
+}
+
+// Significant reports whether the two-sided p-value is below alpha.
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// PairedTTest runs a two-sided paired t-test on equal-length samples a and b,
+// testing H0: mean(a−b) = 0. It matches the paper's usage, e.g.
+// "t(42) = −103.670, p < 0.001, Cohen's d = −15.810".
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, errors.New("stat: paired t-test requires equal-length samples")
+	}
+	n := len(a)
+	if n < 2 {
+		return TTestResult{}, ErrTooFewSamples
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	meanD := Mean(diffs)
+	sdD := StdDev(diffs)
+	if sdD == 0 {
+		// Identical pairs: define t = 0 (no evidence of difference) unless the
+		// constant difference is nonzero, in which case the difference is
+		// certain and we report an infinite statistic.
+		if meanD == 0 {
+			return TTestResult{T: 0, DF: float64(n - 1), P: 1, CohensD: 0, N: n}, nil
+		}
+		return TTestResult{
+			T: math.Inf(sign(meanD)), DF: float64(n - 1), P: 0,
+			CohensD: math.Inf(sign(meanD)), N: n,
+		}, nil
+	}
+	tStat := meanD / (sdD / math.Sqrt(float64(n)))
+	df := float64(n - 1)
+	p := 2 * (1 - StudentTCDF(math.Abs(tStat), df))
+	if p < 0 {
+		p = 0
+	}
+	return TTestResult{T: tStat, DF: df, P: p, CohensD: meanD / sdD, N: n}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

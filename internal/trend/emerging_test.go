@@ -1,0 +1,116 @@
+package trend
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mictrend/internal/changepoint"
+	"mictrend/internal/ssm"
+)
+
+// breakDetection builds a Detection over a synthetic series with a detected
+// slope shift.
+func breakDetection(t *testing.T, n, cp int, slope float64, seed uint64) Detection {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 1234))
+	y := make([]float64, n)
+	level := 30.0
+	for i := range y {
+		level += rng.NormFloat64() * 0.1
+		y[i] = level + slope*ssm.InterventionRegressor(cp, i) + rng.NormFloat64()*0.5
+	}
+	res, err := changepoint.DetectExact(y, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Detection{Kind: KindPrescription, Disease: 1, Medicine: 2, Series: y, Result: res}
+}
+
+func TestEmergingTrendsProjectsGrowth(t *testing.T) {
+	det := breakDetection(t, 40, 25, 1.5, 1)
+	if !det.Result.Detected() {
+		t.Skip("detector missed the break on this seed")
+	}
+	emerging, err := EmergingTrends([]Detection{det}, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emerging) != 1 {
+		t.Fatalf("emerging = %d, want 1", len(emerging))
+	}
+	e := emerging[0]
+	if e.SlopePerMonth < 0.8 || e.SlopePerMonth > 2.5 {
+		t.Fatalf("slope = %v, want ≈1.5", e.SlopePerMonth)
+	}
+	if e.ProjectedGrowth <= 0 {
+		t.Fatalf("projected growth = %v, want positive", e.ProjectedGrowth)
+	}
+	if len(e.Forecast) != 6 {
+		t.Fatalf("forecast length = %d", len(e.Forecast))
+	}
+	// Growth over 6 months should be roughly 6×slope.
+	if e.ProjectedGrowth < 3*e.SlopePerMonth || e.ProjectedGrowth > 10*e.SlopePerMonth {
+		t.Fatalf("growth %v inconsistent with slope %v", e.ProjectedGrowth, e.SlopePerMonth)
+	}
+}
+
+func TestEmergingTrendsSkipsDeclines(t *testing.T) {
+	det := breakDetection(t, 40, 25, -1.5, 2)
+	emerging, err := EmergingTrends([]Detection{det}, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emerging) != 0 {
+		t.Fatalf("declining series reported as emerging: %+v", emerging)
+	}
+}
+
+func TestEmergingTrendsSkipsStable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = 20 + rng.NormFloat64()*0.5
+	}
+	res, err := changepoint.DetectExact(y, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := Detection{Series: y, Result: res}
+	emerging, err := EmergingTrends([]Detection{det}, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either no detection, or a detection with negligible slope — in both
+	// cases nothing big should be projected.
+	for _, e := range emerging {
+		if e.ProjectedGrowth > 5 {
+			t.Fatalf("stable series projected growth %v", e.ProjectedGrowth)
+		}
+	}
+}
+
+func TestEmergingTrendsSortsByGrowth(t *testing.T) {
+	weak := breakDetection(t, 40, 25, 0.8, 5)
+	strong := breakDetection(t, 40, 25, 2.5, 6)
+	emerging, err := EmergingTrends([]Detection{weak, strong}, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emerging) < 2 {
+		t.Skipf("only %d detections survived", len(emerging))
+	}
+	if emerging[0].ProjectedGrowth < emerging[1].ProjectedGrowth {
+		t.Fatal("not sorted by projected growth")
+	}
+}
+
+func TestEmergingTrendsZeroHorizon(t *testing.T) {
+	det := breakDetection(t, 40, 25, 1.5, 7)
+	emerging, err := EmergingTrends([]Detection{det}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emerging) != 0 {
+		t.Fatal("zero horizon should produce nothing")
+	}
+}

@@ -1,0 +1,331 @@
+// Package trend wires the two stages of the paper into an end-to-end
+// pipeline (Fig. 1): fit the probabilistic medication model to every monthly
+// MIC dataset, reproduce the disease/medicine/prescription time series
+// (Eqs. 7–8), filter unreliable series (§VI), run AIC change point detection
+// over every series with a worker pool, and classify each detected
+// prescription-level change as disease-, medicine-, or prescription-derived
+// (§III-B).
+package trend
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mictrend/internal/changepoint"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+)
+
+// Method selects the change point search algorithm.
+type Method int
+
+// Search methods.
+const (
+	MethodExact  Method = iota // Algorithm 1
+	MethodBinary               // Algorithm 2
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == MethodExact {
+		return "exact"
+	}
+	return "binary"
+}
+
+// SeriesKind distinguishes the three series families of the paper.
+type SeriesKind int
+
+// Series kinds.
+const (
+	KindDisease SeriesKind = iota
+	KindMedicine
+	KindPrescription
+)
+
+// String names the kind.
+func (k SeriesKind) String() string {
+	switch k {
+	case KindDisease:
+		return "disease"
+	case KindMedicine:
+		return "medicine"
+	default:
+		return "prescription"
+	}
+}
+
+// Detection is one series' change point search outcome.
+type Detection struct {
+	Kind     SeriesKind
+	Disease  mic.DiseaseID  // valid for KindDisease and KindPrescription
+	Medicine mic.MedicineID // valid for KindMedicine and KindPrescription
+	Series   []float64
+	Result   changepoint.Result
+}
+
+// Options configures the pipeline.
+type Options struct {
+	// Method is the change point search algorithm (default exact).
+	Method Method
+	// Seasonal enables the seasonal component in the fitted models
+	// (default true via DefaultOptions).
+	Seasonal bool
+	// MinSeriesTotal drops series whose total frequency is below this
+	// threshold before fitting (the paper uses 10).
+	MinSeriesTotal float64
+	// MinMonthlyFreq drops rare diseases/medicines per month before EM (the
+	// paper uses 5).
+	MinMonthlyFreq int
+	// Workers bounds detection concurrency (default GOMAXPROCS).
+	Workers int
+	// EM tunes the medication model fit.
+	EM medmodel.FitOptions
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		Method:         MethodExact,
+		Seasonal:       true,
+		MinSeriesTotal: 10,
+		MinMonthlyFreq: 5,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSeriesTotal <= 0 {
+		o.MinSeriesTotal = 10
+	}
+	if o.MinMonthlyFreq <= 0 {
+		o.MinMonthlyFreq = 5
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Analysis is the full pipeline output.
+type Analysis struct {
+	// Models holds the fitted medication model per month.
+	Models []*medmodel.Model
+	// Series holds the reproduced (and reliability-filtered) time series.
+	Series *medmodel.SeriesSet
+	// Diseases, Medicines, Prescriptions hold one Detection per surviving
+	// series, sorted by id for determinism.
+	Diseases      []Detection
+	Medicines     []Detection
+	Prescriptions []Detection
+	// TotalFits counts model fits across all searches (Table V's cost).
+	TotalFits int
+}
+
+// Analyze runs the full two-stage pipeline.
+func Analyze(ds *mic.Dataset, opts Options) (*Analysis, error) {
+	opts = opts.withDefaults()
+	filtered := mic.FilterDataset(ds, mic.FilterOptions{MinMonthlyFreq: opts.MinMonthlyFreq})
+	models, err := medmodel.FitAll(filtered, opts.EM)
+	if err != nil {
+		return nil, fmt.Errorf("trend: fitting medication models: %w", err)
+	}
+	series, err := medmodel.Reproduce(filtered, models)
+	if err != nil {
+		return nil, fmt.Errorf("trend: reproducing series: %w", err)
+	}
+	series = series.FilterMinTotal(opts.MinSeriesTotal)
+
+	analysis := &Analysis{Models: models, Series: series}
+	jobs := collectJobs(series)
+	results, totalFits, err := detectAll(jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	analysis.TotalFits = totalFits
+	for _, det := range results {
+		switch det.Kind {
+		case KindDisease:
+			analysis.Diseases = append(analysis.Diseases, det)
+		case KindMedicine:
+			analysis.Medicines = append(analysis.Medicines, det)
+		default:
+			analysis.Prescriptions = append(analysis.Prescriptions, det)
+		}
+	}
+	return analysis, nil
+}
+
+// collectJobs enumerates every series to search, deterministically ordered.
+func collectJobs(series *medmodel.SeriesSet) []Detection {
+	var jobs []Detection
+	diseases := series.Diseases()
+	sort.Slice(diseases, func(a, b int) bool { return diseases[a] < diseases[b] })
+	for _, d := range diseases {
+		jobs = append(jobs, Detection{Kind: KindDisease, Disease: d, Series: series.Disease(d)})
+	}
+	meds := series.Medicines()
+	sort.Slice(meds, func(a, b int) bool { return meds[a] < meds[b] })
+	for _, m := range meds {
+		jobs = append(jobs, Detection{Kind: KindMedicine, Medicine: m, Series: series.Medicine(m)})
+	}
+	pairs := make([]mic.Pair, 0, len(series.Pairs))
+	for p := range series.Pairs {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Disease != pairs[b].Disease {
+			return pairs[a].Disease < pairs[b].Disease
+		}
+		return pairs[a].Medicine < pairs[b].Medicine
+	})
+	for _, p := range pairs {
+		jobs = append(jobs, Detection{
+			Kind: KindPrescription, Disease: p.Disease, Medicine: p.Medicine,
+			Series: series.Pair(p),
+		})
+	}
+	return jobs
+}
+
+// detectAll runs change point detection over the jobs with a worker pool.
+func detectAll(jobs []Detection, opts Options) ([]Detection, int, error) {
+	type indexed struct {
+		i   int
+		det Detection
+		err error
+	}
+	in := make(chan int)
+	out := make(chan indexed)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range in {
+				det := jobs[i]
+				var res changepoint.Result
+				var err error
+				if opts.Method == MethodExact {
+					res, err = changepoint.DetectExact(det.Series, opts.Seasonal)
+				} else {
+					res, err = changepoint.DetectBinary(det.Series, opts.Seasonal)
+				}
+				det.Result = res
+				out <- indexed{i: i, det: det, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			in <- i
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+
+	results := make([]Detection, len(jobs))
+	var firstErr error
+	totalFits := 0
+	for r := range out {
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trend: detecting %s series: %w", r.det.Kind, r.err)
+		}
+		results[r.i] = r.det
+		totalFits += r.det.Result.Fits
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return results, totalFits, nil
+}
+
+// DetectedChangePoints returns the subset of detections with a change point,
+// most confident (largest AIC improvement) first.
+func DetectedChangePoints(dets []Detection) []Detection {
+	var out []Detection
+	for _, d := range dets {
+		if d.Result.Detected() {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ia := out[a].Result.NoChangeAIC - out[a].Result.AIC
+		ib := out[b].Result.NoChangeAIC - out[b].Result.AIC
+		return ia > ib
+	})
+	return out
+}
+
+// Cause categorizes a prescription-level trend change per the paper's
+// §III-B taxonomy.
+type Cause int
+
+// Causes of a prescription trend change.
+const (
+	CauseNone         Cause = iota // no change detected
+	CauseDisease                   // the disease series broke at the same time
+	CauseMedicine                  // the medicine series broke at the same time
+	CausePrescription              // only the pair broke: interaction effect
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseDisease:
+		return "disease-derived"
+	case CauseMedicine:
+		return "medicine-derived"
+	case CausePrescription:
+		return "prescription-derived"
+	default:
+		return "none"
+	}
+}
+
+// ClassifyChanges attributes each detected prescription change to its cause
+// by checking whether the corresponding disease or medicine series broke
+// within tolerance months of the pair's change point. Disease attribution
+// wins ties (a disease-wide epidemic shift explains all its pairs).
+func ClassifyChanges(a *Analysis, tolerance int) map[mic.Pair]Cause {
+	diseaseCP := make(map[mic.DiseaseID]int)
+	for _, d := range a.Diseases {
+		if d.Result.Detected() {
+			diseaseCP[d.Disease] = d.Result.ChangePoint
+		}
+	}
+	medicineCP := make(map[mic.MedicineID]int)
+	for _, d := range a.Medicines {
+		if d.Result.Detected() {
+			medicineCP[d.Medicine] = d.Result.ChangePoint
+		}
+	}
+	out := make(map[mic.Pair]Cause)
+	for _, det := range a.Prescriptions {
+		pair := mic.Pair{Disease: det.Disease, Medicine: det.Medicine}
+		if !det.Result.Detected() {
+			out[pair] = CauseNone
+			continue
+		}
+		cp := det.Result.ChangePoint
+		if dcp, ok := diseaseCP[det.Disease]; ok && abs(dcp-cp) <= tolerance {
+			out[pair] = CauseDisease
+			continue
+		}
+		if mcp, ok := medicineCP[det.Medicine]; ok && abs(mcp-cp) <= tolerance {
+			out[pair] = CauseMedicine
+			continue
+		}
+		out[pair] = CausePrescription
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

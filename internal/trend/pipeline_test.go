@@ -1,0 +1,251 @@
+package trend
+
+import (
+	"testing"
+
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/ssm"
+)
+
+// genSmall produces a compact corpus with known structural events.
+func genSmall(t *testing.T) (*mic.Dataset, *micgen.Truth) {
+	t.Helper()
+	ds, truth, err := micgen.Generate(micgen.Config{
+		Seed:            42,
+		Months:          30,
+		RecordsPerMonth: 1200,
+		BulkDiseases:    6,
+		BulkMedicines:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, truth
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	ds, _ := genSmall(t)
+	opts := DefaultOptions()
+	opts.Method = MethodBinary // keep runtime modest
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 200 // focus on substantial series
+	analysis, err := Analyze(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analysis.Models) != ds.T() {
+		t.Fatalf("models = %d, want %d", len(analysis.Models), ds.T())
+	}
+	if len(analysis.Diseases) == 0 || len(analysis.Medicines) == 0 || len(analysis.Prescriptions) == 0 {
+		t.Fatalf("detections: %d/%d/%d", len(analysis.Diseases), len(analysis.Medicines), len(analysis.Prescriptions))
+	}
+	if analysis.TotalFits == 0 {
+		t.Fatal("no fits counted")
+	}
+	// Every detection must carry its series and a coherent result.
+	for _, det := range analysis.Prescriptions {
+		if len(det.Series) != ds.T() {
+			t.Fatal("detection series has wrong length")
+		}
+		if det.Result.Detected() && (det.Result.ChangePoint < 0 || det.Result.ChangePoint >= ds.T()) {
+			t.Fatalf("change point %d out of range", det.Result.ChangePoint)
+		}
+	}
+}
+
+func TestAnalyzeFindsNewMedicineRelease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	ds, _ := genSmall(t)
+	opts := DefaultOptions()
+	opts.Method = MethodExact
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 100
+	analysis, err := Analyze(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new osteoporosis medicine's series must show a change point near
+	// its release month (paper Fig. 6c).
+	id, ok := ds.Medicines.Lookup(micgen.MedicineNewOsteo)
+	if !ok {
+		t.Fatal("scenario medicine missing")
+	}
+	var found *Detection
+	for i := range analysis.Medicines {
+		if analysis.Medicines[i].Medicine == mic.MedicineID(id) {
+			found = &analysis.Medicines[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("new medicine series not analyzed (filtered out?)")
+	}
+	if !found.Result.Detected() {
+		t.Fatal("release not detected")
+	}
+	cp := found.Result.ChangePoint
+	if cp < micgen.NewOsteoReleaseMonth-3 || cp > micgen.NewOsteoReleaseMonth+4 {
+		t.Fatalf("release detected at %d, want ≈%d", cp, micgen.NewOsteoReleaseMonth)
+	}
+
+	// The new bronchodilator's pair series for one of its target diseases
+	// must break near its release too (paper Fig. 3b).
+	bronchID, _ := ds.Medicines.Lookup(micgen.MedicineNewBronch)
+	copdID, _ := ds.Diseases.Lookup(micgen.DiseaseCOPD)
+	var pairDet *Detection
+	for i := range analysis.Prescriptions {
+		p := &analysis.Prescriptions[i]
+		if p.Medicine == mic.MedicineID(bronchID) && p.Disease == mic.DiseaseID(copdID) {
+			pairDet = p
+			break
+		}
+	}
+	if pairDet == nil {
+		t.Fatal("bronchodilator pair series not analyzed")
+	}
+	if !pairDet.Result.Detected() {
+		t.Fatal("pair-level release not detected")
+	}
+	if cp := pairDet.Result.ChangePoint; cp < micgen.NewBronchReleaseMonth-3 || cp > micgen.NewBronchReleaseMonth+4 {
+		t.Fatalf("pair release detected at %d, want ≈%d", cp, micgen.NewBronchReleaseMonth)
+	}
+}
+
+func TestClassifyChanges(t *testing.T) {
+	// Build a synthetic analysis: pair (1, 2) breaks at month 10; medicine 2
+	// breaks at 11 → medicine-derived. Pair (3, 4) breaks at 20 with no
+	// matching marginal → prescription-derived. Pair (5, 6) has no break.
+	mkRes := func(cp int) Detection {
+		d := Detection{}
+		d.Result.ChangePoint = cp
+		return d
+	}
+	a := &Analysis{}
+	med := mkRes(11)
+	med.Kind = KindMedicine
+	med.Medicine = 2
+	a.Medicines = []Detection{med}
+	dis := mkRes(ssm.NoChangePoint)
+	dis.Kind = KindDisease
+	dis.Disease = 1
+	a.Diseases = []Detection{dis}
+
+	p1 := mkRes(10)
+	p1.Kind = KindPrescription
+	p1.Disease, p1.Medicine = 1, 2
+	p2 := mkRes(20)
+	p2.Kind = KindPrescription
+	p2.Disease, p2.Medicine = 3, 4
+	p3 := mkRes(ssm.NoChangePoint)
+	p3.Kind = KindPrescription
+	p3.Disease, p3.Medicine = 5, 6
+	a.Prescriptions = []Detection{p1, p2, p3}
+
+	causes := ClassifyChanges(a, 2)
+	if got := causes[mic.Pair{Disease: 1, Medicine: 2}]; got != CauseMedicine {
+		t.Fatalf("pair(1,2) cause = %v, want medicine-derived", got)
+	}
+	if got := causes[mic.Pair{Disease: 3, Medicine: 4}]; got != CausePrescription {
+		t.Fatalf("pair(3,4) cause = %v, want prescription-derived", got)
+	}
+	if got := causes[mic.Pair{Disease: 5, Medicine: 6}]; got != CauseNone {
+		t.Fatalf("pair(5,6) cause = %v, want none", got)
+	}
+}
+
+func TestClassifyDiseaseWinsTies(t *testing.T) {
+	a := &Analysis{}
+	dis := Detection{Kind: KindDisease, Disease: 1}
+	dis.Result.ChangePoint = 10
+	med := Detection{Kind: KindMedicine, Medicine: 2}
+	med.Result.ChangePoint = 10
+	p := Detection{Kind: KindPrescription, Disease: 1, Medicine: 2}
+	p.Result.ChangePoint = 10
+	a.Diseases = []Detection{dis}
+	a.Medicines = []Detection{med}
+	a.Prescriptions = []Detection{p}
+	causes := ClassifyChanges(a, 2)
+	if got := causes[mic.Pair{Disease: 1, Medicine: 2}]; got != CauseDisease {
+		t.Fatalf("cause = %v, want disease-derived", got)
+	}
+}
+
+func TestDetectedChangePointsSorted(t *testing.T) {
+	weak := Detection{}
+	weak.Result.ChangePoint = 5
+	weak.Result.AIC = 95
+	weak.Result.NoChangeAIC = 100
+	strong := Detection{}
+	strong.Result.ChangePoint = 8
+	strong.Result.AIC = 50
+	strong.Result.NoChangeAIC = 100
+	none := Detection{}
+	none.Result.ChangePoint = ssm.NoChangePoint
+	out := DetectedChangePoints([]Detection{weak, none, strong})
+	if len(out) != 2 {
+		t.Fatalf("detected = %d, want 2", len(out))
+	}
+	if out[0].Result.ChangePoint != 8 {
+		t.Fatal("strongest detection should sort first")
+	}
+}
+
+func TestMethodAndKindStrings(t *testing.T) {
+	if MethodExact.String() != "exact" || MethodBinary.String() != "binary" {
+		t.Fatal("method names wrong")
+	}
+	if KindDisease.String() != "disease" || KindMedicine.String() != "medicine" || KindPrescription.String() != "prescription" {
+		t.Fatal("kind names wrong")
+	}
+	if CauseDisease.String() != "disease-derived" || CauseNone.String() != "none" {
+		t.Fatal("cause names wrong")
+	}
+}
+
+func TestAnalyzeExactAndBinaryAgreeOnDetections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	ds, _ := genSmall(t)
+	base := DefaultOptions()
+	base.Seasonal = false
+	base.MinSeriesTotal = 400
+	exactOpts := base
+	exactOpts.Method = MethodExact
+	binOpts := base
+	binOpts.Method = MethodBinary
+	exact, err := Analyze(ds, exactOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary, err := Analyze(ds, binOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Table VI property at pipeline level: binary detects a
+	// subset (no false positives w.r.t. exact).
+	exactDetected := map[mic.Pair]bool{}
+	for _, d := range exact.Prescriptions {
+		if d.Result.Detected() {
+			exactDetected[mic.Pair{Disease: d.Disease, Medicine: d.Medicine}] = true
+		}
+	}
+	falsePos := 0
+	for _, d := range binary.Prescriptions {
+		if d.Result.Detected() && !exactDetected[mic.Pair{Disease: d.Disease, Medicine: d.Medicine}] {
+			falsePos++
+		}
+	}
+	if falsePos > 0 {
+		t.Fatalf("binary produced %d detections exact rejected", falsePos)
+	}
+	if binary.TotalFits >= exact.TotalFits {
+		t.Fatalf("binary fits %d should be below exact %d", binary.TotalFits, exact.TotalFits)
+	}
+}

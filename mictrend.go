@@ -1,0 +1,275 @@
+// Package mictrend is the public API of the prescription trend analysis
+// library, a from-scratch Go implementation of "A Prescription Trend
+// Analysis using Medical Insurance Claim Big Data" (ICDE 2019).
+//
+// The package re-exports the stable surface of the internal implementation:
+//
+//   - the MIC data model (Dataset, Record, vocabularies, JSONL codec),
+//   - the synthetic corpus generator with ground truth,
+//   - the latent-variable medication model (EM) with baselines and
+//     time-series reproduction,
+//   - the structural state space model with AIC change point search
+//     (exact, binary, and greedy multi-change-point), and
+//   - the end-to-end trend analysis pipeline with change-cause
+//     classification plus the geographic-spread and hospital-gap
+//     applications.
+//
+// Quick start:
+//
+//	corpus, truth, _ := mictrend.GenerateCorpus(mictrend.GeneratorConfig{Months: 36, RecordsPerMonth: 1000})
+//	analysis, _ := mictrend.AnalyzeTrends(corpus, mictrend.DefaultAnalysisOptions())
+//	for _, det := range mictrend.DetectedChangePoints(analysis.Prescriptions) {
+//		// inspect det.Result.ChangePoint …
+//	}
+//	_ = truth
+package mictrend
+
+import (
+	"io"
+
+	"mictrend/internal/apps"
+	"mictrend/internal/changepoint"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/ssm"
+	"mictrend/internal/trend"
+)
+
+// --- MIC data model ---
+
+// Core claim data types.
+type (
+	// Dataset is a multi-month MIC corpus.
+	Dataset = mic.Dataset
+	// Monthly is one month's record collection.
+	Monthly = mic.Monthly
+	// Record is a single claim: bags of diseases and medicines, no links.
+	Record = mic.Record
+	// DiseaseCount is one disease bag entry.
+	DiseaseCount = mic.DiseaseCount
+	// Hospital is per-institution metadata.
+	Hospital = mic.Hospital
+	// HospitalClass groups hospitals by bed count.
+	HospitalClass = mic.HospitalClass
+	// DiseaseID identifies a disease within a dataset vocabulary.
+	DiseaseID = mic.DiseaseID
+	// MedicineID identifies a medicine within a dataset vocabulary.
+	MedicineID = mic.MedicineID
+	// Pair identifies a disease–medicine pair.
+	Pair = mic.Pair
+)
+
+// Hospital size classes (paper §VII-C).
+const (
+	SmallHospital  = mic.SmallHospital
+	MediumHospital = mic.MediumHospital
+	LargeHospital  = mic.LargeHospital
+)
+
+// NewDataset returns an empty dataset with fresh vocabularies.
+func NewDataset() *Dataset { return mic.NewDataset() }
+
+// ReadCorpus reads a dataset written by WriteCorpus.
+func ReadCorpus(r io.Reader) (*Dataset, error) { return mic.Read(r) }
+
+// WriteCorpus serializes a dataset as JSONL.
+func WriteCorpus(w io.Writer, d *Dataset) error { return mic.Write(w, d) }
+
+// ReadCorpusFile reads a dataset from a file, transparently decompressing
+// ".gz" paths.
+func ReadCorpusFile(path string) (*Dataset, error) { return mic.ReadFile(path) }
+
+// WriteCorpusFile writes a dataset to a file, gzip-compressing ".gz" paths.
+func WriteCorpusFile(path string, d *Dataset) error { return mic.WriteFile(path, d) }
+
+// --- synthetic corpus generation ---
+
+// Generator types.
+type (
+	// GeneratorConfig parameterizes synthetic corpus generation.
+	GeneratorConfig = micgen.Config
+	// Truth carries the generator's ground truth (true links, relevance,
+	// injected structural events).
+	Truth = micgen.Truth
+	// TrueChange is one injected structural event.
+	TrueChange = micgen.TrueChange
+	// Catalog is the synthetic disease/medicine/city world description.
+	Catalog = micgen.Catalog
+)
+
+// GenerateCorpus builds a synthetic MIC corpus plus its ground truth;
+// deterministic in the config.
+func GenerateCorpus(cfg GeneratorConfig) (*Dataset, *Truth, error) {
+	return micgen.Generate(cfg)
+}
+
+// --- medication model (the paper's core contribution) ---
+
+// Medication model types.
+type (
+	// MedicationModel is the fitted latent-variable model for one month.
+	MedicationModel = medmodel.Model
+	// EMOptions tunes the EM loop.
+	EMOptions = medmodel.FitOptions
+	// SeriesSet holds reproduced disease/medicine/prescription time series.
+	SeriesSet = medmodel.SeriesSet
+	// Cooccurrence is the paper's main baseline (Eq. 10).
+	Cooccurrence = medmodel.Cooccurrence
+	// Unigram is the paper's weaker baseline.
+	Unigram = medmodel.Unigram
+)
+
+// FitMedicationModel fits the latent-variable model to one month by EM.
+func FitMedicationModel(month *Monthly, vocabMedicines int, opts EMOptions) (*MedicationModel, error) {
+	return medmodel.Fit(month, vocabMedicines, opts)
+}
+
+// FitMedicationModels fits one model per month.
+func FitMedicationModels(d *Dataset, opts EMOptions) ([]*MedicationModel, error) {
+	return medmodel.FitAll(d, opts)
+}
+
+// FitMedicationModelsSmoothed chains a Dirichlet prior across months (the
+// paper's §IX Dynamic Topic Model direction).
+func FitMedicationModelsSmoothed(d *Dataset, opts EMOptions, priorWeight float64) ([]*MedicationModel, error) {
+	return medmodel.FitAllSmoothed(d, opts, priorWeight)
+}
+
+// ReproduceSeries applies fitted models to their months and accumulates the
+// prescription time series of the paper's Eqs. 7–8.
+func ReproduceSeries(d *Dataset, models []*MedicationModel) (*SeriesSet, error) {
+	return medmodel.Reproduce(d, models)
+}
+
+// --- structural model and change point search ---
+
+// Structural model types.
+type (
+	// StructuralConfig selects the state space model variant.
+	StructuralConfig = ssm.Config
+	// StructuralFit is a maximum-likelihood-fitted structural model.
+	StructuralFit = ssm.Fit
+	// Decomposition splits a fitted series into level/seasonal/
+	// intervention/irregular components.
+	Decomposition = ssm.Decomposition
+	// Intervention is one structural change regressor.
+	Intervention = ssm.Intervention
+	// ChangePointResult is the outcome of a change point search.
+	ChangePointResult = changepoint.Result
+	// MultiChangePointResult is the outcome of the greedy multi-break
+	// search.
+	MultiChangePointResult = changepoint.MultiResult
+	// MultiChangePointOptions configures the greedy multi-break search.
+	MultiChangePointOptions = changepoint.MultiOptions
+)
+
+// NoChangePoint marks the absence of an intervention (t_CP = ∞).
+const NoChangePoint = ssm.NoChangePoint
+
+// FitStructuralModel fits the Eq. 9 model to a monthly series.
+func FitStructuralModel(series []float64, cfg StructuralConfig) (*StructuralFit, error) {
+	return ssm.FitConfig(series, cfg)
+}
+
+// DetectChangePointExact runs the paper's Algorithm 1 (O(T) fits).
+func DetectChangePointExact(series []float64, seasonal bool) (ChangePointResult, error) {
+	return changepoint.DetectExact(series, seasonal)
+}
+
+// DetectChangePointBinary runs the paper's Algorithm 2 (O(log T) fits).
+func DetectChangePointBinary(series []float64, seasonal bool) (ChangePointResult, error) {
+	return changepoint.DetectBinary(series, seasonal)
+}
+
+// DetectChangePoints runs the greedy multiple-change-point search (§IX
+// extension).
+func DetectChangePoints(series []float64, opts MultiChangePointOptions) (MultiChangePointResult, error) {
+	return changepoint.DetectMultiple(series, opts)
+}
+
+// --- end-to-end pipeline and applications ---
+
+// Pipeline types.
+type (
+	// AnalysisOptions configures the pipeline.
+	AnalysisOptions = trend.Options
+	// Analysis is the full pipeline output.
+	Analysis = trend.Analysis
+	// Detection is one series' change point search outcome.
+	Detection = trend.Detection
+	// Cause categorizes a prescription trend change.
+	Cause = trend.Cause
+	// Emerging is a detected upward trend with its projection.
+	Emerging = trend.Emerging
+	// DiseaseShare is one row of a medicine's disease ranking.
+	DiseaseShare = apps.DiseaseShare
+	// CityCounts maps city → medicine → estimated prescription count.
+	CityCounts = apps.CityCounts
+)
+
+// Change causes (paper §III-B taxonomy).
+const (
+	CauseNone         = trend.CauseNone
+	CauseDisease      = trend.CauseDisease
+	CauseMedicine     = trend.CauseMedicine
+	CausePrescription = trend.CausePrescription
+)
+
+// Change point search methods.
+const (
+	// MethodExact is the paper's Algorithm 1.
+	MethodExact = trend.MethodExact
+	// MethodBinary is the paper's Algorithm 2.
+	MethodBinary = trend.MethodBinary
+)
+
+// Series kinds.
+const (
+	KindDisease      = trend.KindDisease
+	KindMedicine     = trend.KindMedicine
+	KindPrescription = trend.KindPrescription
+)
+
+// DefaultAnalysisOptions mirrors the paper's setup (seasonal model, exact
+// search, §VI filters).
+func DefaultAnalysisOptions() AnalysisOptions { return trend.DefaultOptions() }
+
+// AnalyzeTrends runs the full two-stage pipeline.
+func AnalyzeTrends(d *Dataset, opts AnalysisOptions) (*Analysis, error) {
+	return trend.Analyze(d, opts)
+}
+
+// ClassifyChanges attributes each detected prescription change to its cause.
+func ClassifyChanges(a *Analysis, toleranceMonths int) map[Pair]Cause {
+	return trend.ClassifyChanges(a, toleranceMonths)
+}
+
+// DetectedChangePoints filters detections to those with a change point,
+// strongest first.
+func DetectedChangePoints(dets []Detection) []Detection {
+	return trend.DetectedChangePoints(dets)
+}
+
+// EmergingTrends projects detected upward trends forward (§IX "early signs"
+// question).
+func EmergingTrends(dets []Detection, seasonal bool, horizonMonths int) ([]Emerging, error) {
+	return trend.EmergingTrends(dets, seasonal, horizonMonths)
+}
+
+// TopDiseasesForMedicine ranks the diseases a medicine is prescribed for
+// (paper Table II).
+func TopDiseasesForMedicine(d *Dataset, med MedicineID, k int, opts EMOptions) ([]DiseaseShare, error) {
+	return apps.TopDiseasesForMedicine(d, med, k, opts)
+}
+
+// PrescriptionGapByClass runs the Table II ranking per hospital size class.
+func PrescriptionGapByClass(d *Dataset, med MedicineID, k int, opts EMOptions) (map[HospitalClass][]DiseaseShare, error) {
+	return apps.PrescriptionGapByClass(d, med, k, opts)
+}
+
+// PairCountsByCity estimates per-city prescription counts of medicines for a
+// disease at one month (paper Fig. 8).
+func PairCountsByCity(d *Dataset, disease DiseaseID, meds []MedicineID, month int, opts EMOptions) (CityCounts, error) {
+	return apps.PairCountsByCity(d, disease, meds, month, opts)
+}
