@@ -17,6 +17,7 @@ import (
 
 	"mictrend/internal/changepoint"
 	"mictrend/internal/experiments"
+	"mictrend/internal/kalman"
 	"mictrend/internal/medmodel"
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
@@ -228,6 +229,57 @@ func BenchmarkGenerateCorpus(b *testing.B) {
 			Seed: uint64(i + 1), Months: 12, RecordsPerMonth: 500,
 			BulkDiseases: 8, BulkMedicines: 10,
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKalmanLogLik measures one likelihood evaluation of the seasonal
+// structural model on a 43-month series — the unit the Nelder-Mead objective
+// pays hundreds of times per fit. The workspace sub-benchmark is the
+// allocation-free fast path (steady state: 0 allocs/op); the filter
+// sub-benchmark runs the same model through the full Filter, the path the
+// likelihood search used before the workspace kernel existed.
+func BenchmarkKalmanLogLik(b *testing.B) {
+	y := syntheticBreakSeries(43, 20)
+	fit, err := ssm.FitConfig(y, ssm.Config{Seasonal: true, ChangePoint: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, scaled := fit.Model, fit.Scaled
+
+	b.Run("workspace", func(b *testing.B) {
+		ws := kalman.NewWorkspace()
+		if _, err := m.LogLikFilter(scaled, ws); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.LogLikFilter(scaled, ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("filter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Filter(scaled); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExactScan measures Algorithm 1 with the seasonal model on a
+// 43-month series: the full exact change point scan whose per-candidate
+// fits dominate the paper's Table V cost model.
+func BenchmarkExactScan(b *testing.B) {
+	y := syntheticBreakSeries(43, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := changepoint.DetectExact(y, true); err != nil {
 			b.Fatal(err)
 		}
 	}

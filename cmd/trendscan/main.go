@@ -34,6 +34,7 @@ func main() {
 		seasonal = flag.Bool("seasonal", true, "include the 12-month seasonal component")
 		minTotal = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
 		top      = flag.Int("top", 20, "number of strongest changes to print per kind")
+		workers  = flag.Int("workers", 0, "worker pool size for model fitting and change point detection (0 = GOMAXPROCS)")
 		emerging = flag.Int("emerging", 0, "also project the detected upward prescription trends this many months ahead")
 		csvPath  = flag.String("csv", "", "write the reproduced prescription series to this CSV file for external plotting")
 	)
@@ -57,6 +58,7 @@ func main() {
 	opts := trend.DefaultOptions()
 	opts.Seasonal = *seasonal
 	opts.MinSeriesTotal = *minTotal
+	opts.Workers = *workers
 	switch *method {
 	case "exact":
 		opts.Method = trend.MethodExact

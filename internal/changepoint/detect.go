@@ -11,6 +11,7 @@ package changepoint
 import (
 	"fmt"
 
+	"mictrend/internal/kalman"
 	"mictrend/internal/ssm"
 )
 
@@ -167,10 +168,16 @@ func findWithin(e *evaluator, left, right int) (int, error) {
 }
 
 // SSMEvaluator returns an AICFunc that fits the paper's structural model
-// (with or without seasonality) to y at each candidate change point.
+// (with or without seasonality) to y at each candidate change point. The
+// returned function owns a Kalman workspace reused across every fit of the
+// search, so the per-candidate Nelder-Mead evaluations allocate nothing in
+// the filtering kernel; it is therefore not safe for concurrent use —
+// callers running searches in parallel must create one evaluator per
+// goroutine, as the trend pipeline's worker pool does.
 func SSMEvaluator(y []float64, seasonal bool) AICFunc {
+	ws := kalman.NewWorkspace()
 	return func(cp int) (float64, error) {
-		return ssm.AICAt(y, seasonal, cp)
+		return ssm.AICAtWorkspace(y, seasonal, cp, ws)
 	}
 }
 

@@ -3,6 +3,7 @@ package changepoint
 import (
 	"fmt"
 
+	"mictrend/internal/kalman"
 	"mictrend/internal/ssm"
 )
 
@@ -59,13 +60,14 @@ func DetectMultiple(y []float64, opts MultiOptions) (MultiResult, error) {
 		return MultiResult{}, fmt.Errorf("changepoint: series length %d too short", n)
 	}
 	fits := 0
+	ws := kalman.NewWorkspace() // reused across every greedy-step fit
 	aicWith := func(ivs []ssm.Intervention) (float64, error) {
 		fits++
-		fit, err := ssm.FitConfig(y, ssm.Config{
+		fit, err := ssm.FitConfigWorkspace(y, ssm.Config{
 			Seasonal:    opts.Seasonal,
 			ChangePoint: ssm.NoChangePoint,
 			Extra:       ivs,
-		})
+		}, ws)
 		if err != nil {
 			return 0, err
 		}

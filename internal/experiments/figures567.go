@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mictrend/internal/changepoint"
+	"mictrend/internal/kalman"
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
 	"mictrend/internal/report"
@@ -58,8 +59,9 @@ func RunFigure5(env *Env) (*Figure5Result, error) {
 		TrueMonth:   micgen.GenericReleaseMonth,
 	}
 	best := 0
+	ws := kalman.NewWorkspace() // one workspace across the whole valley scan
 	for cp := 0; cp <= maxCP; cp++ {
-		aic, err := ssm.AICAt(series, false, cp)
+		aic, err := ssm.AICAtWorkspace(series, false, cp, ws)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +71,7 @@ func RunFigure5(env *Env) (*Figure5Result, error) {
 		}
 	}
 	res.BestMonth = best
-	if res.NoChangeAIC, err = ssm.AICAt(series, false, ssm.NoChangePoint); err != nil {
+	if res.NoChangeAIC, err = ssm.AICAtWorkspace(series, false, ssm.NoChangePoint, ws); err != nil {
 		return nil, err
 	}
 	return res, nil

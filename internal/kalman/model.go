@@ -103,17 +103,16 @@ func (m *Model) Validate() error {
 type FilterResult struct {
 	A [][]float64      // predicted state means, length T+1 (last is next-period prediction)
 	P []*linalg.Matrix // predicted state covariances, length T+1
-	V []float64 // innovations, length T (NaN where y was missing)
+	V []float64        // innovations, length T (NaN where y was missing)
 	// Contributed[t] is true when observation t entered the log-likelihood
 	// (present, past the diffuse burn-in, and not in SkipLik).
 	Contributed []bool
-	F []float64        // innovation variances, length T
-	K []*linalg.Matrix // Kalman gains (n×1), length T
-	L []*linalg.Matrix // L_t = T − K_t·Z_t, length T
+	F           []float64        // innovation variances, length T
+	K           []*linalg.Matrix // Kalman gains (n×1), length T
+	L           []*linalg.Matrix // L_t = T − K_t·Z_t, length T
 
-	LogLik    float64 // prediction error decomposition log-likelihood
-	LikCount  int     // observations contributing to LogLik
-	NumParams int     // copied from nothing; set by higher layers if desired
+	LogLik   float64 // prediction error decomposition log-likelihood
+	LikCount int     // observations contributing to LogLik
 }
 
 // Filter runs the Kalman filter over y. Missing observations are encoded as

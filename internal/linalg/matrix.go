@@ -72,6 +72,16 @@ func (m *Matrix) checkIndex(i, j int) {
 	}
 }
 
+// Row returns the i-th row as a slice aliasing the matrix storage. Writes
+// through the slice mutate the matrix. Hot loops (the Kalman likelihood
+// kernel) use it to avoid per-element bounds arithmetic in At/Set.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.rows, m.cols)
@@ -217,6 +227,58 @@ func (m *Matrix) Transpose(a *Matrix) {
 	for i := 0; i < a.rows; i++ {
 		for j := 0; j < a.cols; j++ {
 			m.data[j*m.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+}
+
+// AddSymmetrize replaces m with the symmetrized sum of m and b: the fused
+// equivalent of m.Add(m, b) followed by m.Symmetrize(), producing bitwise
+// the same result in one pass. The Kalman likelihood kernel uses it for the
+// covariance update P ← sym(T·P·Lᵀ + RQRᵀ). Both matrices must be square
+// with identical dimensions.
+func (m *Matrix) AddSymmetrize(b *Matrix) {
+	if m.rows != m.cols {
+		panic("linalg: AddSymmetrize requires a square matrix")
+	}
+	checkSameDims("AddSymmetrize", m, b)
+	n := m.rows
+	for i := 0; i < n; i++ {
+		ii := i*n + i
+		m.data[ii] += b.data[ii]
+		for j := i + 1; j < n; j++ {
+			ij, ji := i*n+j, j*n+i
+			v := ((m.data[ij] + b.data[ij]) + (m.data[ji] + b.data[ji])) / 2
+			m.data[ij] = v
+			m.data[ji] = v
+		}
+	}
+}
+
+// AddSymmetrizeTrans stores the symmetrized sum of srcᵀ and b into m:
+// bitwise the same result as copying srcᵀ into m, then m.Add(m, b), then
+// m.Symmetrize() — the off-diagonal grouping is ((srcᵀ_ij + b_ij) +
+// (srcᵀ_ji + b_ji))/2 exactly. The Kalman likelihood kernel computes the
+// covariance product transposed (scatter form) and uses this to fold the
+// transpose back in for free. All three matrices must be square with
+// identical dimensions; m must not alias src or b.
+func (m *Matrix) AddSymmetrizeTrans(src, b *Matrix) {
+	if m.rows != m.cols {
+		panic("linalg: AddSymmetrizeTrans requires a square matrix")
+	}
+	checkSameDims("AddSymmetrizeTrans", m, src)
+	checkSameDims("AddSymmetrizeTrans", m, b)
+	if m == src || m == b {
+		panic("linalg: AddSymmetrizeTrans destination must not alias an operand")
+	}
+	n := m.rows
+	for i := 0; i < n; i++ {
+		ii := i*n + i
+		m.data[ii] = src.data[ii] + b.data[ii]
+		for j := i + 1; j < n; j++ {
+			ij, ji := i*n+j, j*n+i
+			v := ((src.data[ji] + b.data[ij]) + (src.data[ij] + b.data[ji])) / 2
+			m.data[ij] = v
+			m.data[ji] = v
 		}
 	}
 }

@@ -2,6 +2,9 @@ package medmodel
 
 import (
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 
 	"mictrend/internal/mic"
 )
@@ -13,6 +16,9 @@ type FitOptions struct {
 	// Tol is the relative log-likelihood improvement below which EM stops
 	// (default 1e-6).
 	Tol float64
+	// Workers bounds FitAll's concurrency across months (default
+	// GOMAXPROCS). Fit itself is single-threaded.
+	Workers int
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -25,11 +31,237 @@ func (o FitOptions) withDefaults() FitOptions {
 	return o
 }
 
+// emIndex is the dense-indexed (CSR-style) view of one month's usable
+// records, built once per Fit so the EM iterations run as flat array
+// arithmetic instead of map-of-maps lookups. Diseases of the month are
+// interned to contiguous indices; φ lives in one value array addressed
+// through per-disease row ranges; and every (record, medicine occurrence,
+// disease) triple the E-step touches is resolved to its position in that
+// array ahead of time — the inner loop then performs no hashing at all.
+type emIndex struct {
+	diseases []mic.DiseaseID // interned disease ids, ascending
+	rowStart []int           // row d occupies [rowStart[d], rowStart[d+1]) below
+	rowMed   []mic.MedicineID
+	val      []float64 // current φ iterate
+	next     []float64 // Eq. 5 numerator accumulator
+	rowSum   []float64 // Eq. 5 denominator accumulator, per disease
+
+	// Per-record dense θ (Eq. 2): record r owns slots
+	// [thetaStart[r], thetaStart[r+1]).
+	thetaStart []int
+	thetaDis   []int32 // interned disease index per slot
+	thetaVal   []float64
+
+	// Occurrence table: record r's o-th medicine occurrence and θ-slot s map
+	// to pos[occStart[r]+o*slots(r)+s], an index into val, or -1 when the
+	// (disease, medicine) pair is outside the cooccurrence support.
+	occStart []int
+	pos      []int32
+
+	numMeds []int // medicine occurrences per record
+}
+
+// newEMIndex interns the records against the cooccurrence support (which
+// also provides the φ initialization, Eq. 10).
+func newEMIndex(recs []*mic.Record) *emIndex {
+	phi := cooccurrencePhi(recs)
+	ix := &emIndex{}
+
+	ix.diseases = make([]mic.DiseaseID, 0, len(phi))
+	for d := range phi {
+		ix.diseases = append(ix.diseases, d)
+	}
+	sort.Slice(ix.diseases, func(a, b int) bool { return ix.diseases[a] < ix.diseases[b] })
+	diseaseIdx := make(map[mic.DiseaseID]int32, len(ix.diseases))
+	ix.rowStart = make([]int, len(ix.diseases)+1)
+	for di, d := range ix.diseases {
+		diseaseIdx[d] = int32(di)
+		row := phi[d]
+		meds := make([]mic.MedicineID, 0, len(row))
+		for med := range row {
+			meds = append(meds, med)
+		}
+		sort.Slice(meds, func(a, b int) bool { return meds[a] < meds[b] })
+		for _, med := range meds {
+			ix.rowMed = append(ix.rowMed, med)
+			ix.val = append(ix.val, row[med])
+		}
+		ix.rowStart[di+1] = len(ix.rowMed)
+	}
+	ix.next = make([]float64, len(ix.val))
+	ix.rowSum = make([]float64, len(ix.diseases))
+
+	ix.thetaStart = make([]int, len(recs)+1)
+	ix.occStart = make([]int, len(recs)+1)
+	ix.numMeds = make([]int, len(recs))
+	slotOf := make(map[mic.DiseaseID]int) // scratch, cleared per record
+	for r, rec := range recs {
+		n := rec.NumDiseaseMentions()
+		if n > 0 {
+			// θ_rd accumulated per entry in record order — the same
+			// quotient-sum Theta computes, but at a deterministic slot.
+			for _, dc := range rec.Diseases {
+				s, ok := slotOf[dc.Disease]
+				if !ok {
+					s = len(ix.thetaVal) - ix.thetaStart[r]
+					slotOf[dc.Disease] = s
+					di, inSupport := diseaseIdx[dc.Disease]
+					if !inSupport {
+						di = -1
+					}
+					ix.thetaDis = append(ix.thetaDis, di)
+					ix.thetaVal = append(ix.thetaVal, 0)
+				}
+				ix.thetaVal[ix.thetaStart[r]+s] += float64(dc.Count) / float64(n)
+			}
+		}
+		for d := range slotOf {
+			delete(slotOf, d)
+		}
+		ix.thetaStart[r+1] = len(ix.thetaVal)
+		slots := ix.thetaStart[r+1] - ix.thetaStart[r]
+
+		ix.numMeds[r] = len(rec.Medicines)
+		for _, med := range rec.Medicines {
+			for s := 0; s < slots; s++ {
+				di := ix.thetaDis[ix.thetaStart[r]+s]
+				p := int32(-1)
+				if di >= 0 {
+					lo, hi := ix.rowStart[di], ix.rowStart[di+1]
+					row := ix.rowMed[lo:hi]
+					j := sort.Search(len(row), func(k int) bool { return row[k] >= med })
+					if j < len(row) && row[j] == med {
+						p = int32(lo + j)
+					}
+				}
+				ix.pos = append(ix.pos, p)
+			}
+		}
+		ix.occStart[r+1] = len(ix.pos)
+	}
+	return ix
+}
+
+// iterate performs one EM step (Eqs. 5–6): distribute each medicine
+// occurrence across its record's diseases proportionally to θ_rd·φ_dm, then
+// renormalize every φ row.
+func (ix *emIndex) iterate() {
+	for i := range ix.next {
+		ix.next[i] = 0
+	}
+	for i := range ix.rowSum {
+		ix.rowSum[i] = 0
+	}
+	for r := range ix.numMeds {
+		ts := ix.thetaStart[r]
+		slots := ix.thetaStart[r+1] - ts
+		if slots == 0 {
+			continue
+		}
+		theta := ix.thetaVal[ts : ts+slots]
+		dis := ix.thetaDis[ts : ts+slots]
+		base := ix.occStart[r]
+		for o := 0; o < ix.numMeds[r]; o++ {
+			blk := ix.pos[base+o*slots : base+(o+1)*slots]
+			var denom float64
+			for s, p := range blk {
+				if p >= 0 {
+					denom += theta[s] * ix.val[p]
+				}
+			}
+			if denom <= 0 {
+				continue
+			}
+			for s, p := range blk {
+				if p < 0 {
+					continue
+				}
+				q := theta[s] * ix.val[p] / denom
+				if q == 0 {
+					continue
+				}
+				ix.next[p] += q
+				ix.rowSum[dis[s]] += q
+			}
+		}
+	}
+	for d := range ix.rowSum {
+		sum := ix.rowSum[d]
+		lo, hi := ix.rowStart[d], ix.rowStart[d+1]
+		if sum <= 0 {
+			// The row lost all mass: zero it, the dense-index equivalent of
+			// deleting the map row (lookups read 0 either way).
+			for i := lo; i < hi; i++ {
+				ix.val[i] = 0
+			}
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			ix.val[i] = ix.next[i] / sum
+		}
+	}
+}
+
+// logLik computes the Φ part of Eq. 3 under the current φ iterate.
+func (ix *emIndex) logLik() float64 {
+	var ll float64
+	for r := range ix.numMeds {
+		ts := ix.thetaStart[r]
+		slots := ix.thetaStart[r+1] - ts
+		if slots == 0 {
+			continue
+		}
+		theta := ix.thetaVal[ts : ts+slots]
+		base := ix.occStart[r]
+		for o := 0; o < ix.numMeds[r]; o++ {
+			blk := ix.pos[base+o*slots : base+(o+1)*slots]
+			var p float64
+			for s, pp := range blk {
+				if pp >= 0 {
+					p += theta[s] * ix.val[pp]
+				}
+			}
+			if p <= 0 {
+				p = math.SmallestNonzeroFloat64
+			}
+			ll += math.Log(p)
+		}
+	}
+	return ll
+}
+
+// phiMap converts the dense rows back to the public map representation,
+// dropping rows and entries that carry no mass (mirroring the sparsity the
+// map-based accumulation produced).
+func (ix *emIndex) phiMap() map[mic.DiseaseID]map[mic.MedicineID]float64 {
+	out := make(map[mic.DiseaseID]map[mic.MedicineID]float64, len(ix.diseases))
+	for di, d := range ix.diseases {
+		lo, hi := ix.rowStart[di], ix.rowStart[di+1]
+		var row map[mic.MedicineID]float64
+		for i := lo; i < hi; i++ {
+			if ix.val[i] <= 0 {
+				continue
+			}
+			if row == nil {
+				row = make(map[mic.MedicineID]float64, hi-lo)
+			}
+			row[ix.rowMed[i]] = ix.val[i]
+		}
+		if row != nil {
+			out[d] = row
+		}
+	}
+	return out
+}
+
 // Fit estimates the latent-variable medication model for one month with the
 // EM algorithm of §IV-C: θ is closed-form (Eq. 2), η is closed-form (Eq. 4),
 // and Φ alternates with the responsibilities Q via Eqs. 5–6, starting from
 // the cooccurrence estimate (which also fixes Φ's support: a (d, m) pair can
-// only carry probability if it cooccurs in some record).
+// only carry probability if it cooccurs in some record). The E/M sweep runs
+// over a dense index interned once per call, so iterations are flat array
+// arithmetic; the fitted Φ is converted back to the map representation the
+// Model API exposes. Results are deterministic.
 func Fit(month *mic.Monthly, vocabMedicines int, opts FitOptions) (*Model, error) {
 	opts = opts.withDefaults()
 	recs, err := usableRecords(month)
@@ -37,68 +269,17 @@ func Fit(month *mic.Monthly, vocabMedicines int, opts FitOptions) (*Model, error
 		return nil, err
 	}
 
-	phi := cooccurrencePhi(recs)
+	ix := newEMIndex(recs)
 	model := &Model{
 		Eta: EstimateEta(month),
-		Phi: phi,
 		M:   vocabMedicines,
 	}
 
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		// E-step folded into the M-step accumulation: for every medicine
-		// occurrence, distribute one unit of count across the record's
-		// diseases proportionally to θ_rd·φ_dm (Eq. 6), accumulating Eq. 5's
-		// numerator.
-		next := make(map[mic.DiseaseID]map[mic.MedicineID]float64, len(phi))
-		rowSums := make(map[mic.DiseaseID]float64, len(phi))
-		for _, r := range recs {
-			theta := Theta(r)
-			for _, med := range r.Medicines {
-				var denom float64
-				for d, th := range theta {
-					if row, ok := phi[d]; ok {
-						denom += th * row[med]
-					}
-				}
-				if denom <= 0 {
-					continue
-				}
-				for d, th := range theta {
-					row, ok := phi[d]
-					if !ok {
-						continue
-					}
-					q := th * row[med] / denom
-					if q == 0 {
-						continue
-					}
-					nrow, ok := next[d]
-					if !ok {
-						nrow = make(map[mic.MedicineID]float64)
-						next[d] = nrow
-					}
-					nrow[med] += q
-					rowSums[d] += q
-				}
-			}
-		}
-		// Normalize rows (Eq. 5 denominator).
-		for d, nrow := range next {
-			sum := rowSums[d]
-			if sum <= 0 {
-				delete(next, d)
-				continue
-			}
-			for med := range nrow {
-				nrow[med] /= sum
-			}
-		}
-		phi = next
-		model.Phi = phi
+		ix.iterate()
 		model.Iterations = iter + 1
-
-		ll := logLikelihood(recs, phi)
+		ll := ix.logLik()
 		model.LogLik = ll
 		if prevLL != math.Inf(-1) {
 			denom := math.Abs(prevLL)
@@ -111,18 +292,54 @@ func Fit(month *mic.Monthly, vocabMedicines int, opts FitOptions) (*Model, error
 		}
 		prevLL = ll
 	}
+	model.Phi = ix.phiMap()
 	return model, nil
 }
 
-// FitAll fits one model per month of the dataset.
+// FitAll fits one model per month of the dataset. Months are independent,
+// so they are fitted concurrently by a bounded pool of opts.Workers
+// goroutines (default GOMAXPROCS); the models are identical to those of a
+// serial month-by-month loop.
 func FitAll(d *mic.Dataset, opts FitOptions) ([]*Model, error) {
 	models := make([]*Model, d.T())
-	for i, month := range d.Months {
-		m, err := Fit(month, d.Medicines.Len(), opts)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(d.Months) {
+		workers = len(d.Months)
+	}
+	if workers <= 1 {
+		for i, month := range d.Months {
+			m, err := Fit(month, d.Medicines.Len(), opts)
+			if err != nil {
+				return nil, err
+			}
+			models[i] = m
+		}
+		return models, nil
+	}
+	errs := make([]error, len(d.Months))
+	in := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range in {
+				models[i], errs[i] = Fit(d.Months[i], d.Medicines.Len(), opts)
+			}
+		}()
+	}
+	for i := range d.Months {
+		in <- i
+	}
+	close(in)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		models[i] = m
 	}
 	return models, nil
 }

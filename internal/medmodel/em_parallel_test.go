@@ -1,0 +1,76 @@
+package medmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"mictrend/internal/micgen"
+)
+
+// TestFitAllParallelMatchesSerial checks that the concurrent FitAll produces
+// byte-identical models to a serial month-by-month loop: the dense-indexed
+// EM is deterministic, so parallelism must not change a single bit.
+func TestFitAllParallelMatchesSerial(t *testing.T) {
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed: 42, Months: 8, RecordsPerMonth: 300, BulkDiseases: 6, BulkMedicines: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := FitOptions{MaxIter: 15}
+
+	serial := make([]*Model, ds.T())
+	for i, month := range ds.Months {
+		m, err := Fit(month, ds.Medicines.Len(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = m
+	}
+
+	opts.Workers = 4
+	parallel, err := FitAll(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel FitAll returned %d models, want %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.LogLik != p.LogLik {
+			t.Errorf("month %d: LogLik parallel %v != serial %v", i, p.LogLik, s.LogLik)
+		}
+		if s.Iterations != p.Iterations {
+			t.Errorf("month %d: Iterations parallel %d != serial %d", i, p.Iterations, s.Iterations)
+		}
+		if !reflect.DeepEqual(s.Eta, p.Eta) {
+			t.Errorf("month %d: Eta differs between parallel and serial", i)
+		}
+		if !reflect.DeepEqual(s.Phi, p.Phi) {
+			t.Errorf("month %d: Phi differs between parallel and serial", i)
+		}
+	}
+}
+
+// TestFitDeterministic checks repeated fits of the same month are
+// bit-identical — the property the parallel FitAll relies on.
+func TestFitDeterministic(t *testing.T) {
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed: 9, Months: 1, RecordsPerMonth: 400, BulkDiseases: 6, BulkMedicines: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Fit(ds.Months[0], ds.Medicines.Len(), FitOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(ds.Months[0], ds.Medicines.Len(), FitOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LogLik != b.LogLik || !reflect.DeepEqual(a.Phi, b.Phi) {
+		t.Fatal("Fit is not deterministic across repeated runs")
+	}
+}

@@ -53,6 +53,18 @@ type Fit struct {
 // consistent across model variants of the same series and therefore valid
 // for the paper's AIC comparisons.
 func FitConfig(y []float64, cfg Config) (*Fit, error) {
+	return FitConfigWorkspace(y, cfg, nil)
+}
+
+// FitConfigWorkspace is FitConfig with an explicit Kalman workspace. The
+// structural model is assembled once per call; every Nelder-Mead objective
+// evaluation only updates the disturbance variances in place and runs the
+// allocation-free likelihood filter through ws, so a caller performing many
+// fits — the change point search evaluates one fit per candidate month —
+// can reuse one workspace across the whole search. The full Filter pass
+// (which materializes the smoother inputs) runs once, for the winning
+// parameters. ws may be nil; a workspace is not safe for concurrent use.
+func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, error) {
 	cfg = cfg.withDefaults()
 	minLen := cfg.stateDim() + cfg.numVariances() + 2
 	if len(y) < minLen {
@@ -63,8 +75,18 @@ func FitConfig(y []float64, cfg Config) (*Fit, error) {
 			return nil, fmt.Errorf("ssm: change point %d outside series of length %d", iv.Month, len(y))
 		}
 	}
+	if ws == nil {
+		ws = kalman.NewWorkspace()
+	}
 
 	scaled, scale := rescale(y)
+
+	// The search model: built once with unit variances; concentratedLogLik
+	// rewrites H and the Q diagonal before each evaluation.
+	searchModel, err := build(cfg, 1, 1, 1)
+	if err != nil {
+		return nil, err
+	}
 
 	// Optimize relative log-variances with σε² concentrated out.
 	nq := 1
@@ -77,7 +99,7 @@ func FitConfig(y []float64, cfg Config) (*Fit, error) {
 		start[1] = math.Log(0.1) // q_ω
 	}
 	objective := func(params []float64) float64 {
-		ll, _, err := concentratedLogLik(scaled, cfg, params)
+		ll, _, err := concentratedLogLik(scaled, cfg, searchModel, params, ws)
 		if err != nil {
 			return math.Inf(1)
 		}
@@ -90,7 +112,7 @@ func FitConfig(y []float64, cfg Config) (*Fit, error) {
 	if math.IsInf(res.F, 1) {
 		return nil, errors.New("ssm: likelihood optimization failed to find a finite value")
 	}
-	logLik, sigma2, err := concentratedLogLik(scaled, cfg, res.X)
+	logLik, sigma2, err := concentratedLogLik(scaled, cfg, searchModel, res.X, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +157,11 @@ func FitConfig(y []float64, cfg Config) (*Fit, error) {
 
 // concentratedLogLik evaluates the profile log-likelihood at relative
 // log-variances params, returning the log-likelihood and the implied
-// observation variance σ̂².
-func concentratedLogLik(scaled []float64, cfg Config, params []float64) (logLik, sigma2 float64, err error) {
+// observation variance σ̂². The model m (built once by the caller) is
+// updated in place — H set to the concentrated unit variance, the Q diagonal
+// to the relative variances — and filtered through the allocation-free
+// likelihood kernel with ws as scratch.
+func concentratedLogLik(scaled []float64, cfg Config, m *kalman.Model, params []float64, ws *kalman.Workspace) (logLik, sigma2 float64, err error) {
 	for _, p := range params {
 		// Relative log-variances beyond e^±20 add nothing but conditioning
 		// trouble on unit-scaled series.
@@ -144,16 +169,12 @@ func concentratedLogLik(scaled []float64, cfg Config, params []float64) (logLik,
 			return 0, 0, errors.New("ssm: parameter out of range")
 		}
 	}
-	qXi := math.Exp(params[0])
-	qOmega := 0.0
+	m.H = 1
+	m.Q.Set(0, 0, math.Exp(params[0]))
 	if cfg.Seasonal {
-		qOmega = math.Exp(params[1])
+		m.Q.Set(1, 1, math.Exp(params[1]))
 	}
-	m, err := build(cfg, 1, qXi, qOmega)
-	if err != nil {
-		return 0, 0, err
-	}
-	fr, err := m.Filter(scaled)
+	fr, err := m.LogLikFilter(scaled, ws)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -187,7 +208,14 @@ func concentratedLogLik(scaled []float64, cfg Config, params []float64) (logLik,
 // (level + optional seasonal + intervention at cp, or no intervention for
 // cp == NoChangePoint) and returns its AIC.
 func AICAt(y []float64, seasonal bool, cp int) (float64, error) {
-	fit, err := FitConfig(y, Config{Seasonal: seasonal, ChangePoint: cp})
+	return AICAtWorkspace(y, seasonal, cp, nil)
+}
+
+// AICAtWorkspace is AICAt with an explicit Kalman workspace, so a change
+// point search can reuse one workspace across every candidate fit. ws may
+// be nil.
+func AICAtWorkspace(y []float64, seasonal bool, cp int, ws *kalman.Workspace) (float64, error) {
+	fit, err := FitConfigWorkspace(y, Config{Seasonal: seasonal, ChangePoint: cp}, ws)
 	if err != nil {
 		return 0, err
 	}

@@ -79,9 +79,11 @@ type Options struct {
 	// MinMonthlyFreq drops rare diseases/medicines per month before EM (the
 	// paper uses 5).
 	MinMonthlyFreq int
-	// Workers bounds detection concurrency (default GOMAXPROCS).
+	// Workers bounds the pipeline's concurrency (default GOMAXPROCS): the
+	// change point detection pool, and — unless EM.Workers overrides it —
+	// the per-month medication model fits.
 	Workers int
-	// EM tunes the medication model fit.
+	// EM tunes the medication model fit. EM.Workers defaults to Workers.
 	EM medmodel.FitOptions
 }
 
@@ -104,6 +106,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.EM.Workers <= 0 {
+		o.EM.Workers = o.Workers
 	}
 	return o
 }
