@@ -11,6 +11,7 @@ package mictrend
 
 import (
 	"bytes"
+	"context"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -383,9 +384,12 @@ func BenchmarkReproduce(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	models, err := medmodel.FitAll(ds, medmodel.FitOptions{MaxIter: 10})
+	models, fails, err := medmodel.FitAll(context.Background(), ds, medmodel.FitOptions{MaxIter: 10})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if len(fails) > 0 {
+		b.Fatal(fails[0].Err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

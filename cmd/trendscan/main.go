@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
@@ -25,20 +28,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trendscan: ")
 	var (
-		in       = flag.String("in", "", "input corpus (.jsonl or .jsonl.gz)")
-		generate = flag.Bool("generate", false, "generate a synthetic corpus instead of reading one")
-		months   = flag.Int("months", 36, "months when generating")
-		records  = flag.Int("records", 1000, "records/month when generating")
-		seed     = flag.Uint64("seed", 7, "seed when generating")
-		method   = flag.String("method", "binary", "change point search: exact or binary")
-		seasonal = flag.Bool("seasonal", true, "include the 12-month seasonal component")
-		minTotal = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
-		top      = flag.Int("top", 20, "number of strongest changes to print per kind")
-		workers  = flag.Int("workers", 0, "worker pool size for model fitting and change point detection (0 = GOMAXPROCS)")
-		emerging = flag.Int("emerging", 0, "also project the detected upward prescription trends this many months ahead")
-		csvPath  = flag.String("csv", "", "write the reproduced prescription series to this CSV file for external plotting")
+		in          = flag.String("in", "", "input corpus (.jsonl or .jsonl.gz)")
+		generate    = flag.Bool("generate", false, "generate a synthetic corpus instead of reading one")
+		months      = flag.Int("months", 36, "months when generating")
+		records     = flag.Int("records", 1000, "records/month when generating")
+		seed        = flag.Uint64("seed", 7, "seed when generating")
+		method      = flag.String("method", "binary", "change point search: exact or binary")
+		seasonal    = flag.Bool("seasonal", true, "include the 12-month seasonal component")
+		minTotal    = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
+		top         = flag.Int("top", 20, "number of strongest changes to print per kind")
+		workers     = flag.Int("workers", 0, "worker pool size for model fitting and change point detection (0 = GOMAXPROCS)")
+		emerging    = flag.Int("emerging", 0, "also project the detected upward prescription trends this many months ahead")
+		csvPath     = flag.String("csv", "", "write the reproduced prescription series to this CSV file for external plotting")
+		strict      = flag.Bool("strict", false, "abort on the first malformed corpus line instead of skipping it")
+		maxFailures = flag.Int("max-failures", -1, "exit nonzero when more than this many series/months fail (-1 = never)")
 	)
 	flag.Parse()
+
+	// Interrupt cancels the analysis; a partial report is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var ds *mic.Dataset
 	var err error
@@ -46,7 +55,12 @@ func main() {
 	case *generate:
 		ds, _, err = micgen.Generate(micgen.Config{Seed: *seed, Months: *months, RecordsPerMonth: *records})
 	case *in != "":
-		ds, err = mic.ReadFile(*in)
+		var stats mic.ReadStats
+		ds, stats, err = mic.ReadFileWithStats(*in, mic.ReadOptions{Strict: *strict})
+		if stats.SkippedLines > 0 {
+			log.Printf("warning: skipped %d malformed corpus line(s); first: %v (use -strict to fail fast)",
+				stats.SkippedLines, stats.FirstError)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -69,8 +83,16 @@ func main() {
 	}
 
 	fmt.Printf("analyzing %d months, %d records, %s search…\n", ds.T(), ds.NumRecords(), opts.Method)
-	analysis, err := trend.Analyze(ds, opts)
-	if err != nil {
+	analysis, err := trend.Analyze(ctx, ds, opts)
+	interrupted := false
+	switch {
+	case errors.Is(err, context.Canceled):
+		if analysis == nil {
+			log.Fatal("interrupted before any results were available")
+		}
+		log.Print("warning: interrupted — reporting partial results")
+		interrupted = true
+	case err != nil:
 		log.Fatal(err)
 	}
 	causes := trend.ClassifyChanges(analysis, 2)
@@ -125,7 +147,7 @@ func main() {
 	if *emerging > 0 {
 		list, err := trend.EmergingTrends(analysis.Prescriptions, *seasonal, *emerging)
 		if err != nil {
-			log.Fatal(err)
+			log.Printf("warning: some emerging-trend projections failed: %v", err)
 		}
 		fmt.Printf("\nemerging prescriptions (projected %d months ahead):\n", *emerging)
 		n := *top
@@ -137,5 +159,23 @@ func main() {
 				ds.Medicines.Code(int32(e.Medicine)), ds.Diseases.Code(int32(e.Disease)),
 				e.ChangePoint, e.SlopePerMonth, e.LastValue, e.ProjectedGrowth)
 		}
+	}
+
+	if n := len(analysis.Failures); n > 0 {
+		fmt.Printf("\n%d series/month(s) failed and were skipped:\n", n)
+		const maxShown = 10
+		for i, f := range analysis.Failures {
+			if i == maxShown {
+				fmt.Printf("  … and %d more\n", n-maxShown)
+				break
+			}
+			fmt.Printf("  %s\n", f)
+		}
+		if *maxFailures >= 0 && n > *maxFailures {
+			log.Fatalf("%d failures exceed -max-failures=%d", n, *maxFailures)
+		}
+	}
+	if interrupted {
+		os.Exit(130) // conventional SIGINT status: the report above is partial
 	}
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,9 +32,12 @@ func main() {
 	}
 
 	// Reproduce the influenza disease series with the medication model.
-	models, err := medmodel.FitAll(ds, medmodel.FitOptions{MaxIter: 15})
+	models, fails, err := medmodel.FitAll(context.Background(), ds, medmodel.FitOptions{MaxIter: 15})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(fails) > 0 {
+		log.Fatal(fails[0].Err)
 	}
 	series, err := medmodel.Reproduce(ds, models)
 	if err != nil {

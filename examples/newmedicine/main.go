@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	opts.Method = trend.MethodBinary
 	opts.Seasonal = false // fast demo; the experiments use the full model
 	opts.MinSeriesTotal = 100
-	analysis, err := trend.Analyze(ds, opts)
+	analysis, err := trend.Analyze(context.Background(), ds, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

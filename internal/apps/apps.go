@@ -5,6 +5,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -68,9 +69,12 @@ type DiseaseShare struct {
 // largest share of the medicine's total estimated prescriptions
 // (ratio as a percentage, like the paper's Table II).
 func TopDiseasesForMedicine(ds *mic.Dataset, med mic.MedicineID, k int, em medmodel.FitOptions) ([]DiseaseShare, error) {
-	models, err := medmodel.FitAll(ds, em)
+	models, fails, err := medmodel.FitAll(context.Background(), ds, em)
 	if err != nil {
 		return nil, err
+	}
+	if len(fails) > 0 {
+		return nil, fails[0].Err
 	}
 	series, err := medmodel.Reproduce(ds, models)
 	if err != nil {

@@ -9,6 +9,7 @@
 package changepoint
 
 import (
+	"context"
 	"fmt"
 
 	"mictrend/internal/kalman"
@@ -181,12 +182,40 @@ func SSMEvaluator(y []float64, seasonal bool) AICFunc {
 	}
 }
 
+// ContextAIC wraps an AICFunc with a cancellation check before every model
+// fit, so a long search (the exact scan fits one model per candidate month)
+// aborts within one in-flight fit of ctx being cancelled. The context error
+// is returned verbatim, letting callers distinguish cancellation from fit
+// failures with errors.Is.
+func ContextAIC(ctx context.Context, f AICFunc) AICFunc {
+	if ctx == nil {
+		return f
+	}
+	return func(cp int) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return f(cp)
+	}
+}
+
 // DetectExact runs Algorithm 1 on y with the structural model.
 func DetectExact(y []float64, seasonal bool) (Result, error) {
-	return Exact(len(y), SSMEvaluator(y, seasonal))
+	return DetectExactContext(context.Background(), y, seasonal)
+}
+
+// DetectExactContext is DetectExact bounded by ctx: cancellation surfaces as
+// the context's error within one in-flight fit.
+func DetectExactContext(ctx context.Context, y []float64, seasonal bool) (Result, error) {
+	return Exact(len(y), ContextAIC(ctx, SSMEvaluator(y, seasonal)))
 }
 
 // DetectBinary runs Algorithm 2 on y with the structural model.
 func DetectBinary(y []float64, seasonal bool) (Result, error) {
-	return Binary(len(y), SSMEvaluator(y, seasonal))
+	return DetectBinaryContext(context.Background(), y, seasonal)
+}
+
+// DetectBinaryContext is DetectBinary bounded by ctx.
+func DetectBinaryContext(ctx context.Context, y []float64, seasonal bool) (Result, error) {
+	return Binary(len(y), ContextAIC(ctx, SSMEvaluator(y, seasonal)))
 }

@@ -1,6 +1,7 @@
 package changepoint
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand/v2"
@@ -251,5 +252,52 @@ func TestEvaluatorCaches(t *testing.T) {
 	}
 	if calls != 1 || e.fits != 1 {
 		t.Fatalf("calls = %d, fits = %d; caching broken", calls, e.fits)
+	}
+}
+
+// TestContextAICCancelsMidScan cancels the context after a fixed number of
+// fits and checks the exact scan stops within one further evaluation.
+func TestContextAICCancelsMidScan(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	f := func(cp int) (float64, error) {
+		evals++
+		if evals == 5 {
+			cancel()
+		}
+		return valleyAIC(20, 30, 100)(cp)
+	}
+	_, err := Exact(43, ContextAIC(ctx, f))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if evals != 5 {
+		t.Fatalf("scan performed %d fits after cancellation at 5", evals-5)
+	}
+}
+
+func TestDetectContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	y := make([]float64, 30)
+	for i := range y {
+		y[i] = float64(i)
+	}
+	if _, err := DetectExactContext(ctx, y, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("exact err = %v, want context.Canceled", err)
+	}
+	if _, err := DetectBinaryContext(ctx, y, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("binary err = %v, want context.Canceled", err)
+	}
+}
+
+func TestContextAICNilContextPassesThrough(t *testing.T) {
+	f := valleyAIC(10, 20, 80)
+	res, err := Exact(30, ContextAIC(nil, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChangePoint != 10 {
+		t.Fatalf("cp = %d, want 10", res.ChangePoint)
 	}
 }

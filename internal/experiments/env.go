@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -125,9 +126,13 @@ func NewEnv(cfg Config) (*Env, error) {
 // them on first use.
 func (e *Env) Models() ([]*medmodel.Model, []*medmodel.Cooccurrence, error) {
 	e.modelsOnce.Do(func() {
-		models, err := medmodel.FitAll(e.Filtered, e.Config.EM)
+		models, fails, err := medmodel.FitAll(context.Background(), e.Filtered, e.Config.EM)
 		if err != nil {
 			e.modelsErr = err
+			return
+		}
+		if len(fails) > 0 {
+			e.modelsErr = fails[0].Err
 			return
 		}
 		e.models = models

@@ -1,0 +1,165 @@
+// Package faultpoint provides named fault-injection sites for exercising the
+// pipeline's degradation paths deterministically in tests.
+//
+// Production code marks interesting failure sites with a call to Inject
+// (or Check); by default every site is inactive and the call costs a single
+// atomic load. Tests activate a site with Enable, choosing the action
+// (returned error, panic, or delay), a firing probability driven by a seeded
+// generator, an optional per-hit Match filter, and an optional firing budget.
+// Because activation is test-driven and specs are seeded, every injected
+// fault — a mid-scan cancellation, a worker panic, an EM month failure, a fit
+// non-convergence — replays identically run to run.
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by an enabled point whose Spec
+// does not provide its own.
+var ErrInjected = errors.New("faultpoint: injected fault")
+
+// Spec configures one enabled fault point.
+type Spec struct {
+	// P is the firing probability per matching hit. Values outside (0, 1)
+	// mean "always fire".
+	P float64
+	// Seed seeds the point's private generator when P is probabilistic, so a
+	// given spec fires on the same hit sequence every run.
+	Seed int64
+	// Match, when non-nil, restricts firing to hits whose detail it accepts.
+	// It is called on every hit (before P is consulted), so closures may also
+	// use it to observe hit traffic — e.g. cancelling a context after the
+	// N-th hit.
+	Match func(detail string) bool
+	// Err is the error to return when firing (ErrInjected when nil).
+	Err error
+	// Panic makes the point panic with its error instead of returning it.
+	Panic bool
+	// Delay is slept before the point acts (and before a non-firing hit
+	// returns), simulating slow I/O or compute.
+	Delay time.Duration
+	// Count caps the number of firings; 0 means unlimited.
+	Count int
+}
+
+type point struct {
+	spec  Spec
+	rng   *rand.Rand
+	hits  int
+	fired int
+}
+
+var (
+	mu     sync.Mutex
+	points = make(map[string]*point)
+	// active mirrors len(points) so Inject's inactive path is one atomic
+	// load, cheap enough to leave compiled into production binaries.
+	active atomic.Int32
+)
+
+// Enable activates the named point with spec, replacing any previous spec and
+// resetting its counters.
+func Enable(name string, spec Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		active.Add(1)
+	}
+	points[name] = &point{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+}
+
+// Disable deactivates the named point; unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		active.Add(-1)
+	}
+}
+
+// Reset deactivates every point. Tests should defer it after Enable.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = make(map[string]*point)
+	active.Store(0)
+}
+
+// Hits returns how many times the named point was reached while enabled.
+func Hits(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Fired returns how many times the named point actually fired.
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// Inject is the production-side hook: it returns nil instantly when the named
+// point is inactive, and otherwise applies the point's spec — sleeping Delay,
+// then (subject to Match, P, and Count) panicking or returning the configured
+// error. detail identifies the unit of work at the site (a series key, a
+// month number) for Match filters.
+func Inject(name, detail string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	spec := p.spec
+	fire := spec.Match == nil || spec.Match(detail)
+	if fire && spec.P > 0 && spec.P < 1 {
+		fire = p.rng.Float64() < spec.P
+	}
+	if fire && spec.Count > 0 && p.fired >= spec.Count {
+		fire = false
+	}
+	if fire {
+		p.fired++
+	}
+	mu.Unlock()
+
+	if spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+	}
+	if !fire {
+		return nil
+	}
+	err := spec.Err
+	if err == nil {
+		err = fmt.Errorf("%w at %s(%s)", ErrInjected, name, detail)
+	}
+	if spec.Panic {
+		panic(fmt.Sprintf("faultpoint: injected panic at %s(%s): %v", name, detail, err))
+	}
+	return err
+}
+
+// Check is Inject for sites that cannot propagate an error: it panics when
+// the point fires with a panic spec and otherwise reports whether the point
+// fired.
+func Check(name, detail string) bool {
+	return Inject(name, detail) != nil
+}

@@ -1,0 +1,128 @@
+package faultpoint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInactiveIsNil(t *testing.T) {
+	Reset()
+	if err := Inject("nowhere", ""); err != nil {
+		t.Fatalf("inactive point returned %v", err)
+	}
+}
+
+func TestEnableFiresAndCounts(t *testing.T) {
+	Reset()
+	defer Reset()
+	want := errors.New("boom")
+	Enable("p", Spec{Err: want})
+	for i := 0; i < 3; i++ {
+		if err := Inject("p", "x"); !errors.Is(err, want) {
+			t.Fatalf("injection %d returned %v, want %v", i, err, want)
+		}
+	}
+	if Hits("p") != 3 || Fired("p") != 3 {
+		t.Fatalf("hits/fired = %d/%d, want 3/3", Hits("p"), Fired("p"))
+	}
+	Disable("p")
+	if err := Inject("p", "x"); err != nil {
+		t.Fatalf("disabled point returned %v", err)
+	}
+}
+
+func TestDefaultErrorNamesSite(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("trend/detect", Spec{})
+	err := Inject("trend/detect", "medicine:3")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "trend/detect") || !strings.Contains(err.Error(), "medicine:3") {
+		t.Fatalf("error %q should name site and detail", err)
+	}
+}
+
+func TestCountBudget(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Spec{Count: 2})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if Inject("p", "") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestMatchFilters(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Spec{Match: func(d string) bool { return d == "target" }})
+	if Inject("p", "other") != nil {
+		t.Fatal("non-matching detail fired")
+	}
+	if Inject("p", "target") == nil {
+		t.Fatal("matching detail did not fire")
+	}
+	if Hits("p") != 2 || Fired("p") != 1 {
+		t.Fatalf("hits/fired = %d/%d, want 2/1", Hits("p"), Fired("p"))
+	}
+}
+
+func TestProbabilisticIsSeeded(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []bool {
+		Enable("p", Spec{P: 0.5, Seed: 99})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = Inject("p", "") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different firing sequences")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times, want a mixture", fired, len(a))
+	}
+}
+
+func TestPanicSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Spec{Panic: true})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic spec did not panic")
+		}
+	}()
+	Inject("p", "")
+}
+
+func TestDelay(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Spec{Delay: 20 * time.Millisecond, Err: errors.New("slow")})
+	start := time.Now()
+	if Inject("p", "") == nil {
+		t.Fatal("delayed point should still fire")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay not applied (%v)", elapsed)
+	}
+}

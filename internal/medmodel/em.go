@@ -1,11 +1,15 @@
 package medmodel
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
+	"mictrend/internal/faultpoint"
 	"mictrend/internal/mic"
 )
 
@@ -296,12 +300,53 @@ func Fit(month *mic.Monthly, vocabMedicines int, opts FitOptions) (*Model, error
 	return model, nil
 }
 
+// MonthError records one month whose EM fit failed. FitAll reports failed
+// months instead of aborting, so a run over many months degrades to the
+// months that did fit.
+type MonthError struct {
+	// Month is the index of the failed month.
+	Month int
+	// Err is the fit error (for a crashed worker, the recovered panic value).
+	Err error
+	// Panicked reports whether the failure was a recovered worker panic
+	// rather than a returned error.
+	Panicked bool
+}
+
+// fitMonth fits one month with panic isolation: a crash inside the EM loop
+// becomes an error confined to that month instead of a process abort.
+func fitMonth(month *mic.Monthly, vocabMedicines int, opts FitOptions) (m *Model, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, panicked = nil, true
+			err = fmt.Errorf("medmodel: month %d fit panicked: %v", month.Month, r)
+		}
+	}()
+	if err := faultpoint.Inject("medmodel/fit-month", strconv.Itoa(month.Month)); err != nil {
+		return nil, false, err
+	}
+	m, err = Fit(month, vocabMedicines, opts)
+	return m, false, err
+}
+
 // FitAll fits one model per month of the dataset. Months are independent,
 // so they are fitted concurrently by a bounded pool of opts.Workers
 // goroutines (default GOMAXPROCS); the models are identical to those of a
 // serial month-by-month loop.
-func FitAll(d *mic.Dataset, opts FitOptions) ([]*Model, error) {
+//
+// FitAll degrades rather than failing atomically: a month whose fit errors
+// or panics leaves a nil entry in the returned slice and a MonthError
+// (ascending by month), while every other month's model is still produced.
+// The error return is reserved for cancellation — when ctx is cancelled the
+// already-fitted models are returned alongside ctx's error, and no new month
+// fits start.
+func FitAll(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []MonthError, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	models := make([]*Model, d.T())
+	errs := make([]error, len(d.Months))
+	panicked := make([]bool, len(d.Months))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -311,37 +356,64 @@ func FitAll(d *mic.Dataset, opts FitOptions) ([]*Model, error) {
 	}
 	if workers <= 1 {
 		for i, month := range d.Months {
-			m, err := Fit(month, d.Medicines.Len(), opts)
-			if err != nil {
-				return nil, err
+			if err := ctx.Err(); err != nil {
+				return models, monthErrors(errs, panicked), err
 			}
-			models[i] = m
+			models[i], panicked[i], errs[i] = fitMonth(month, d.Medicines.Len(), opts)
 		}
-		return models, nil
-	}
-	errs := make([]error, len(d.Months))
-	in := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range in {
-				models[i], errs[i] = Fit(d.Months[i], d.Medicines.Len(), opts)
+	} else {
+		in := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range in {
+					if ctx.Err() != nil {
+						continue // drain: cancelled before this month started
+					}
+					models[i], panicked[i], errs[i] = fitMonth(d.Months[i], d.Medicines.Len(), opts)
+				}
+			}()
+		}
+		for i := range d.Months {
+			select {
+			case in <- i:
+			case <-ctx.Done():
 			}
-		}()
+		}
+		close(in)
+		wg.Wait()
 	}
-	for i := range d.Months {
-		in <- i
+	if err := ctx.Err(); err != nil {
+		return models, monthErrors(errs, panicked), err
 	}
-	close(in)
-	wg.Wait()
-	for _, err := range errs {
+	return models, monthErrors(errs, panicked), nil
+}
+
+// monthErrors collects the per-month failures in month order.
+func monthErrors(errs []error, panicked []bool) []MonthError {
+	var out []MonthError
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			out = append(out, MonthError{Month: i, Err: err, Panicked: panicked[i]})
 		}
 	}
-	return models, nil
+	return out
+}
+
+// FallbackModel builds the cooccurrence-initialized medication model without
+// running EM — the degradation target when a month's EM fit fails or
+// crashes. It is the exact model EM starts from (Eq. 10 support and
+// estimate), so downstream series reproduction stays well-defined, just
+// without the latent-variable refinement. A month with no usable records
+// yields a model with an empty Φ, whose responsibilities fall back to θ.
+func FallbackModel(month *mic.Monthly, vocabMedicines int) *Model {
+	model := &Model{Eta: EstimateEta(month), M: vocabMedicines}
+	if recs, err := usableRecords(month); err == nil {
+		model.Phi = cooccurrencePhi(recs)
+	}
+	return model
 }
 
 // cooccurrencePhi computes the Eq. 10 estimate used both as the Cooccurrence

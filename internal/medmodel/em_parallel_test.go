@@ -1,6 +1,7 @@
 package medmodel
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -29,9 +30,12 @@ func TestFitAllParallelMatchesSerial(t *testing.T) {
 	}
 
 	opts.Workers = 4
-	parallel, err := FitAll(ds, opts)
+	parallel, fails, err := FitAll(context.Background(), ds, opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("unexpected month failures: %v", fails)
 	}
 	if len(parallel) != len(serial) {
 		t.Fatalf("parallel FitAll returned %d models, want %d", len(parallel), len(serial))

@@ -1,0 +1,116 @@
+package medmodel
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/mic"
+)
+
+// multiMonth builds a small dataset with n identical fit-able months.
+func multiMonth(n int) *mic.Dataset {
+	d := mic.NewDataset()
+	d.Diseases.Intern("d0")
+	d.Diseases.Intern("d1")
+	d.Medicines.Intern("m0")
+	d.Medicines.Intern("m1")
+	d.AddHospital(mic.Hospital{Code: "H"})
+	for t := 0; t < n; t++ {
+		m := &mic.Monthly{Month: t}
+		for i := 0; i < 4; i++ {
+			m.Records = append(m.Records, mic.Record{
+				Diseases:  []mic.DiseaseCount{{Disease: 0, Count: 1}, {Disease: 1, Count: 1}},
+				Medicines: []mic.MedicineID{0, 1},
+			})
+		}
+		d.Months = append(d.Months, m)
+	}
+	return d
+}
+
+func TestFitAllDegradesOnMonthError(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Enable("medmodel/fit-month", faultpoint.Spec{
+		Match: func(detail string) bool { return detail == "2" },
+	})
+	d := multiMonth(5)
+	models, fails, err := FitAll(context.Background(), d, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 1 || fails[0].Month != 2 || fails[0].Panicked {
+		t.Fatalf("fails = %+v, want one non-panic failure at month 2", fails)
+	}
+	if !errors.Is(fails[0].Err, faultpoint.ErrInjected) {
+		t.Fatalf("failure error = %v, want injected", fails[0].Err)
+	}
+	for i, m := range models {
+		if i == 2 {
+			if m != nil {
+				t.Fatal("failed month should have a nil model")
+			}
+			continue
+		}
+		if m == nil {
+			t.Fatalf("month %d model missing", i)
+		}
+	}
+}
+
+func TestFitAllIsolatesWorkerPanic(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Enable("medmodel/fit-month", faultpoint.Spec{
+		Match: func(detail string) bool { return detail == "1" },
+		Panic: true,
+	})
+	d := multiMonth(4)
+	opts := FitOptions{Workers: 3}
+	models, fails, err := FitAll(context.Background(), d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 1 || fails[0].Month != 1 || !fails[0].Panicked {
+		t.Fatalf("fails = %+v, want one panic failure at month 1", fails)
+	}
+	for i, m := range models {
+		if (m == nil) != (i == 1) {
+			t.Fatalf("month %d model presence wrong (nil=%v)", i, m == nil)
+		}
+	}
+}
+
+func TestFitAllCancelledReturnsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := multiMonth(4)
+	_, _, err := FitAll(ctx, d, FitOptions{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFallbackModelMatchesCooccurrenceInit(t *testing.T) {
+	d := multiMonth(1)
+	fb := FallbackModel(d.Months[0], d.Medicines.Len())
+	if fb == nil || fb.Phi == nil {
+		t.Fatal("fallback model missing Φ for a month with usable records")
+	}
+	// Symmetric records: each disease row splits evenly over both medicines.
+	for dID, row := range fb.Phi {
+		for mID, v := range row {
+			if v != 0.5 {
+				t.Fatalf("φ[%d][%d] = %v, want 0.5", dID, mID, v)
+			}
+		}
+	}
+	// An empty month still yields a usable (empty-Φ) model, not a nil one.
+	empty := &mic.Monthly{Month: 0}
+	fb = FallbackModel(empty, d.Medicines.Len())
+	if fb == nil || fb.Phi != nil {
+		t.Fatalf("empty month fallback = %+v, want model with nil Φ", fb)
+	}
+}

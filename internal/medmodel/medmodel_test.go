@@ -1,6 +1,7 @@
 package medmodel
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -227,9 +228,12 @@ func TestReproduceConservesCounts(t *testing.T) {
 	d.Medicines.Intern("m1")
 	d.AddHospital(mic.Hospital{Code: "H"})
 	d.Months = []*mic.Monthly{twoDiseaseMonth()}
-	models, err := FitAll(d, FitOptions{})
+	models, fails, err := FitAll(context.Background(), d, FitOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("unexpected month failures: %v", fails)
 	}
 	set, err := Reproduce(d, models)
 	if err != nil {
@@ -269,9 +273,12 @@ func TestReproduceResolvesMixedRecords(t *testing.T) {
 	d.Medicines.Intern("m1")
 	d.AddHospital(mic.Hospital{Code: "H"})
 	d.Months = []*mic.Monthly{twoDiseaseMonth()}
-	models, err := FitAll(d, FitOptions{})
+	models, fails, err := FitAll(context.Background(), d, FitOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("unexpected month failures: %v", fails)
 	}
 	set, err := Reproduce(d, models)
 	if err != nil {

@@ -93,17 +93,23 @@ func (m *Model) PhiRow(d mic.DiseaseID) map[mic.MedicineID]float64 { return m.Ph
 // Responsibility returns q_rld for each disease of the record given medicine
 // m (Eq. 6). The result sums to 1 unless the medicine has zero probability
 // under every disease of the record, in which case responsibilities fall
-// back to θ (the model is indifferent).
+// back to θ (the model is indifferent). The normalizer is accumulated in the
+// record's disease order — not map iteration order — so repeated calls are
+// bit-identical, which the pipeline's reproducibility guarantees rely on.
 func (m *Model) Responsibility(r *mic.Record, med mic.MedicineID) map[mic.DiseaseID]float64 {
 	theta := Theta(r)
 	out := make(map[mic.DiseaseID]float64, len(theta))
 	var total float64
-	for d, th := range theta {
+	for _, dc := range r.Diseases {
+		d := dc.Disease
+		if _, seen := out[d]; seen {
+			continue
+		}
 		var phi float64
 		if row, ok := m.Phi[d]; ok {
 			phi = row[med]
 		}
-		w := th * phi
+		w := theta[d] * phi
 		out[d] = w
 		total += w
 	}

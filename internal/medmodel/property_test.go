@@ -1,6 +1,7 @@
 package medmodel
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -116,8 +117,8 @@ func TestReproduceConservationProperty(t *testing.T) {
 			m.Month = t
 			d.Months = append(d.Months, m)
 		}
-		models, err := FitAll(d, FitOptions{MaxIter: 10})
-		if err != nil {
+		models, fails, err := FitAll(context.Background(), d, FitOptions{MaxIter: 10})
+		if err != nil || len(fails) != 0 {
 			return false
 		}
 		set, err := Reproduce(d, models)

@@ -2,6 +2,7 @@ package medmodel
 
 import (
 	"errors"
+	"sort"
 
 	"mictrend/internal/mic"
 )
@@ -98,7 +99,21 @@ func reproduce(d *mic.Dataset, ests []linkEstimator) (*SeriesSet, error) {
 func (s *SeriesSet) buildMarginals() {
 	s.diseaseSeries = make(map[mic.DiseaseID][]float64)
 	s.medicineSeries = make(map[mic.MedicineID][]float64)
-	for pair, series := range s.Pairs {
+	// Accumulate in sorted pair order, not map order: the marginal sums are
+	// floating point, and a run-dependent addition order would make the
+	// disease/medicine series differ in their last bits between runs.
+	pairs := make([]mic.Pair, 0, len(s.Pairs))
+	for p := range s.Pairs {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Disease != pairs[b].Disease {
+			return pairs[a].Disease < pairs[b].Disease
+		}
+		return pairs[a].Medicine < pairs[b].Medicine
+	})
+	for _, pair := range pairs {
+		series := s.Pairs[pair]
 		ds, ok := s.diseaseSeries[pair.Disease]
 		if !ok {
 			ds = make([]float64, s.T)

@@ -1,6 +1,7 @@
 package medmodel
 
 import (
+	"context"
 	"math"
 
 	"mictrend/internal/mic"
@@ -120,11 +121,19 @@ func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior 
 }
 
 // FitAllSmoothed fits one model per month, chaining each month's prior to
-// the previous month's posterior.
-func FitAllSmoothed(d *mic.Dataset, opts FitOptions, priorWeight float64) ([]*Model, error) {
+// the previous month's posterior. The chain is inherently serial, so ctx is
+// checked between months: cancellation returns the months fitted so far with
+// ctx's error.
+func FitAllSmoothed(ctx context.Context, d *mic.Dataset, opts FitOptions, priorWeight float64) ([]*Model, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	models := make([]*Model, d.T())
 	var prev *Model
 	for i, month := range d.Months {
+		if err := ctx.Err(); err != nil {
+			return models, err
+		}
 		m, err := FitSmoothed(month, d.Medicines.Len(), opts, prev, priorWeight)
 		if err != nil {
 			return nil, err

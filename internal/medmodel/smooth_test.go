@@ -1,6 +1,7 @@
 package medmodel
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -131,13 +132,16 @@ func TestFitAllSmoothedChains(t *testing.T) {
 	}
 	d.Months = []*mic.Monthly{m0, m1}
 
-	smoothed, err := FitAllSmoothed(d, FitOptions{}, 5)
+	smoothed, err := FitAllSmoothed(context.Background(), d, FitOptions{}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := FitAll(d, FitOptions{})
+	plain, fails, err := FitAll(context.Background(), d, FitOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Fatalf("unexpected month failures: %v", fails)
 	}
 	// Month 1 plain: ambiguous, phi[0][1] stays near the symmetric 0.5.
 	// Smoothed: month 0 resolved the links; the prior should pull month 1's

@@ -2,6 +2,7 @@ package mic
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/json"
 	"fmt"
@@ -62,19 +63,51 @@ func Write(w io.Writer, d *Dataset) error {
 	return bw.Flush()
 }
 
-// Read deserializes a dataset previously produced by Write.
+// ReadOptions controls how the decoder treats malformed record lines.
+type ReadOptions struct {
+	// Strict aborts the load on the first malformed record line. The
+	// default (false) skips and counts malformed lines — at population
+	// scale, a handful of corrupt claims must not discard the corpus.
+	Strict bool
+}
+
+// ReadStats reports what a lenient read skipped.
+type ReadStats struct {
+	// SkippedLines counts malformed record lines that were dropped.
+	SkippedLines int
+	// FirstError describes the first skipped line (nil when none).
+	FirstError error
+}
+
+// Read deserializes a dataset previously produced by Write, skipping and
+// counting malformed record lines; use ReadWithStats to observe the skip
+// count or to restore fail-fast behavior.
 func Read(r io.Reader) (*Dataset, error) {
+	d, _, err := ReadWithStats(r, ReadOptions{})
+	return d, err
+}
+
+// ReadWithStats deserializes a dataset, reporting skipped lines. A corrupt
+// header, an I/O error, or (under Strict) any malformed record line aborts
+// the load; otherwise malformed lines — bad JSON, out-of-range months,
+// records referencing unknown vocabulary entries or hospitals — are dropped
+// and counted, keeping the rest of the corpus usable.
+func ReadWithStats(r io.Reader, opts ReadOptions) (*Dataset, ReadStats, error) {
+	var stats ReadStats
 	br := bufio.NewReaderSize(r, 1<<20)
-	dec := json.NewDecoder(br)
+	headerLine, rerr := readLine(br)
+	if len(headerLine) == 0 && rerr != nil {
+		return nil, stats, fmt.Errorf("mic: decoding header: %w", rerr)
+	}
 	var hdr fileHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("mic: decoding header: %w", err)
+	if err := json.Unmarshal(headerLine, &hdr); err != nil {
+		return nil, stats, fmt.Errorf("mic: decoding header: %w", err)
 	}
 	if hdr.Version != codecVersion {
-		return nil, fmt.Errorf("mic: unsupported file version %d", hdr.Version)
+		return nil, stats, fmt.Errorf("mic: unsupported file version %d", hdr.Version)
 	}
 	if hdr.Months < 0 {
-		return nil, fmt.Errorf("mic: negative month count %d", hdr.Months)
+		return nil, stats, fmt.Errorf("mic: negative month count %d", hdr.Months)
 	}
 	d := NewDataset()
 	for _, code := range hdr.Diseases {
@@ -88,28 +121,57 @@ func Read(r io.Reader) (*Dataset, error) {
 	for t := range d.Months {
 		d.Months[t] = &Monthly{Month: t}
 	}
-	for {
-		var fr fileRecord
-		if err := dec.Decode(&fr); err != nil {
-			if err == io.EOF {
-				break
+	lineNo := 1
+	for rerr == nil {
+		var line []byte
+		line, rerr = readLine(br)
+		lineNo++
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if err := decodeRecordLine(d, hdr.Months, line); err != nil {
+			if opts.Strict {
+				return nil, stats, fmt.Errorf("mic: line %d: %w", lineNo, err)
 			}
-			return nil, fmt.Errorf("mic: decoding record: %w", err)
+			stats.SkippedLines++
+			if stats.FirstError == nil {
+				stats.FirstError = fmt.Errorf("mic: line %d: %w", lineNo, err)
+			}
 		}
-		if fr.Month < 0 || fr.Month >= hdr.Months {
-			return nil, fmt.Errorf("mic: record month %d out of range [0,%d)", fr.Month, hdr.Months)
-		}
-		rec := Record{Hospital: HospitalID(fr.Hospital), Patient: fr.Patient, Medicines: fr.Medicines}
-		for _, pair := range fr.Diseases {
-			rec.Diseases = append(rec.Diseases, DiseaseCount{Disease: DiseaseID(pair[0]), Count: int(pair[1])})
-		}
-		m := d.Months[fr.Month]
-		m.Records = append(m.Records, rec)
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
+	if rerr != io.EOF {
+		return nil, stats, fmt.Errorf("mic: reading records: %w", rerr)
 	}
-	return d, nil
+	return d, stats, nil
+}
+
+// readLine returns the next line (without framing requirements on the final
+// line); data may accompany io.EOF.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	return line, err
+}
+
+// decodeRecordLine parses and validates one record line, appending it to its
+// month on success.
+func decodeRecordLine(d *Dataset, months int, line []byte) error {
+	var fr fileRecord
+	if err := json.Unmarshal(line, &fr); err != nil {
+		return err
+	}
+	if fr.Month < 0 || fr.Month >= months {
+		return fmt.Errorf("record month %d out of range [0,%d)", fr.Month, months)
+	}
+	rec := Record{Hospital: HospitalID(fr.Hospital), Patient: fr.Patient, Medicines: fr.Medicines}
+	for _, pair := range fr.Diseases {
+		rec.Diseases = append(rec.Diseases, DiseaseCount{Disease: DiseaseID(pair[0]), Count: int(pair[1])})
+	}
+	if err := d.CheckRecord(&rec); err != nil {
+		return err
+	}
+	m := d.Months[fr.Month]
+	m.Records = append(m.Records, rec)
+	return nil
 }
 
 // WriteFile writes the dataset to path, gzip-compressing when the path ends
@@ -138,21 +200,30 @@ func WriteFile(path string, d *Dataset) (err error) {
 }
 
 // ReadFile reads a dataset from path, transparently decompressing ".gz"
-// files.
+// files. Malformed record lines are skipped; use ReadFileWithStats to
+// observe the skip count or enforce strictness.
 func ReadFile(path string) (*Dataset, error) {
+	d, _, err := ReadFileWithStats(path, ReadOptions{})
+	return d, err
+}
+
+// ReadFileWithStats reads a dataset from path with explicit lenient/strict
+// handling of malformed record lines, transparently decompressing ".gz"
+// files.
+func ReadFileWithStats(path string, opts ReadOptions) (*Dataset, ReadStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, ReadStats{}, err
 	}
 	defer f.Close()
 	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			return nil, err
+			return nil, ReadStats{}, err
 		}
 		defer gz.Close()
 		r = gz
 	}
-	return Read(r)
+	return ReadWithStats(r, opts)
 }

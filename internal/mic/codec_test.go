@@ -58,22 +58,80 @@ func TestReadRejectsBadVersion(t *testing.T) {
 	}
 }
 
-func TestReadRejectsOutOfRangeMonth(t *testing.T) {
+// corruptCorpus interleaves valid record lines with four kinds of malformed
+// ones: broken JSON, an out-of-range month, an unknown disease id, and an
+// unknown hospital.
+const corruptCorpus = `{"version":1,"months":2,"diseases":["d"],"medicines":["m"],"hospitals":[{"Code":"H","City":"c","Beds":1}]}
+{"t":0,"h":0,"p":0,"d":[[0,1]],"m":[0]}
+{"t":0,"h":0,"p":1,"d":[[0,1]],{{{garbage
+{"t":5,"h":0,"p":2,"d":[[0,1]],"m":[0]}
+{"t":1,"h":0,"p":3,"d":[[7,1]],"m":[0]}
+{"t":1,"h":9,"p":4,"d":[[0,1]],"m":[0]}
+{"t":1,"h":0,"p":5,"d":[[0,2]],"m":[0]}
+`
+
+func TestReadSkipsMalformedLines(t *testing.T) {
+	d, stats, err := ReadWithStats(strings.NewReader(corruptCorpus), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SkippedLines != 4 {
+		t.Fatalf("skipped = %d, want 4 (first: %v)", stats.SkippedLines, stats.FirstError)
+	}
+	if stats.FirstError == nil || !strings.Contains(stats.FirstError.Error(), "line 3") {
+		t.Fatalf("FirstError = %v, want the garbage JSON at line 3", stats.FirstError)
+	}
+	if got := d.NumRecords(); got != 2 {
+		t.Fatalf("records = %d, want the 2 valid ones", got)
+	}
+	if len(d.Months[0].Records) != 1 || len(d.Months[1].Records) != 1 {
+		t.Fatalf("valid records landed in wrong months: %d/%d",
+			len(d.Months[0].Records), len(d.Months[1].Records))
+	}
+}
+
+func TestReadStrictFailsFast(t *testing.T) {
+	_, _, err := ReadWithStats(strings.NewReader(corruptCorpus), ReadOptions{Strict: true})
+	if err == nil {
+		t.Fatal("strict read accepted a malformed line")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("strict error %q does not name the offending line", err)
+	}
+}
+
+func TestReadStrictRejectsOutOfRangeMonth(t *testing.T) {
 	input := `{"version":1,"months":1,"diseases":["d"],"medicines":["m"],"hospitals":[{"Code":"H","City":"c","Beds":1}]}
 {"t":5,"h":0,"p":0,"d":[[0,1]],"m":[0]}
 `
-	if _, err := Read(strings.NewReader(input)); err == nil {
+	if _, _, err := ReadWithStats(strings.NewReader(input), ReadOptions{Strict: true}); err == nil {
 		t.Fatal("out-of-range month accepted")
 	}
 }
 
-func TestReadRejectsInvalidIDs(t *testing.T) {
+func TestReadStrictRejectsInvalidIDs(t *testing.T) {
 	input := `{"version":1,"months":1,"diseases":["d"],"medicines":["m"],"hospitals":[{"Code":"H","City":"c","Beds":1}]}
 {"t":0,"h":0,"p":0,"d":[[7,1]],"m":[0]}
 `
-	if _, err := Read(strings.NewReader(input)); err == nil {
-		t.Fatal("out-of-range disease id accepted (Validate should catch it)")
+	if _, _, err := ReadWithStats(strings.NewReader(input), ReadOptions{Strict: true}); err == nil {
+		t.Fatal("out-of-range disease id accepted")
 	}
+}
+
+func TestReadFileWithStatsGzip(t *testing.T) {
+	d := buildTestDataset(t)
+	path := filepath.Join(t.TempDir(), "data.jsonl.gz")
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ReadFileWithStats(path, ReadOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SkippedLines != 0 {
+		t.Fatalf("clean file skipped %d lines", stats.SkippedLines)
+	}
+	assertDatasetsEqual(t, d, got)
 }
 
 func TestReadMissingFile(t *testing.T) {

@@ -65,23 +65,32 @@ func (d *Dataset) Validate() error {
 			return fmt.Errorf("mic: month at position %d has index %d", i, m.Month)
 		}
 		for ri := range m.Records {
-			r := &m.Records[ri]
-			if int(r.Hospital) >= len(d.Hospitals) || r.Hospital < 0 {
-				return fmt.Errorf("mic: month %d record %d references hospital %d of %d", i, ri, r.Hospital, len(d.Hospitals))
+			if err := d.CheckRecord(&m.Records[ri]); err != nil {
+				return fmt.Errorf("mic: month %d record %d: %w", i, ri, err)
 			}
-			for _, dc := range r.Diseases {
-				if dc.Disease < 0 || int(dc.Disease) >= d.Diseases.Len() {
-					return fmt.Errorf("mic: month %d record %d has disease id %d out of range", i, ri, dc.Disease)
-				}
-				if dc.Count <= 0 {
-					return fmt.Errorf("mic: month %d record %d has non-positive disease count %d", i, ri, dc.Count)
-				}
-			}
-			for _, med := range r.Medicines {
-				if med < 0 || int(med) >= d.Medicines.Len() {
-					return fmt.Errorf("mic: month %d record %d has medicine id %d out of range", i, ri, med)
-				}
-			}
+		}
+	}
+	return nil
+}
+
+// CheckRecord validates one record against the dataset's vocabularies and
+// hospital table — the per-record subset of Validate, shared with the codec
+// so a lenient load can reject individual lines instead of the whole corpus.
+func (d *Dataset) CheckRecord(r *Record) error {
+	if int(r.Hospital) >= len(d.Hospitals) || r.Hospital < 0 {
+		return fmt.Errorf("references hospital %d of %d", r.Hospital, len(d.Hospitals))
+	}
+	for _, dc := range r.Diseases {
+		if dc.Disease < 0 || int(dc.Disease) >= d.Diseases.Len() {
+			return fmt.Errorf("disease id %d out of range", dc.Disease)
+		}
+		if dc.Count <= 0 {
+			return fmt.Errorf("non-positive disease count %d", dc.Count)
+		}
+	}
+	for _, med := range r.Medicines {
+		if med < 0 || int(med) >= d.Medicines.Len() {
+			return fmt.Errorf("medicine id %d out of range", med)
 		}
 	}
 	return nil

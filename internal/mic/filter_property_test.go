@@ -101,4 +101,3 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
+	"mictrend/internal/faultpoint"
 	"mictrend/internal/kalman"
 	"mictrend/internal/optimize"
 	"mictrend/internal/stat"
@@ -13,6 +15,18 @@ import (
 // ErrSeriesTooShort is returned when a series is shorter than the model can
 // identify.
 var ErrSeriesTooShort = errors.New("ssm: series too short for the requested model")
+
+// OptimizationError reports that the likelihood optimization failed to find a
+// finite value from every starting point of the multi-start search. Attempts
+// is the number of starts tried before the series was declared failed.
+type OptimizationError struct {
+	Attempts int
+}
+
+// Error implements error.
+func (e *OptimizationError) Error() string {
+	return fmt.Sprintf("ssm: likelihood optimization failed to find a finite value (%d starts)", e.Attempts)
+}
 
 // Fit is a maximum-likelihood-fitted structural model.
 type Fit struct {
@@ -35,6 +49,11 @@ type Fit struct {
 	// Lambdas holds every intervention coefficient in Config.Interventions()
 	// order, on the scaled series.
 	Lambdas []float64
+
+	// Attempts is the number of optimization starts tried before this fit
+	// succeeded: 1 when the default start converged, more when the
+	// multi-start recovery had to perturb the initial parameters.
+	Attempts int
 
 	// Scaled is the series the model was fitted to (y divided by Scale).
 	Scaled []float64
@@ -93,11 +112,6 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 	if cfg.Seasonal {
 		nq = 2
 	}
-	start := make([]float64, nq)
-	start[0] = math.Log(0.2) // q_ξ
-	if cfg.Seasonal {
-		start[1] = math.Log(0.1) // q_ω
-	}
 	objective := func(params []float64) float64 {
 		ll, _, err := concentratedLogLik(scaled, cfg, searchModel, params, ws)
 		if err != nil {
@@ -105,17 +119,40 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 		}
 		return -ll
 	}
-	res, err := optimize.NelderMead(objective, start, optimize.NelderMeadOptions{MaxIter: cfg.MaxIter, Step: 1.0})
+
+	// Multi-start recovery: the default start is tried first and, when it
+	// converges to a finite value, wins outright — the common case costs
+	// exactly one optimization, identical to a single-start fit. A start
+	// that errors or lands on +Inf is discarded; a finite but non-converged
+	// start is kept as a candidate while the perturbed starts get a chance to
+	// do better. Only when every start fails is the series declared failed.
+	var best optimize.Result
+	haveBest := false
+	attempts := 0
+	for _, s0 := range startPoints(nq) {
+		attempts++
+		if err := faultpoint.Inject("ssm/fit-attempt", strconv.Itoa(attempts)); err != nil {
+			continue
+		}
+		res, err := optimize.NelderMead(objective, s0, optimize.NelderMeadOptions{MaxIter: cfg.MaxIter, Step: 1.0})
+		if err != nil || math.IsInf(res.F, 1) || math.IsNaN(res.F) {
+			continue
+		}
+		if !haveBest || res.F < best.F {
+			best, haveBest = res, true
+		}
+		if res.Converged {
+			break
+		}
+	}
+	if !haveBest {
+		return nil, &OptimizationError{Attempts: attempts}
+	}
+	logLik, sigma2, err := concentratedLogLik(scaled, cfg, searchModel, best.X, ws)
 	if err != nil {
 		return nil, err
 	}
-	if math.IsInf(res.F, 1) {
-		return nil, errors.New("ssm: likelihood optimization failed to find a finite value")
-	}
-	logLik, sigma2, err := concentratedLogLik(scaled, cfg, searchModel, res.X, ws)
-	if err != nil {
-		return nil, err
-	}
+	res := best
 
 	epsVar := sigma2
 	xiVar := sigma2 * math.Exp(res.X[0])
@@ -142,6 +179,7 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 		OmegaVar:  omegaVar,
 		Scaled:    scaled,
 		Scale:     scale,
+		Attempts:  attempts,
 	}
 	fit.AIC = -2*fit.LogLik + 2*float64(fit.NumParams)
 	if ivs := cfg.Interventions(); len(ivs) > 0 {
@@ -153,6 +191,29 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 		fit.Lambda = fit.Lambdas[0]
 	}
 	return fit, nil
+}
+
+// startPoints returns the deterministic initial log-variance points of the
+// multi-start search: the historical default first (so healthy fits are
+// unchanged), then perturbations spanning smoother and noisier regimes of
+// (q_ξ, q_ω).
+func startPoints(nq int) [][]float64 {
+	bases := [...][2]float64{
+		{0.2, 0.1}, // default start
+		{0.02, 0.02},
+		{1.5, 0.5},
+		{0.005, 1.0},
+	}
+	out := make([][]float64, len(bases))
+	for i, b := range bases {
+		s := make([]float64, nq)
+		s[0] = math.Log(b[0])
+		if nq > 1 {
+			s[1] = math.Log(b[1])
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // concentratedLogLik evaluates the profile log-likelihood at relative

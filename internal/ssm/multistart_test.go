@@ -1,0 +1,89 @@
+package ssm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mictrend/internal/faultpoint"
+)
+
+func multistartSeries() []float64 {
+	y := make([]float64, 36)
+	for t := range y {
+		y[t] = 50 + 0.3*float64(t) + 4*math.Sin(2*math.Pi*float64(t)/12)
+	}
+	return y
+}
+
+// TestMultiStartRecoversFromFailedAttempt injects a failure into the first
+// optimization start and checks that the fit recovers from a perturbed start
+// instead of declaring the series failed.
+func TestMultiStartRecoversFromFailedAttempt(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Enable("ssm/fit-attempt", faultpoint.Spec{
+		Match: func(detail string) bool { return detail == "1" },
+	})
+	fit, err := FitConfig(multistartSeries(), Config{Seasonal: true})
+	if err != nil {
+		t.Fatalf("fit did not recover: %v", err)
+	}
+	if fit.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2 (first start injected to fail)", fit.Attempts)
+	}
+	if math.IsInf(fit.LogLik, 0) || math.IsNaN(fit.LogLik) {
+		t.Fatalf("recovered fit has non-finite log-likelihood %v", fit.LogLik)
+	}
+}
+
+// TestMultiStartExhaustionReturnsOptimizationError fails every start and
+// checks the typed error carries the attempt count.
+func TestMultiStartExhaustionReturnsOptimizationError(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Enable("ssm/fit-attempt", faultpoint.Spec{})
+	_, err := FitConfig(multistartSeries(), Config{Seasonal: true})
+	if err == nil {
+		t.Fatal("fit succeeded with every start failing")
+	}
+	var oe *OptimizationError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v (%T), want *OptimizationError", err, err)
+	}
+	if oe.Attempts != len(startPoints(2)) {
+		t.Fatalf("Attempts = %d, want %d", oe.Attempts, len(startPoints(2)))
+	}
+}
+
+// TestHealthyFitUsesSingleAttempt checks the fast path: a series whose
+// default start converges must not pay for extra starts, and must produce
+// the same fit as before multi-start existed.
+func TestHealthyFitUsesSingleAttempt(t *testing.T) {
+	fit, err := FitConfig(multistartSeries(), Config{Seasonal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1 for a healthy series", fit.Attempts)
+	}
+}
+
+func TestStartPointsShape(t *testing.T) {
+	for _, nq := range []int{1, 2} {
+		pts := startPoints(nq)
+		if len(pts) < 2 {
+			t.Fatalf("want at least 2 starts, got %d", len(pts))
+		}
+		for i, p := range pts {
+			if len(p) != nq {
+				t.Fatalf("start %d has dim %d, want %d", i, len(p), nq)
+			}
+		}
+		// The first start must remain the historical default so healthy fits
+		// are byte-identical to single-start fits.
+		if pts[0][0] != math.Log(0.2) {
+			t.Fatalf("first start q_ξ = %v, want log(0.2)", pts[0][0])
+		}
+	}
+}

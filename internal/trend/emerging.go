@@ -1,6 +1,7 @@
 package trend
 
 import (
+	"fmt"
 	"sort"
 
 	"mictrend/internal/mic"
@@ -36,9 +37,18 @@ type Emerging struct {
 // positive slope coefficient and projects it horizon months ahead, returning
 // the list sorted by projected growth (largest first). Detections without a
 // change point or with a non-positive slope are skipped — declines and
-// stable series are not "emerging".
+// stable series are not "emerging". A series whose refit or forecast fails
+// is skipped too (the pipeline already produced its detection); the error
+// return reports the first such failure alongside the surviving
+// projections, so callers can degrade it to a warning.
 func EmergingTrends(dets []Detection, seasonal bool, horizon int) ([]Emerging, error) {
 	var out []Emerging
+	var firstErr error
+	keepErr := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, det := range dets {
 		if !det.Result.Detected() || horizon <= 0 {
 			continue
@@ -48,7 +58,8 @@ func EmergingTrends(dets []Detection, seasonal bool, horizon int) ([]Emerging, e
 			ChangePoint: det.Result.ChangePoint,
 		})
 		if err != nil {
-			return nil, err
+			keepErr(fmt.Errorf("trend: projecting %s: %w", seriesKey(det), err))
+			continue
 		}
 		slope := fit.Lambda * fit.Scale
 		if slope <= 0 {
@@ -56,7 +67,8 @@ func EmergingTrends(dets []Detection, seasonal bool, horizon int) ([]Emerging, e
 		}
 		mean, _, err := fit.Forecast(horizon)
 		if err != nil {
-			return nil, err
+			keepErr(fmt.Errorf("trend: projecting %s: %w", seriesKey(det), err))
+			continue
 		}
 		e := Emerging{
 			Kind:          det.Kind,
@@ -73,5 +85,5 @@ func EmergingTrends(dets []Detection, seasonal bool, horizon int) ([]Emerging, e
 	sort.Slice(out, func(a, b int) bool {
 		return out[a].ProjectedGrowth > out[b].ProjectedGrowth
 	})
-	return out, nil
+	return out, firstErr
 }

@@ -8,14 +8,20 @@
 package trend
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"mictrend/internal/changepoint"
+	"mictrend/internal/faultpoint"
 	"mictrend/internal/medmodel"
 	"mictrend/internal/mic"
+	"mictrend/internal/ssm"
 )
 
 // Method selects the change point search algorithm.
@@ -113,28 +119,129 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// FailureStage identifies where in the pipeline a recorded failure occurred.
+type FailureStage int
+
+// Failure stages.
+const (
+	// StageModel is a per-month EM fit failure; the month was degraded to
+	// the cooccurrence fallback model.
+	StageModel FailureStage = iota
+	// StageValidate is a series rejected before detection (NaN/Inf values).
+	StageValidate
+	// StageDetect is a change point search that failed or panicked; the
+	// series carries no detection.
+	StageDetect
+)
+
+// String names the stage.
+func (s FailureStage) String() string {
+	switch s {
+	case StageModel:
+		return "model"
+	case StageValidate:
+		return "validate"
+	default:
+		return "detect"
+	}
+}
+
+// Failure is one recorded per-month or per-series degradation: the pipeline
+// kept running, and this entry explains what was skipped or downgraded.
+type Failure struct {
+	// Stage is the pipeline stage that failed.
+	Stage FailureStage
+	// Kind, Disease, Medicine identify the series for StageValidate and
+	// StageDetect failures (as in Detection, id validity depends on Kind).
+	Kind     SeriesKind
+	Disease  mic.DiseaseID
+	Medicine mic.MedicineID
+	// Month is the failed month for StageModel failures, -1 otherwise.
+	Month int
+	// Err is the failure message.
+	Err string
+	// Attempts is the number of optimization starts tried before the series
+	// was declared failed (0 when unknown or not applicable).
+	Attempts int
+	// Panicked reports whether the failure was a recovered worker panic.
+	Panicked bool
+}
+
+// String renders the failure for reports.
+func (f Failure) String() string {
+	var what string
+	if f.Stage == StageModel {
+		what = fmt.Sprintf("month %d", f.Month)
+	} else {
+		what = seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine})
+	}
+	s := fmt.Sprintf("%s %s: %s", f.Stage, what, f.Err)
+	if f.Attempts > 0 {
+		s += fmt.Sprintf(" (after %d starts)", f.Attempts)
+	}
+	return s
+}
+
+// seriesKey identifies a job's series for failure reports and fault points.
+func seriesKey(det Detection) string {
+	switch det.Kind {
+	case KindDisease:
+		return "disease:" + strconv.Itoa(int(det.Disease))
+	case KindMedicine:
+		return "medicine:" + strconv.Itoa(int(det.Medicine))
+	default:
+		return "prescription:" + strconv.Itoa(int(det.Disease)) + "/" + strconv.Itoa(int(det.Medicine))
+	}
+}
+
 // Analysis is the full pipeline output.
 type Analysis struct {
-	// Models holds the fitted medication model per month.
+	// Models holds the fitted medication model per month. Months whose EM
+	// fit failed carry the cooccurrence fallback model and a StageModel
+	// failure entry.
 	Models []*medmodel.Model
 	// Series holds the reproduced (and reliability-filtered) time series.
 	Series *medmodel.SeriesSet
 	// Diseases, Medicines, Prescriptions hold one Detection per surviving
-	// series, sorted by id for determinism.
+	// series, sorted by id for determinism. Series whose detection failed
+	// are absent here and present in Failures.
 	Diseases      []Detection
 	Medicines     []Detection
 	Prescriptions []Detection
+	// Failures records every per-month and per-series degradation of the
+	// run, sorted deterministically (stage, then month/ids).
+	Failures []Failure
 	// TotalFits counts model fits across all searches (Table V's cost).
 	TotalFits int
 }
 
 // Analyze runs the full two-stage pipeline.
-func Analyze(ds *mic.Dataset, opts Options) (*Analysis, error) {
+//
+// Failure semantics: the pipeline degrades instead of failing atomically. A
+// month whose EM fit errors or panics falls back to the cooccurrence model;
+// a series containing NaN/Inf is skipped before detection; a series whose
+// change point search fails (after multi-start recovery) or panics loses
+// only its own detection. Every such event is recorded in
+// Analysis.Failures. The error return is reserved for corpus-level problems
+// (reproduction) and for ctx: when ctx is cancelled mid-scan, Analyze stops
+// within one in-flight model fit and returns the detections completed so far
+// alongside ctx's error.
+func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	filtered := mic.FilterDataset(ds, mic.FilterOptions{MinMonthlyFreq: opts.MinMonthlyFreq})
-	models, err := medmodel.FitAll(filtered, opts.EM)
+	analysis := &Analysis{}
+	models, monthFails, err := medmodel.FitAll(ctx, filtered, opts.EM)
 	if err != nil {
 		return nil, fmt.Errorf("trend: fitting medication models: %w", err)
+	}
+	for _, mf := range monthFails {
+		models[mf.Month] = medmodel.FallbackModel(filtered.Months[mf.Month], filtered.Medicines.Len())
+		analysis.Failures = append(analysis.Failures, Failure{
+			Stage: StageModel, Month: mf.Month, Err: mf.Err.Error(), Panicked: mf.Panicked,
+		})
 	}
 	series, err := medmodel.Reproduce(filtered, models)
 	if err != nil {
@@ -142,12 +249,13 @@ func Analyze(ds *mic.Dataset, opts Options) (*Analysis, error) {
 	}
 	series = series.FilterMinTotal(opts.MinSeriesTotal)
 
-	analysis := &Analysis{Models: models, Series: series}
-	jobs := collectJobs(series)
-	results, totalFits, err := detectAll(jobs, opts)
-	if err != nil {
-		return nil, err
-	}
+	analysis.Models = models
+	analysis.Series = series
+	jobs, valFails := validateJobs(collectJobs(series))
+	analysis.Failures = append(analysis.Failures, valFails...)
+	results, detFails, totalFits, derr := detectAll(ctx, jobs, opts)
+	analysis.Failures = append(analysis.Failures, detFails...)
+	sortFailures(analysis.Failures)
 	analysis.TotalFits = totalFits
 	for _, det := range results {
 		switch det.Kind {
@@ -159,7 +267,60 @@ func Analyze(ds *mic.Dataset, opts Options) (*Analysis, error) {
 			analysis.Prescriptions = append(analysis.Prescriptions, det)
 		}
 	}
+	if derr != nil {
+		// Cancelled mid-scan: hand back the partial analysis with the error
+		// so callers can report what completed.
+		return analysis, derr
+	}
 	return analysis, nil
+}
+
+// validateJobs rejects series the Kalman filter cannot digest (NaN or Inf
+// values would poison every downstream covariance update), recording one
+// failure per rejected series.
+func validateJobs(jobs []Detection) (valid []Detection, failures []Failure) {
+	valid = jobs[:0]
+	for _, det := range jobs {
+		if i, ok := firstNonFinite(det.Series); ok {
+			failures = append(failures, Failure{
+				Stage: StageValidate, Kind: det.Kind, Disease: det.Disease, Medicine: det.Medicine,
+				Month: -1, Err: fmt.Sprintf("series value at month %d is %v", i, det.Series[i]),
+			})
+			continue
+		}
+		valid = append(valid, det)
+	}
+	return valid, failures
+}
+
+// firstNonFinite returns the index of the first NaN/Inf value of y.
+func firstNonFinite(y []float64) (int, bool) {
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// sortFailures orders failures deterministically regardless of worker
+// completion order: stage, then month, then series identity.
+func sortFailures(fs []Failure) {
+	sort.Slice(fs, func(a, b int) bool {
+		if fs[a].Stage != fs[b].Stage {
+			return fs[a].Stage < fs[b].Stage
+		}
+		if fs[a].Month != fs[b].Month {
+			return fs[a].Month < fs[b].Month
+		}
+		if fs[a].Kind != fs[b].Kind {
+			return fs[a].Kind < fs[b].Kind
+		}
+		if fs[a].Disease != fs[b].Disease {
+			return fs[a].Disease < fs[b].Disease
+		}
+		return fs[a].Medicine < fs[b].Medicine
+	})
 }
 
 // collectJobs enumerates every series to search, deterministically ordered.
@@ -195,56 +356,124 @@ func collectJobs(series *medmodel.SeriesSet) []Detection {
 }
 
 // detectAll runs change point detection over the jobs with a worker pool.
-func detectAll(jobs []Detection, opts Options) ([]Detection, int, error) {
-	type indexed struct {
-		i   int
-		det Detection
-		err error
+//
+// The pool is fault-tolerant and cancellable: a worker panic or a failed
+// search is confined to its series (recorded as a Failure), and cancelling
+// ctx stops dispatch immediately — in-flight searches abort within one model
+// fit — returning the detections completed so far with ctx's error. Results
+// are independent per series and assembled by job index, so they are
+// deterministic under any worker count and byte-identical for the surviving
+// series whether or not other series failed.
+func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection, []Failure, int, error) {
+	type outcome struct {
+		i         int
+		det       Detection
+		fail      *Failure
+		cancelled bool
 	}
 	in := make(chan int)
-	out := make(chan indexed)
+	out := make(chan outcome)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range in {
-				det := jobs[i]
-				var res changepoint.Result
-				var err error
-				if opts.Method == MethodExact {
-					res, err = changepoint.DetectExact(det.Series, opts.Seasonal)
-				} else {
-					res, err = changepoint.DetectBinary(det.Series, opts.Seasonal)
+				if ctx.Err() != nil {
+					out <- outcome{i: i, cancelled: true}
+					continue
 				}
-				det.Result = res
-				out <- indexed{i: i, det: det, err: err}
+				det, fail, cancelled := runDetection(ctx, jobs[i], opts)
+				out <- outcome{i: i, det: det, fail: fail, cancelled: cancelled}
 			}
 		}()
 	}
 	go func() {
+		defer func() {
+			wg.Wait()
+			close(out)
+		}()
+		defer close(in)
 		for i := range jobs {
-			in <- i
+			select {
+			case in <- i:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(in)
-		wg.Wait()
-		close(out)
 	}()
 
-	results := make([]Detection, len(jobs))
-	var firstErr error
+	dets := make([]Detection, len(jobs))
+	done := make([]bool, len(jobs))
+	var failures []Failure
 	totalFits := 0
-	for r := range out {
-		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("trend: detecting %s series: %w", r.det.Kind, r.err)
+	for o := range out {
+		switch {
+		case o.cancelled:
+		case o.fail != nil:
+			failures = append(failures, *o.fail)
+		default:
+			dets[o.i] = o.det
+			done[o.i] = true
+			totalFits += o.det.Result.Fits
 		}
-		results[r.i] = r.det
-		totalFits += r.det.Result.Fits
 	}
-	if firstErr != nil {
-		return nil, 0, firstErr
+	results := make([]Detection, 0, len(jobs))
+	for i, ok := range done {
+		if ok {
+			results = append(results, dets[i])
+		}
 	}
-	return results, totalFits, nil
+	return results, failures, totalFits, ctx.Err()
+}
+
+// runDetection searches one series with panic isolation: a crash anywhere in
+// the model fitting stack fails this series only. The cancelled return
+// distinguishes a context abort (not a series failure) from a genuine one.
+func runDetection(ctx context.Context, job Detection, opts Options) (det Detection, fail *Failure, cancelled bool) {
+	det = job
+	defer func() {
+		if r := recover(); r != nil {
+			det = job
+			fail = &Failure{
+				Stage: StageDetect, Kind: job.Kind, Disease: job.Disease, Medicine: job.Medicine,
+				Month: -1, Err: fmt.Sprintf("panic: %v", r), Panicked: true,
+			}
+			cancelled = false
+		}
+	}()
+	if err := faultpoint.Inject("trend/detect", seriesKey(job)); err != nil {
+		return det, detectFailure(job, err), false
+	}
+	var res changepoint.Result
+	var err error
+	if opts.Method == MethodExact {
+		res, err = changepoint.DetectExactContext(ctx, det.Series, opts.Seasonal)
+	} else {
+		res, err = changepoint.DetectBinaryContext(ctx, det.Series, opts.Seasonal)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return det, nil, true
+		}
+		return det, detectFailure(job, err), false
+	}
+	det.Result = res
+	return det, nil, false
+}
+
+// detectFailure builds the StageDetect failure record for a series,
+// extracting the multi-start attempt count when the fit stack provides one.
+func detectFailure(job Detection, err error) *Failure {
+	f := &Failure{
+		Stage: StageDetect, Kind: job.Kind, Disease: job.Disease, Medicine: job.Medicine,
+		Month: -1, Err: err.Error(),
+	}
+	var oe *ssm.OptimizationError
+	if errors.As(err, &oe) {
+		f.Attempts = oe.Attempts
+	}
+	return f
 }
 
 // DetectedChangePoints returns the subset of detections with a change point,

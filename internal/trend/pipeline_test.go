@@ -1,6 +1,7 @@
 package trend
 
 import (
+	"context"
 	"testing"
 
 	"mictrend/internal/mic"
@@ -33,7 +34,7 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 	opts.Method = MethodBinary // keep runtime modest
 	opts.Seasonal = false
 	opts.MinSeriesTotal = 200 // focus on substantial series
-	analysis, err := Analyze(ds, opts)
+	analysis, err := Analyze(context.Background(), ds, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestAnalyzeFindsNewMedicineRelease(t *testing.T) {
 	opts.Method = MethodExact
 	opts.Seasonal = false
 	opts.MinSeriesTotal = 100
-	analysis, err := Analyze(ds, opts)
+	analysis, err := Analyze(context.Background(), ds, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func TestAnalyzeExactAndBinaryAgreeOnDetections(t *testing.T) {
 	exactOpts.Method = MethodExact
 	binOpts := base
 	binOpts.Method = MethodBinary
-	exact, err := Analyze(ds, exactOpts)
+	exact, err := Analyze(context.Background(), ds, exactOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	binary, err := Analyze(ds, binOpts)
+	binary, err := Analyze(context.Background(), ds, binOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,7 @@
 package mictrend
 
 import (
+	"context"
 	"io"
 
 	"mictrend/internal/apps"
@@ -70,15 +71,37 @@ const (
 // NewDataset returns an empty dataset with fresh vocabularies.
 func NewDataset() *Dataset { return mic.NewDataset() }
 
-// ReadCorpus reads a dataset written by WriteCorpus.
+// Codec resilience types.
+type (
+	// CorpusReadOptions controls lenient vs. strict decoding of malformed
+	// corpus lines.
+	CorpusReadOptions = mic.ReadOptions
+	// CorpusReadStats reports how many malformed lines a lenient read
+	// skipped.
+	CorpusReadStats = mic.ReadStats
+)
+
+// ReadCorpus reads a dataset written by WriteCorpus, skipping malformed
+// record lines; use ReadCorpusStats to observe or forbid skips.
 func ReadCorpus(r io.Reader) (*Dataset, error) { return mic.Read(r) }
+
+// ReadCorpusStats reads a dataset with explicit lenient/strict handling of
+// malformed record lines, reporting what was skipped.
+func ReadCorpusStats(r io.Reader, opts CorpusReadOptions) (*Dataset, CorpusReadStats, error) {
+	return mic.ReadWithStats(r, opts)
+}
 
 // WriteCorpus serializes a dataset as JSONL.
 func WriteCorpus(w io.Writer, d *Dataset) error { return mic.Write(w, d) }
 
 // ReadCorpusFile reads a dataset from a file, transparently decompressing
-// ".gz" paths.
+// ".gz" paths and skipping malformed record lines.
 func ReadCorpusFile(path string) (*Dataset, error) { return mic.ReadFile(path) }
+
+// ReadCorpusFileStats is ReadCorpusStats for files.
+func ReadCorpusFileStats(path string, opts CorpusReadOptions) (*Dataset, CorpusReadStats, error) {
+	return mic.ReadFileWithStats(path, opts)
+}
 
 // WriteCorpusFile writes a dataset to a file, gzip-compressing ".gz" paths.
 func WriteCorpusFile(path string, d *Dataset) error { return mic.WriteFile(path, d) }
@@ -125,15 +148,38 @@ func FitMedicationModel(month *Monthly, vocabMedicines int, opts EMOptions) (*Me
 	return medmodel.Fit(month, vocabMedicines, opts)
 }
 
-// FitMedicationModels fits one model per month.
+// MonthFitError describes one month whose EM fit failed or panicked.
+type MonthFitError = medmodel.MonthError
+
+// FitMedicationModels fits one model per month, failing fast on the first
+// month that cannot be fitted. Use FitMedicationModelsContext for
+// skip-and-report semantics and cancellation.
 func FitMedicationModels(d *Dataset, opts EMOptions) ([]*MedicationModel, error) {
-	return medmodel.FitAll(d, opts)
+	models, fails, err := medmodel.FitAll(context.Background(), d, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(fails) > 0 {
+		return nil, fails[0].Err
+	}
+	return models, nil
+}
+
+// FitMedicationModelsContext fits one model per month under ctx. Months that
+// fail (or panic) leave a nil model and a MonthFitError; the error return is
+// reserved for cancellation, alongside the partial results.
+func FitMedicationModelsContext(ctx context.Context, d *Dataset, opts EMOptions) ([]*MedicationModel, []MonthFitError, error) {
+	return medmodel.FitAll(ctx, d, opts)
 }
 
 // FitMedicationModelsSmoothed chains a Dirichlet prior across months (the
 // paper's §IX Dynamic Topic Model direction).
 func FitMedicationModelsSmoothed(d *Dataset, opts EMOptions, priorWeight float64) ([]*MedicationModel, error) {
-	return medmodel.FitAllSmoothed(d, opts, priorWeight)
+	models, err := medmodel.FitAllSmoothed(context.Background(), d, opts, priorWeight)
+	if err != nil {
+		return nil, err
+	}
+	return models, nil
 }
 
 // ReproduceSeries applies fitted models to their months and accumulates the
@@ -202,6 +248,11 @@ type (
 	Cause = trend.Cause
 	// Emerging is a detected upward trend with its projection.
 	Emerging = trend.Emerging
+	// AnalysisFailure records one series or month the pipeline degraded
+	// around instead of aborting.
+	AnalysisFailure = trend.Failure
+	// FailureStage identifies the pipeline stage a failure occurred in.
+	FailureStage = trend.FailureStage
 	// DiseaseShare is one row of a medicine's disease ranking.
 	DiseaseShare = apps.DiseaseShare
 	// CityCounts maps city → medicine → estimated prescription count.
@@ -231,13 +282,28 @@ const (
 	KindPrescription = trend.KindPrescription
 )
 
+// Pipeline failure stages.
+const (
+	StageModel    = trend.StageModel
+	StageValidate = trend.StageValidate
+	StageDetect   = trend.StageDetect
+)
+
 // DefaultAnalysisOptions mirrors the paper's setup (seasonal model, exact
 // search, §VI filters).
 func DefaultAnalysisOptions() AnalysisOptions { return trend.DefaultOptions() }
 
-// AnalyzeTrends runs the full two-stage pipeline.
+// AnalyzeTrends runs the full two-stage pipeline. Per-series and per-month
+// problems do not abort the run; they are recorded in Analysis.Failures.
 func AnalyzeTrends(d *Dataset, opts AnalysisOptions) (*Analysis, error) {
-	return trend.Analyze(d, opts)
+	return trend.Analyze(context.Background(), d, opts)
+}
+
+// AnalyzeTrendsContext is AnalyzeTrends under a context: cancellation stops
+// the scan within one in-flight model fit and returns the partial analysis
+// together with ctx's error.
+func AnalyzeTrendsContext(ctx context.Context, d *Dataset, opts AnalysisOptions) (*Analysis, error) {
+	return trend.Analyze(ctx, d, opts)
 }
 
 // ClassifyChanges attributes each detected prescription change to its cause.
