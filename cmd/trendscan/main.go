@@ -38,6 +38,7 @@ func main() {
 		minTotal    = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
 		top         = flag.Int("top", 20, "number of strongest changes to print per kind")
 		workers     = flag.Int("workers", 0, "worker pool size for model fitting and change point detection (0 = GOMAXPROCS)")
+		scanWorkers = flag.Int("scan-workers", 0, "max workers one exact change point scan may claim from the shared -workers budget (0 = auto: soak up idle workers, 1 = serial scans)")
 		emerging    = flag.Int("emerging", 0, "also project the detected upward prescription trends this many months ahead")
 		csvPath     = flag.String("csv", "", "write the reproduced prescription series to this CSV file for external plotting")
 		strict      = flag.Bool("strict", false, "abort on the first malformed corpus line instead of skipping it")
@@ -73,6 +74,7 @@ func main() {
 	opts.Seasonal = *seasonal
 	opts.MinSeriesTotal = *minTotal
 	opts.Workers = *workers
+	opts.ScanWorkers = *scanWorkers
 	switch *method {
 	case "exact":
 		opts.Method = trend.MethodExact

@@ -11,7 +11,9 @@ package changepoint
 import (
 	"context"
 	"fmt"
+	"strconv"
 
+	"mictrend/internal/faultpoint"
 	"mictrend/internal/kalman"
 	"mictrend/internal/ssm"
 )
@@ -28,8 +30,14 @@ type Result struct {
 	AIC float64
 	// NoChangeAIC is the score of the intervention-free model.
 	NoChangeAIC float64
-	// Fits counts distinct model fits performed (cache misses), the cost
-	// measure behind the paper's Table V.
+	// Fits counts distinct model fits performed, the cost measure behind
+	// the paper's Table V. In the memoized serial searches it is the cache
+	// miss count; in the parallel exact scan every evaluated candidate is
+	// fitted exactly once (plus, under WarmStart, the refinement pass's
+	// cold refits of the near-winning candidates). Either way the count
+	// depends only on the series, its length, and the search method — never
+	// on worker scheduling — so it is deterministic under concurrent
+	// evaluation.
 	Fits int
 }
 
@@ -37,7 +45,10 @@ type Result struct {
 func (r Result) Detected() bool { return r.ChangePoint != ssm.NoChangePoint }
 
 // evaluator memoizes AIC evaluations so shared endpoints in the binary
-// search cost one fit.
+// search cost one fit. It backs the serial searches only and is not safe
+// for concurrent use; ExactParallel needs no memo (each candidate is
+// evaluated exactly once) and shards candidates across private
+// FitEvaluators instead.
 type evaluator struct {
 	f     AICFunc
 	cache map[int]float64
@@ -51,6 +62,9 @@ func newEvaluator(f AICFunc) *evaluator {
 func (e *evaluator) aic(cp int) (float64, error) {
 	if v, ok := e.cache[cp]; ok {
 		return v, nil
+	}
+	if err := faultpoint.Inject(scanFault, strconv.Itoa(cp)); err != nil {
+		return 0, err
 	}
 	v, err := e.f(cp)
 	if err != nil {
@@ -172,9 +186,13 @@ func findWithin(e *evaluator, left, right int) (int, error) {
 // (with or without seasonality) to y at each candidate change point. The
 // returned function owns a Kalman workspace reused across every fit of the
 // search, so the per-candidate Nelder-Mead evaluations allocate nothing in
-// the filtering kernel; it is therefore not safe for concurrent use —
-// callers running searches in parallel must create one evaluator per
-// goroutine, as the trend pipeline's worker pool does.
+// the filtering kernel. Concurrency contract: the returned function is NOT
+// goroutine-safe (the workspace is mutable scratch) and neither are the
+// Exact/Binary drivers that consume it. The goroutine-safe entry points are
+// the Detect* functions — each call builds its own evaluator, so any number
+// of searches over different series may run concurrently — and
+// ExactParallel/DetectExactParallelContext, which parallelize within one
+// search by giving each worker a private evaluator via SSMFitEvaluator.
 func SSMEvaluator(y []float64, seasonal bool) AICFunc {
 	ws := kalman.NewWorkspace()
 	return func(cp int) (float64, error) {

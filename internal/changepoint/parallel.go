@@ -1,0 +1,283 @@
+package changepoint
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/kalman"
+	"mictrend/internal/ssm"
+)
+
+// FitEvaluator fits the model at candidate cp (ssm.NoChangePoint for the
+// intervention-free variant) and returns its AIC plus the optimizer's
+// solution, which the scan threads into the next candidate's start. start is
+// nil for a cold fit; implementations may ignore it (and may return a nil
+// opt) at the cost of warm-start speedups. Like AICFunc evaluators, a
+// FitEvaluator need not be goroutine-safe: ExactParallel builds one per
+// worker through its factory and never shares them.
+type FitEvaluator func(cp int, start []float64) (aic float64, opt []float64, err error)
+
+// DefaultGrain is the number of consecutive candidates a scan shard fits as
+// one unit. Warm-start chains reset at shard boundaries (each shard's first
+// fit is cold), so the grain trades amortization against load balance:
+// larger shards warm-start more fits, smaller shards keep more workers busy.
+// Because shards are carved from the candidate range by grain alone —
+// never by worker count — the scan's result is invariant to Workers.
+const DefaultGrain = 8
+
+// ParallelOptions configures the candidate-sharded exact scan.
+type ParallelOptions struct {
+	// Workers is the number of concurrent shard workers (≤0 = GOMAXPROCS).
+	// Any value yields identical results; it only sets the concurrency.
+	Workers int
+	// WarmStart seeds each fit with the previous candidate's optimum inside
+	// a shard and lets those fits stop at scan tolerances (see
+	// ssm.FitOptions.Start). The AIC curve over candidates is valley-shaped
+	// around a true break (paper Fig. 5), so adjacent candidates pose
+	// near-identical optimization problems and warm starts cut roughly half
+	// the simplex search. Warm AICs carry a small slack (optimizer
+	// tolerance, and occasionally a near-tied basin of a multimodal
+	// likelihood), so the scan ends with a refinement pass: every candidate
+	// whose warm AIC lands within refineMargin of the provisional winner is
+	// refitted cold, making the final comparison among contenders use
+	// exactly the serial scan's AICs. Result.Fits counts the extra refits.
+	// The result is deterministic for a fixed (series, Grain) — Workers
+	// never changes it.
+	WarmStart bool
+	// Grain overrides DefaultGrain (0 = default). Results depend on Grain
+	// only when WarmStart is set.
+	Grain int
+}
+
+func (o ParallelOptions) withDefaults() ParallelOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Grain <= 0 {
+		o.Grain = DefaultGrain
+	}
+	return o
+}
+
+// scanFault is the fault-injection site shared by the serial and parallel
+// scans; its detail is the candidate month being fitted.
+const scanFault = "changepoint/candidate"
+
+// refineMargin is the warm scan's refinement band: candidates whose warm AIC
+// is within this margin of the provisional winner are refitted cold before
+// the final reduction. Warm-fit slack is on the order of the scan tolerance
+// (~1e-4, occasionally ~1e-2 on a multimodal likelihood), so a margin of 1 —
+// the conventional "indistinguishable models" AIC gap — comfortably pulls
+// the true winner into the cold-refit set while keeping the set small: the
+// AIC valley is steep away from its bottom.
+const refineMargin = 1.0
+
+// ExactParallel is Algorithm 1 with the candidate set sharded across
+// workers: the no-intervention model and every admissible candidate are
+// fitted exactly once (Result.Fits = candidates + 1, deterministically — no
+// memoization is involved), then reduced with the serial scan's exact
+// tie-breaking (lowest AIC; ties prefer no change point, then the lowest
+// candidate). With WarmStart off the scan is byte-identical to Exact for
+// any worker count; with it on, a cold refinement pass over the near-winning
+// candidates precedes the reduction and Fits grows by the (deterministic)
+// refit count — see ParallelOptions.WarmStart for the warm contract.
+//
+// newEval is called once per worker to build that worker's private
+// evaluator, so evaluators may carry per-goroutine scratch (a Kalman
+// workspace) without locking.
+//
+// Cancellation and failure: ctx aborts the scan within one in-flight fit
+// per worker, returning ctx's error verbatim. A fit failure cancels the
+// remaining shards the same way and is returned after every worker has
+// drained — no goroutines outlive the call. When concurrent fits fail, the
+// reported error is the earliest in the serial scan's evaluation order
+// among those observed (with a single failing candidate — the common case —
+// that is exactly the error the serial scan would return). A panicking fit
+// is re-panicked on the calling goroutine after the workers drain, so
+// callers' panic isolation keeps working.
+func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval func() FitEvaluator) (Result, error) {
+	if n < 2 {
+		return Result{}, fmt.Errorf("changepoint: series length %d too short", n)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = opts.withDefaults()
+
+	// Evaluation positions mirror the serial scan's order: position 0 is the
+	// no-intervention model, position p is candidate p−1.
+	total := maxCandidate(n) + 2
+	nShards := (total + opts.Grain - 1) / opts.Grain
+	workers := opts.Workers
+	if workers > nShards {
+		workers = nShards
+	}
+
+	aics := make([]float64, total)
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// firstFailure keeps the failure (error or panic) with the lowest
+	// serial-order position across workers.
+	var (
+		mu        sync.Mutex
+		failPos   = total
+		failErr   error
+		failPanic any
+	)
+	record := func(pos int, err error, panicked any) {
+		mu.Lock()
+		if pos < failPos {
+			failPos, failErr, failPanic = pos, err, panicked
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	shards := make(chan int, nShards)
+	for s := 0; s < nShards; s++ {
+		shards <- s
+	}
+	close(shards)
+
+	work := func(eval FitEvaluator) {
+		for s := range shards {
+			lo := s * opts.Grain
+			hi := lo + opts.Grain
+			if hi > total {
+				hi = total
+			}
+			var warm []float64
+			for pos := lo; pos < hi; pos++ {
+				if inner.Err() != nil {
+					return
+				}
+				cp := pos - 1
+				if cp < 0 {
+					cp = ssm.NoChangePoint
+				}
+				if err := faultpoint.Inject(scanFault, strconv.Itoa(cp)); err != nil {
+					record(pos, err, nil)
+					return
+				}
+				var start []float64
+				if opts.WarmStart {
+					start = warm
+				}
+				var panicked bool
+				aic, opt, err := func() (aic float64, opt []float64, err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked = true
+							record(pos, nil, r)
+						}
+					}()
+					return eval(cp, start)
+				}()
+				if panicked {
+					return
+				}
+				if err != nil {
+					record(pos, err, nil)
+					return
+				}
+				aics[pos] = aic
+				warm = opt
+			}
+		}
+	}
+	if workers <= 1 {
+		work(newEval())
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work(newEval())
+			}()
+		}
+		wg.Wait()
+	}
+
+	if failPos < total {
+		if failPanic != nil {
+			panic(failPanic)
+		}
+		return Result{}, failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	// Warm refinement: refit the contenders cold so near-tied candidates are
+	// compared with the serial scan's exact AICs, not warm-tolerance ones.
+	// The refit set derives from the worker-invariant aics array and is
+	// visited in serial order, so determinism is preserved.
+	fits := total
+	if opts.WarmStart {
+		provisional := aics[0]
+		for _, aic := range aics[1:] {
+			if aic < provisional {
+				provisional = aic
+			}
+		}
+		eval := newEval()
+		for pos := 1; pos < total; pos++ {
+			if aics[pos] > provisional+refineMargin {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			aic, _, err := eval(pos-1, nil)
+			if err != nil {
+				return Result{}, err
+			}
+			aics[pos] = aic
+			fits++
+		}
+	}
+
+	// Deterministic reduction, replicating the serial scan's tie-breaking
+	// exactly: strict improvement only, positions visited in serial order.
+	best := ssm.NoChangePoint
+	bestAIC := aics[0]
+	for cp := 0; cp <= maxCandidate(n); cp++ {
+		if aics[cp+1] < bestAIC {
+			best, bestAIC = cp, aics[cp+1]
+		}
+	}
+	return Result{ChangePoint: best, AIC: bestAIC, NoChangeAIC: aics[0], Fits: fits}, nil
+}
+
+// SSMFitEvaluator returns a FitEvaluator fitting the paper's structural
+// model (with or without seasonality) to y. The evaluator owns a Kalman
+// workspace reused across its fits and is therefore not goroutine-safe;
+// ExactParallel's one-evaluator-per-worker factory contract is how it is
+// meant to be shared across a scan.
+func SSMFitEvaluator(y []float64, seasonal bool) FitEvaluator {
+	ws := kalman.NewWorkspace()
+	return func(cp int, start []float64) (float64, []float64, error) {
+		return ssm.AICAtStart(y, seasonal, cp, ws, start)
+	}
+}
+
+// DetectExactParallel runs Algorithm 1 on y with the structural model using
+// the candidate-sharded parallel scan.
+func DetectExactParallel(y []float64, seasonal bool, opts ParallelOptions) (Result, error) {
+	return DetectExactParallelContext(context.Background(), y, seasonal, opts)
+}
+
+// DetectExactParallelContext is DetectExactParallel bounded by ctx:
+// cancellation surfaces as the context's error within one in-flight fit per
+// worker.
+func DetectExactParallelContext(ctx context.Context, y []float64, seasonal bool, opts ParallelOptions) (Result, error) {
+	return ExactParallel(ctx, len(y), opts, func() FitEvaluator {
+		return SSMFitEvaluator(y, seasonal)
+	})
+}

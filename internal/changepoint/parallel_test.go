@@ -1,0 +1,410 @@
+package changepoint
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/ssm"
+)
+
+// randomSeries builds a seeded random-walk series, with a slope break at a
+// seed-dependent month on odd seeds so the property tests cover both the
+// detected and undetected outcomes.
+func randomSeries(seed uint64, n int) []float64 {
+	rng := rand.New(rand.NewPCG(seed, 991))
+	y := make([]float64, n)
+	level := 10 + rng.Float64()*20
+	cp := NoBreak
+	if seed%2 == 1 {
+		cp = n/3 + int(seed%uint64(n/3))
+	}
+	for t := range y {
+		level += rng.NormFloat64() * 0.3
+		y[t] = level + rng.NormFloat64()*0.5
+		if cp != NoBreak {
+			y[t] += 0.8 * ssm.InterventionRegressor(cp, t)
+		}
+	}
+	return y
+}
+
+// NoBreak marks seeds whose series carries no synthetic break.
+const NoBreak = -1
+
+func resultsEqual(a, b Result) bool {
+	return a.ChangePoint == b.ChangePoint && a.AIC == b.AIC &&
+		a.NoChangeAIC == b.NoChangeAIC && a.Fits == b.Fits
+}
+
+// TestExactParallelEquivalence is the PR's core property: the cold parallel
+// scan is identical to the serial exact scan — same ChangePoint, AIC,
+// NoChangeAIC, and Fits, bit for bit — across random series, worker counts
+// 1 through 8, seasonal and non-seasonal models, and shard grains.
+func TestExactParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many real scans")
+	}
+	type tc struct {
+		seed     uint64
+		n        int
+		seasonal bool
+	}
+	cases := []tc{
+		{seed: 1, n: 26, seasonal: false},
+		{seed: 2, n: 34, seasonal: false},
+		{seed: 3, n: 19, seasonal: false},
+		{seed: 4, n: 22, seasonal: true},
+		{seed: 5, n: 20, seasonal: true},
+	}
+	for _, c := range cases {
+		y := randomSeries(c.seed, c.n)
+		want, err := DetectExact(y, c.seasonal)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", c.seed, err)
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			for _, grain := range []int{1, 4, DefaultGrain} {
+				got, err := DetectExactParallel(y, c.seasonal, ParallelOptions{
+					Workers: workers, Grain: grain,
+				})
+				if err != nil {
+					t.Fatalf("seed %d workers %d grain %d: %v", c.seed, workers, grain, err)
+				}
+				if !resultsEqual(got, want) {
+					t.Fatalf("seed %d workers %d grain %d: parallel %+v != serial %+v",
+						c.seed, workers, grain, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExactParallelWarmDeterministic checks the warm-started scan's
+// determinism contract: for a fixed grain the result is bit-identical for
+// every worker count, its selected change point and fit count match the
+// serial scan, its NoChangeAIC is bitwise the serial value (the
+// no-intervention fit is always cold), and its AIC sits close to the cold
+// optimum — a loose relative bound, because on a multimodal likelihood a
+// warm fit may settle in a near-tied neighboring basin rather than the
+// cold multi-start's pick.
+func TestExactParallelWarmDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many real scans")
+	}
+	for _, seasonal := range []bool{false, true} {
+		n := 30
+		if seasonal {
+			n = 22
+		}
+		y := randomSeries(7, n)
+		serial, err := DetectExact(y, seasonal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base Result
+		for workers := 1; workers <= 8; workers++ {
+			got, err := DetectExactParallel(y, seasonal, ParallelOptions{
+				Workers: workers, WarmStart: true,
+			})
+			if err != nil {
+				t.Fatalf("workers %d: %v", workers, err)
+			}
+			if workers == 1 {
+				base = got
+				continue
+			}
+			if !resultsEqual(got, base) {
+				t.Fatalf("seasonal=%v workers %d: warm scan not worker-invariant: %+v != %+v",
+					seasonal, workers, got, base)
+			}
+		}
+		if base.ChangePoint != serial.ChangePoint {
+			t.Fatalf("seasonal=%v: warm change point %d != serial %d", seasonal, base.ChangePoint, serial.ChangePoint)
+		}
+		// The refinement pass adds cold refits on top of the exactly-once
+		// candidate fits; the count must stay modest (the valley is steep).
+		if base.Fits < serial.Fits || base.Fits > serial.Fits+serial.Fits/2 {
+			t.Fatalf("seasonal=%v: warm fits %d outside [%d, %d]", seasonal, base.Fits, serial.Fits, serial.Fits+serial.Fits/2)
+		}
+		if base.NoChangeAIC != serial.NoChangeAIC {
+			t.Fatalf("seasonal=%v: warm NoChangeAIC %v != serial %v", seasonal, base.NoChangeAIC, serial.NoChangeAIC)
+		}
+		if diff := math.Abs(base.AIC - serial.AIC); diff > 0.02*(1+math.Abs(serial.AIC)) {
+			t.Fatalf("seasonal=%v: warm AIC %v too far from serial %v", seasonal, base.AIC, serial.AIC)
+		}
+	}
+}
+
+// syntheticEvaluator is a fast FitEvaluator over the valley curve, counting
+// evaluations through an atomic so fault tests can bound how much work the
+// scan did after a failure.
+func syntheticEvaluator(evals *atomic.Int64, delay time.Duration) func() FitEvaluator {
+	return func() FitEvaluator {
+		return func(cp int, start []float64) (float64, []float64, error) {
+			evals.Add(1)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			aic, _ := valleyAIC(20, 30, 100)(cp)
+			return aic, []float64{1, 2}, nil
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to base or the
+// deadline passes, returning the final count.
+func waitGoroutines(base int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+// TestExactParallelFaultMatchesSerial injects a fit failure at one candidate
+// (through the shared changepoint/candidate fault site) and checks the
+// parallel scan surfaces exactly the error the serial scan returns, stops
+// scanning the remaining shards, and leaks no goroutines.
+func TestExactParallelFaultMatchesSerial(t *testing.T) {
+	const victim = 2
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Enable(scanFault, faultpoint.Spec{
+		Match: func(detail string) bool { return detail == strconv.Itoa(victim) },
+	})
+
+	n := 43
+	var serialEvals atomic.Int64
+	_, serialErr := Exact(n, func(cp int) (float64, error) {
+		serialEvals.Add(1)
+		return valleyAIC(20, 30, 100)(cp)
+	})
+	if serialErr == nil || !errors.Is(serialErr, faultpoint.ErrInjected) {
+		t.Fatalf("serial err = %v, want injected fault", serialErr)
+	}
+
+	before := runtime.NumGoroutine()
+	var evals atomic.Int64
+	_, err := ExactParallel(context.Background(), n, ParallelOptions{Workers: 4, Grain: 4},
+		syntheticEvaluator(&evals, 2*time.Millisecond))
+	if err == nil || !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("parallel err = %v, want injected fault", err)
+	}
+	if err.Error() != serialErr.Error() {
+		t.Fatalf("parallel error %q != serial error %q", err, serialErr)
+	}
+	total := maxCandidate(n) + 2
+	if got := evals.Load(); got >= int64(total) {
+		t.Fatalf("failed scan still evaluated all %d candidates", got)
+	}
+	if after := waitGoroutines(before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestExactParallelPanicPropagates checks a panicking shard cancels the scan
+// and re-panics on the calling goroutine, so the trend pipeline's per-series
+// panic isolation still catches it.
+func TestExactParallelPanicPropagates(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var evals atomic.Int64
+	newEval := func() FitEvaluator {
+		return func(cp int, start []float64) (float64, []float64, error) {
+			evals.Add(1)
+			if cp == 5 {
+				panic("boom at 5")
+			}
+			time.Sleep(time.Millisecond)
+			aic, _ := valleyAIC(20, 30, 100)(cp)
+			return aic, nil, nil
+		}
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic did not propagate")
+			}
+			if s, ok := r.(string); !ok || s != "boom at 5" {
+				t.Fatalf("recovered %v, want the shard's panic value", r)
+			}
+		}()
+		_, _ = ExactParallel(context.Background(), 43, ParallelOptions{Workers: 4, Grain: 4}, newEval)
+	}()
+	if after := waitGoroutines(before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestExactParallelCancellation covers both cancellation paths: a context
+// cancelled before the scan starts and one cancelled mid-scan. Both must
+// return the context's error verbatim and stop promptly.
+func TestExactParallelCancellation(t *testing.T) {
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	var evals atomic.Int64
+	_, err := ExactParallel(pre, 43, ParallelOptions{Workers: 3}, syntheticEvaluator(&evals, 0))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if evals.Load() != 0 {
+		t.Fatalf("pre-cancelled scan evaluated %d candidates", evals.Load())
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	var midEvals atomic.Int64
+	newEval := func() FitEvaluator {
+		return func(cp int, start []float64) (float64, []float64, error) {
+			if midEvals.Add(1) == 5 {
+				cancelMid()
+			}
+			time.Sleep(time.Millisecond)
+			aic, _ := valleyAIC(20, 30, 100)(cp)
+			return aic, nil, nil
+		}
+	}
+	_, err = ExactParallel(ctx, 43, ParallelOptions{Workers: 4, Grain: 4}, newEval)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-scan err = %v, want context.Canceled", err)
+	}
+	if got := midEvals.Load(); got >= int64(maxCandidate(43)+2) {
+		t.Fatalf("cancelled scan still evaluated all %d candidates", got)
+	}
+	if after := waitGoroutines(before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestExactParallelEdgeLengths pins the degenerate series lengths to the
+// serial scan's behavior: too-short series error identically, and lengths
+// with no admissible candidate reduce to the lone no-intervention fit.
+func TestExactParallelEdgeLengths(t *testing.T) {
+	newEval := func() FitEvaluator {
+		return func(cp int, start []float64) (float64, []float64, error) {
+			aic, _ := valleyAIC(0, 1, 10)(cp)
+			return aic, nil, nil
+		}
+	}
+	if _, err := ExactParallel(context.Background(), 1, ParallelOptions{}, newEval); err == nil {
+		t.Fatal("length 1 accepted")
+	}
+	for n := 2; n <= 5; n++ {
+		want, err := Exact(n, valleyAIC(0, 1, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExactParallel(context.Background(), n, ParallelOptions{Workers: 8}, newEval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(got, want) {
+			t.Fatalf("n=%d: parallel %+v != serial %+v", n, got, want)
+		}
+	}
+}
+
+// TestExactParallelTieBreaking feeds a curve with exact AIC ties and checks
+// the parallel reduction replicates the serial preferences: no change point
+// over any candidate, then the lowest candidate month.
+func TestExactParallelTieBreaking(t *testing.T) {
+	flat := func() FitEvaluator {
+		return func(cp int, start []float64) (float64, []float64, error) { return 10, nil, nil }
+	}
+	res, err := ExactParallel(context.Background(), 20, ParallelOptions{Workers: 5, Grain: 3}, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected() {
+		t.Fatalf("tie should prefer no change point, got %d", res.ChangePoint)
+	}
+
+	twin := func() FitEvaluator {
+		return func(cp int, start []float64) (float64, []float64, error) {
+			if cp == 4 || cp == 9 {
+				return 5, nil, nil
+			}
+			return 10, nil, nil
+		}
+	}
+	res, err = ExactParallel(context.Background(), 20, ParallelOptions{Workers: 5, Grain: 3}, twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChangePoint != 4 {
+		t.Fatalf("tied minima should pick the lowest candidate, got %d", res.ChangePoint)
+	}
+}
+
+// TestExactParallelWarmChainsStayInShards verifies the warm-start plumbing:
+// the first fit of every shard is cold, each later shard fit receives the
+// previous candidate's returned optimum, and the trailing refinement pass
+// refits the near-winning candidates cold.
+func TestExactParallelWarmChainsStayInShards(t *testing.T) {
+	const grain = 4
+	const n = 20
+	type call struct {
+		cp    int
+		start []float64
+	}
+	calls := make(chan call, 64)
+	newEval := func() FitEvaluator {
+		return func(cp int, start []float64) (float64, []float64, error) {
+			calls <- call{cp: cp, start: append([]float64(nil), start...)}
+			aic, _ := valleyAIC(8, 20, 100)(cp)
+			return aic, []float64{float64(cp), 42}, nil
+		}
+	}
+	res, err := ExactParallel(context.Background(), n, ParallelOptions{
+		Workers: 3, Grain: grain, WarmStart: true,
+	}, newEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(calls)
+	// Every shard fit happens before any refinement fit, so the first
+	// total entries of the channel are the shard phase in send order.
+	total := maxCandidate(n) + 2
+	var seen []call
+	for c := range calls {
+		seen = append(seen, c)
+	}
+	if len(seen) != res.Fits {
+		t.Fatalf("evaluator called %d times, Result.Fits = %d", len(seen), res.Fits)
+	}
+	for _, c := range seen[:total] {
+		pos := c.cp + 1 // serial-order position; no-change sits at 0
+		if pos%grain == 0 {
+			if len(c.start) != 0 {
+				t.Fatalf("cp %d starts a shard but got warm start %v", c.cp, c.start)
+			}
+			continue
+		}
+		want := []float64{float64(c.cp - 1), 42}
+		if len(c.start) != 2 || c.start[0] != want[0] || c.start[1] != want[1] {
+			t.Fatalf("cp %d: warm start %v, want previous optimum %v", c.cp, c.start, want)
+		}
+	}
+	// valleyAIC(8, 20, 100) puts the winner at cp 8 (AIC 80) with cp 7 and 9
+	// at 80.5 — the only candidates within refineMargin — so the refinement
+	// pass must refit exactly those three, cold, in serial order.
+	refits := seen[total:]
+	wantRefits := []int{7, 8, 9}
+	if len(refits) != len(wantRefits) {
+		t.Fatalf("refinement refit %d candidates, want %v", len(refits), wantRefits)
+	}
+	for i, c := range refits {
+		if c.cp != wantRefits[i] || len(c.start) != 0 {
+			t.Fatalf("refit %d = cp %d start %v, want cold cp %d", i, c.cp, c.start, wantRefits[i])
+		}
+	}
+}

@@ -28,6 +28,14 @@ type NelderMeadOptions struct {
 	TolF    float64 // spread of simplex values to stop at; default 1e-10
 	TolX    float64 // spread of simplex points to stop at; default 1e-8
 	Step    float64 // initial simplex edge length; default 0.5
+	// StepAbsolute makes Step the literal per-axis perturbation of the
+	// initial simplex instead of the historical relative one
+	// (Step·|x0[i]|, or Step where x0[i] is zero). A caller starting near a
+	// known optimum wants a small absolute simplex: the relative rule would
+	// blow the simplex up in proportion to the coordinates' magnitudes and
+	// forfeit the head start, since the search's cost is dominated by
+	// shrinking the simplex back down to tolerance.
+	StepAbsolute bool
 }
 
 func (o NelderMeadOptions) withDefaults(dim int) NelderMeadOptions {
@@ -82,9 +90,12 @@ func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions)
 	values[0] = eval(points[0])
 	for i := 0; i < dim; i++ {
 		p := append([]float64(nil), x0...)
-		if p[i] != 0 {
+		switch {
+		case opts.StepAbsolute:
+			p[i] += opts.Step
+		case p[i] != 0:
 			p[i] += opts.Step * math.Abs(p[i])
-		} else {
+		default:
 			p[i] = opts.Step
 		}
 		points[i+1] = p

@@ -28,6 +28,54 @@ func (e *OptimizationError) Error() string {
 	return fmt.Sprintf("ssm: likelihood optimization failed to find a finite value (%d starts)", e.Attempts)
 }
 
+// FitOptions tunes a single maximum-likelihood fit beyond the model choice.
+// The zero value reproduces the historical cold fit bit-for-bit.
+type FitOptions struct {
+	// Start seeds the Nelder-Mead simplex with a caller-supplied starting
+	// point in the optimizer's coordinates: the relative disturbance
+	// log-variances (log q_ξ and, with seasonality, log q_ω), matching
+	// Fit.OptParams. A warm Start is tried before the deterministic cold
+	// starts; because the multi-start loop keeps the first converged finite
+	// start, a good warm start wins outright and a bad one (wrong length
+	// aside, which is an error) merely falls through to the cold starts. The
+	// change point scan threads each candidate's OptParams into its
+	// neighbor's Start, exploiting the AIC valley's near-identical adjacent
+	// optimization problems.
+	//
+	// A warm fit optimizes at scan precision, not estimation precision: the
+	// simplex starts as a small absolute neighborhood of Start
+	// (DefaultWarmStep per axis) and stops at tolerances calibrated for AIC
+	// model selection (warmTolF/warmTolX, ~1e-4 in AIC) rather than the cold
+	// fits' near-machine-precision ones. Nelder-Mead's cost is dominated by
+	// shrinking the simplex down to tolerance, so this — not the starting
+	// point — is where warm fits earn their speedup; candidate AIC gaps are
+	// orders of magnitude above the slack. Cold fits are unaffected.
+	Start []float64
+	// StartStep is the absolute initial simplex edge used for the warm Start
+	// only (0 = DefaultWarmStep). Cold starts always use the historical
+	// relative step, so their trajectories are unchanged by this option.
+	StartStep float64
+}
+
+// DefaultWarmStep is the absolute initial simplex edge for warm starts:
+// small enough that a start already sitting at a neighbor's optimum is
+// near-converged from the first iteration, large enough to escape a
+// slightly stale neighbor optimum.
+const DefaultWarmStep = 0.1
+
+// Warm-fit convergence tolerances: the scan compares candidate AICs whose
+// gaps are O(0.1) and up, so stopping the simplex at ~1e-4 AIC precision
+// buys roughly half the cold fit's evaluations without ever confusing the
+// selection. Cold fits keep the optimizer's defaults (1e-10/1e-8).
+const (
+	warmTolF = 1e-6
+	warmTolX = 1e-3
+)
+
+// coldStep is the historical relative initial simplex edge of the cold
+// starts.
+const coldStep = 1.0
+
 // Fit is a maximum-likelihood-fitted structural model.
 type Fit struct {
 	Config Config
@@ -54,6 +102,12 @@ type Fit struct {
 	// succeeded: 1 when the default start converged, more when the
 	// multi-start recovery had to perturb the initial parameters.
 	Attempts int
+
+	// OptParams is the optimizer's solution: the relative disturbance
+	// log-variances (log q_ξ and, with seasonality, log q_ω) that maximized
+	// the profile likelihood. It is the natural warm FitOptions.Start for a
+	// neighboring fit.
+	OptParams []float64
 
 	// Scaled is the series the model was fitted to (y divided by Scale).
 	Scaled []float64
@@ -84,6 +138,13 @@ func FitConfig(y []float64, cfg Config) (*Fit, error) {
 // (which materializes the smoother inputs) runs once, for the winning
 // parameters. ws may be nil; a workspace is not safe for concurrent use.
 func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, error) {
+	return FitConfigOptions(y, cfg, ws, FitOptions{})
+}
+
+// FitConfigOptions is FitConfigWorkspace with per-fit options; a zero opts
+// reproduces FitConfigWorkspace exactly (same starts, same order, same
+// simplex step, bitwise-identical estimates).
+func FitConfigOptions(y []float64, cfg Config, ws *kalman.Workspace, opts FitOptions) (*Fit, error) {
 	cfg = cfg.withDefaults()
 	minLen := cfg.stateDim() + cfg.numVariances() + 2
 	if len(y) < minLen {
@@ -120,21 +181,32 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 		return -ll
 	}
 
-	// Multi-start recovery: the default start is tried first and, when it
-	// converges to a finite value, wins outright — the common case costs
-	// exactly one optimization, identical to a single-start fit. A start
-	// that errors or lands on +Inf is discarded; a finite but non-converged
-	// start is kept as a candidate while the perturbed starts get a chance to
-	// do better. Only when every start fails is the series declared failed.
+	starts, err := fitStarts(nq, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Multi-start recovery: the warm start (when provided) and then the
+	// default start are tried in order and the first that converges to a
+	// finite value wins outright — the common case costs exactly one
+	// optimization, identical to a single-start fit. A start that errors or
+	// lands on +Inf is discarded; a finite but non-converged start is kept
+	// as a candidate while the perturbed starts get a chance to do better.
+	// Only when every start fails is the series declared failed.
 	var best optimize.Result
 	haveBest := false
 	attempts := 0
-	for _, s0 := range startPoints(nq) {
+	for _, s0 := range starts {
 		attempts++
 		if err := faultpoint.Inject("ssm/fit-attempt", strconv.Itoa(attempts)); err != nil {
 			continue
 		}
-		res, err := optimize.NelderMead(objective, s0, optimize.NelderMeadOptions{MaxIter: cfg.MaxIter, Step: 1.0})
+		nm := optimize.NelderMeadOptions{MaxIter: cfg.MaxIter, Step: s0.step}
+		if s0.warm {
+			nm.StepAbsolute = true
+			nm.TolF, nm.TolX = warmTolF, warmTolX
+		}
+		res, err := optimize.NelderMead(objective, s0.x, nm)
 		if err != nil || math.IsInf(res.F, 1) || math.IsNaN(res.F) {
 			continue
 		}
@@ -180,6 +252,7 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 		Scaled:    scaled,
 		Scale:     scale,
 		Attempts:  attempts,
+		OptParams: append([]float64(nil), best.X...),
 	}
 	fit.AIC = -2*fit.LogLik + 2*float64(fit.NumParams)
 	if ivs := cfg.Interventions(); len(ivs) > 0 {
@@ -191,6 +264,37 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 		fit.Lambda = fit.Lambdas[0]
 	}
 	return fit, nil
+}
+
+// simplexStart pairs an initial point with its simplex geometry: warm starts
+// search a small absolute neighborhood at scan tolerances, cold starts the
+// historical wide relative one at estimation tolerances.
+type simplexStart struct {
+	x    []float64
+	step float64
+	warm bool
+}
+
+// fitStarts builds the ordered start list: the caller's warm start (when
+// provided) ahead of the deterministic cold points, so the cold list — and
+// with it every historical fit — is reproduced exactly when opts is zero.
+func fitStarts(nq int, opts FitOptions) ([]simplexStart, error) {
+	cold := startPoints(nq)
+	starts := make([]simplexStart, 0, len(cold)+1)
+	if opts.Start != nil {
+		if len(opts.Start) != nq {
+			return nil, fmt.Errorf("ssm: warm start has %d parameters, want %d", len(opts.Start), nq)
+		}
+		step := opts.StartStep
+		if step <= 0 {
+			step = DefaultWarmStep
+		}
+		starts = append(starts, simplexStart{x: append([]float64(nil), opts.Start...), step: step, warm: true})
+	}
+	for _, x := range cold {
+		starts = append(starts, simplexStart{x: x, step: coldStep})
+	}
+	return starts, nil
 }
 
 // startPoints returns the deterministic initial log-variance points of the
@@ -281,6 +385,17 @@ func AICAtWorkspace(y []float64, seasonal bool, cp int, ws *kalman.Workspace) (f
 		return 0, err
 	}
 	return fit.AIC, nil
+}
+
+// AICAtStart is AICAtWorkspace extended for warm-started scans: start (nil
+// for a cold fit) seeds the optimizer, and the returned opt is the fitted
+// optimum's parameters — the warm start for the next candidate.
+func AICAtStart(y []float64, seasonal bool, cp int, ws *kalman.Workspace, start []float64) (aic float64, opt []float64, err error) {
+	fit, err := FitConfigOptions(y, Config{Seasonal: seasonal, ChangePoint: cp}, ws, FitOptions{Start: start})
+	if err != nil {
+		return 0, nil, err
+	}
+	return fit.AIC, fit.OptParams, nil
 }
 
 // rescale divides y by a positive magnitude (its standard deviation, falling

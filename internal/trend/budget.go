@@ -1,0 +1,57 @@
+package trend
+
+import "context"
+
+// workerBudget is the pipeline's shared two-level worker pool: a bounded set
+// of tokens sized by Options.Workers. Level one admits series — the
+// dispatcher blocks in acquire until a token frees, so at most Workers
+// series are in flight. Level two lets an admitted series opportunistically
+// claim idle tokens (tryAcquire) to parallelize its own change point scan:
+// when the batch is wide every token is busy admitting series and scans run
+// serially, exactly like a flat pool; when the series count is small or the
+// batch tail drains, the idle tokens migrate into intra-series scan
+// parallelism instead of idling cores.
+type workerBudget struct {
+	tokens chan struct{}
+}
+
+func newWorkerBudget(n int) *workerBudget {
+	b := &workerBudget{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// acquire blocks until a token is free or ctx is done, returning ctx's
+// error in the latter case.
+func (b *workerBudget) acquire(ctx context.Context) error {
+	select {
+	case <-b.tokens:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryAcquire claims up to max tokens without blocking and returns how many
+// it got (0 when none are idle or max ≤ 0).
+func (b *workerBudget) tryAcquire(max int) int {
+	got := 0
+	for got < max {
+		select {
+		case <-b.tokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// release returns n tokens to the pool.
+func (b *workerBudget) release(n int) {
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+}

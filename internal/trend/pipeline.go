@@ -2,9 +2,10 @@
 // pipeline (Fig. 1): fit the probabilistic medication model to every monthly
 // MIC dataset, reproduce the disease/medicine/prescription time series
 // (Eqs. 7–8), filter unreliable series (§VI), run AIC change point detection
-// over every series with a worker pool, and classify each detected
-// prescription-level change as disease-, medicine-, or prescription-derived
-// (§III-B).
+// over every series on a two-level worker budget (series-level parallelism
+// that spills into intra-series scan parallelism when cores would otherwise
+// idle), and classify each detected prescription-level change as disease-,
+// medicine-, or prescription-derived (§III-B).
 package trend
 
 import (
@@ -89,6 +90,13 @@ type Options struct {
 	// change point detection pool, and — unless EM.Workers overrides it —
 	// the per-month medication model fits.
 	Workers int
+	// ScanWorkers caps how many of the shared Workers tokens one exact
+	// change point scan may hold (its own plus idle extras claimed from the
+	// two-level budget). 0 means auto: a scan soaks up every idle token, so
+	// a single-series run — or the draining tail of a batch — parallelizes
+	// inside the scan instead of idling cores. 1 forces serial scans.
+	// Results are identical for every setting; only wall-clock changes.
+	ScanWorkers int
 	// EM tunes the medication model fit. EM.Workers defaults to Workers.
 	EM medmodel.FitOptions
 }
@@ -355,15 +363,21 @@ func collectJobs(series *medmodel.SeriesSet) []Detection {
 	return jobs
 }
 
-// detectAll runs change point detection over the jobs with a worker pool.
+// detectAll runs change point detection over the jobs with a two-level
+// worker budget: a shared pool of Options.Workers tokens admits series
+// (level one), and each admitted exact scan opportunistically claims idle
+// tokens to shard its own candidate set (level two, see workerBudget). A
+// wide batch behaves like the old flat pool; a narrow batch or a draining
+// tail moves the idle tokens into intra-series scan parallelism.
 //
 // The pool is fault-tolerant and cancellable: a worker panic or a failed
 // search is confined to its series (recorded as a Failure), and cancelling
 // ctx stops dispatch immediately — in-flight searches abort within one model
 // fit — returning the detections completed so far with ctx's error. Results
-// are independent per series and assembled by job index, so they are
-// deterministic under any worker count and byte-identical for the surviving
-// series whether or not other series failed.
+// are independent per series and assembled by job index, and the scan
+// itself is worker-count-invariant, so detections are deterministic under
+// any Workers/ScanWorkers split and byte-identical for the surviving series
+// whether or not other series failed.
 func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection, []Failure, int, error) {
 	type outcome struct {
 		i         int
@@ -371,35 +385,29 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection
 		fail      *Failure
 		cancelled bool
 	}
-	in := make(chan int)
+	budget := newWorkerBudget(opts.Workers)
 	out := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range in {
-				if ctx.Err() != nil {
-					out <- outcome{i: i, cancelled: true}
-					continue
-				}
-				det, fail, cancelled := runDetection(ctx, jobs[i], opts)
-				out <- outcome{i: i, det: det, fail: fail, cancelled: cancelled}
-			}
-		}()
-	}
 	go func() {
+		var wg sync.WaitGroup
 		defer func() {
 			wg.Wait()
 			close(out)
 		}()
-		defer close(in)
 		for i := range jobs {
-			select {
-			case in <- i:
-			case <-ctx.Done():
+			if budget.acquire(ctx) != nil {
 				return
 			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer budget.release(1)
+				if ctx.Err() != nil {
+					out <- outcome{i: i, cancelled: true}
+					return
+				}
+				det, fail, cancelled := runDetection(ctx, jobs[i], opts, budget)
+				out <- outcome{i: i, det: det, fail: fail, cancelled: cancelled}
+			}(i)
 		}
 	}()
 
@@ -428,9 +436,12 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection
 }
 
 // runDetection searches one series with panic isolation: a crash anywhere in
-// the model fitting stack fails this series only. The cancelled return
-// distinguishes a context abort (not a series failure) from a genuine one.
-func runDetection(ctx context.Context, job Detection, opts Options) (det Detection, fail *Failure, cancelled bool) {
+// the model fitting stack fails this series only (the parallel scan
+// re-panics shard crashes on this goroutine, so the recover here covers
+// them too). The cancelled return distinguishes a context abort (not a
+// series failure) from a genuine one. budget supplies the scan's level-two
+// extra workers; nil runs the scan serially.
+func runDetection(ctx context.Context, job Detection, opts Options, budget *workerBudget) (det Detection, fail *Failure, cancelled bool) {
 	det = job
 	defer func() {
 		if r := recover(); r != nil {
@@ -448,7 +459,23 @@ func runDetection(ctx context.Context, job Detection, opts Options) (det Detecti
 	var res changepoint.Result
 	var err error
 	if opts.Method == MethodExact {
-		res, err = changepoint.DetectExactContext(ctx, det.Series, opts.Seasonal)
+		// Level two of the worker budget: claim idle tokens (beyond this
+		// series' own) for the scan's shard workers, returning them as soon
+		// as the scan finishes. The scan's result does not depend on how
+		// many we get.
+		workers := 1
+		if budget != nil {
+			target := opts.ScanWorkers
+			if target <= 0 {
+				target = opts.Workers
+			}
+			if extra := budget.tryAcquire(target - 1); extra > 0 {
+				defer budget.release(extra)
+				workers += extra
+			}
+		}
+		res, err = changepoint.DetectExactParallelContext(ctx, det.Series, opts.Seasonal,
+			changepoint.ParallelOptions{Workers: workers, WarmStart: true})
 	} else {
 		res, err = changepoint.DetectBinaryContext(ctx, det.Series, opts.Seasonal)
 	}

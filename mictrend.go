@@ -228,6 +228,15 @@ func DetectChangePointBinary(series []float64, seasonal bool) (ChangePointResult
 	return changepoint.DetectBinary(series, seasonal)
 }
 
+// DetectChangePointExactParallel runs Algorithm 1 with the candidate-sharded,
+// warm-started parallel scan: workers (0 = GOMAXPROCS) shard the candidate
+// months, each seeding its fits from the previous candidate's optimum. The
+// selected change point matches the serial exact scan; see
+// changepoint.ParallelOptions for the exact determinism contract.
+func DetectChangePointExactParallel(series []float64, seasonal bool, workers int) (ChangePointResult, error) {
+	return changepoint.DetectExactParallel(series, seasonal, changepoint.ParallelOptions{Workers: workers, WarmStart: true})
+}
+
 // DetectChangePoints runs the greedy multiple-change-point search (§IX
 // extension).
 func DetectChangePoints(series []float64, opts MultiChangePointOptions) (MultiChangePointResult, error) {
