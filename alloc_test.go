@@ -1,0 +1,127 @@
+package mictrend
+
+// Allocation guards for the observability layer. The obs package's contract
+// is that disabled instrumentation is free: nil metric handles no-op without
+// allocating, the Kalman workspace kernel stays allocation-free with stats
+// threading present in the tree, and enabling FitStats collection adds only
+// a constant handful of allocations per fit (never per likelihood
+// evaluation). These tests pin those properties so a future instrumentation
+// change cannot silently put allocations on the hot path.
+
+import (
+	"testing"
+
+	"mictrend/internal/changepoint"
+	"mictrend/internal/kalman"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/micgen"
+	"mictrend/internal/obs"
+	"mictrend/internal/ssm"
+)
+
+// TestInstrumentationAllocFree pins the zero-cost-when-disabled contract.
+func TestInstrumentationAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not representative under -race")
+	}
+
+	// Nil metric handles — what instrumented code holds when no Registry is
+	// configured — must not allocate.
+	var r *obs.Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", 1, 2)
+	tm := r.Timer("x")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(7)
+		h.Observe(1.5)
+		tm.Observe(0)
+		_ = c.Value()
+		_ = g.Value()
+	}); n != 0 {
+		t.Errorf("nil metric handles allocate %.0f/op, want 0", n)
+	}
+
+	// The Kalman workspace kernel — the unit the likelihood search pays
+	// hundreds of times per fit — must stay allocation-free in steady state.
+	y := syntheticBreakSeries(43, 20)
+	fit, err := ssm.FitConfig(y, ssm.Config{Seasonal: true, ChangePoint: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, scaled := fit.Model, fit.Scaled
+	ws := kalman.NewWorkspace()
+	if _, err := m.LogLikFilter(scaled, ws); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := m.LogLikFilter(scaled, ws); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("LogLikFilter with workspace allocates %.0f/op, want 0", n)
+	}
+
+	// Enabling FitStats must cost at most a constant few allocations per
+	// whole fit (the deferred flush), never per likelihood evaluation.
+	base := testing.AllocsPerRun(10, func() {
+		if _, _, err := ssm.AICAtOptions(y, true, 20, nil, ssm.FitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var stats ssm.FitStats
+	withStats := testing.AllocsPerRun(10, func() {
+		if _, _, err := ssm.AICAtOptions(y, true, 20, nil, ssm.FitOptions{Stats: &stats}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if overhead := withStats - base; overhead > 8 {
+		t.Errorf("FitStats collection adds %.0f allocs per fit (base %.0f), want <= 8", overhead, base)
+	}
+}
+
+// TestAllocGuardRails pins absolute allocation budgets for the two
+// benchmark-smoke workloads, so instrumentation regressions show up in plain
+// `go test` without running the benchmark suite. Budgets are the measured
+// baselines plus ~5% headroom.
+func TestAllocGuardRails(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not representative under -race")
+	}
+	if testing.Short() {
+		t.Skip("skipping multi-second allocation audit in -short mode")
+	}
+
+	// One EM fit of a dense synthetic month (the BenchmarkEMFit workload).
+	ds, _, err := micgen.Generate(micgen.Config{Seed: 1, Months: 1, RecordsPerMonth: 1000, BulkDiseases: 8, BulkMedicines: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emAllocs := testing.AllocsPerRun(3, func() {
+		if _, err := medmodel.Fit(ds.Months[0], ds.Medicines.Len(), medmodel.FitOptions{MaxIter: 20}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if emAllocs > 600 { // measured baseline: 534
+		t.Errorf("medmodel.Fit: %.0f allocs, budget 600", emAllocs)
+	}
+
+	// One warm-started exact change point scan (the BenchmarkExactScanParallel
+	// workload), serial and sharded.
+	y := syntheticBreakSeries(43, 20)
+	scan := func(workers int) float64 {
+		return testing.AllocsPerRun(1, func() {
+			if _, err := changepoint.DetectExactParallel(y, true, changepoint.ParallelOptions{Workers: workers, WarmStart: true}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if n := scan(1); n > 24000 { // measured baseline: 22878
+		t.Errorf("warm exact scan (serial): %.0f allocs, budget 24000", n)
+	}
+	if n := scan(8); n > 24500 { // measured baseline: 23195
+		t.Errorf("warm exact scan (8 workers): %.0f allocs, budget 24500", n)
+	}
+}

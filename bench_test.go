@@ -22,6 +22,7 @@ import (
 	"mictrend/internal/medmodel"
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
+	"mictrend/internal/obs"
 	"mictrend/internal/ssm"
 )
 
@@ -487,4 +488,24 @@ func syntheticBreakSeries(n, cp int) []float64 {
 		y[t] = level + 1.5*ssm.InterventionRegressor(cp, t) + rng.NormFloat64()
 	}
 	return y
+}
+
+// BenchmarkObsNil measures the disabled observability fast path: the nil
+// metric handles instrumented code holds when no Registry is configured.
+// This is the per-event cost every hot loop pays when observability is off —
+// it must stay at 0 allocs/op (asserted by the CI benchmark smoke).
+func BenchmarkObsNil(b *testing.B) {
+	var r *obs.Registry
+	c := r.Counter("bench")
+	g := r.Gauge("bench")
+	h := r.Histogram("bench", 1, 5, 20)
+	tm := r.Timer("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(2)
+		c.Inc()
+		g.Set(int64(i))
+		h.Observe(float64(i % 7))
+		tm.Observe(0)
+	}
 }

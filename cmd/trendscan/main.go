@@ -8,6 +8,12 @@
 //
 //	trendscan -in corpus.jsonl.gz [-method binary] [-top 20]
 //	trendscan -generate [-months 36] [-records 1000]   (self-contained demo)
+//
+// Observability:
+//
+//	trendscan -generate -progress                    (log progress events)
+//	trendscan -generate -metrics -                   (dump the metrics registry as JSON)
+//	trendscan -generate -pprof localhost:6060        (serve net/http/pprof during the run)
 package main
 
 import (
@@ -16,11 +22,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
+	"time"
 
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
+	"mictrend/internal/obs"
 	"mictrend/internal/trend"
 )
 
@@ -43,8 +55,21 @@ func main() {
 		csvPath     = flag.String("csv", "", "write the reproduced prescription series to this CSV file for external plotting")
 		strict      = flag.Bool("strict", false, "abort on the first malformed corpus line instead of skipping it")
 		maxFailures = flag.Int("max-failures", -1, "exit nonzero when more than this many series/months fail (-1 = never)")
+		progress    = flag.Bool("progress", false, "log pipeline progress events (stages, fitted months, finished series)")
+		metricsPath = flag.String("metrics", "", "write the run's metrics registry as JSON to this file (\"-\" = stdout)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("warning: pprof server: %v", err)
+			}
+		}()
+	}
 
 	// Interrupt cancels the analysis; a partial report is still printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -82,6 +107,11 @@ func main() {
 		opts.Method = trend.MethodBinary
 	default:
 		log.Fatalf("unknown method %q (want exact or binary)", *method)
+	}
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	if *progress {
+		opts.Observer = func(e obs.Event) { log.Print(e) }
 	}
 
 	fmt.Printf("analyzing %d months, %d records, %s search…\n", ds.T(), ds.NumRecords(), opts.Method)
@@ -139,6 +169,12 @@ func main() {
 	})
 
 	fmt.Printf("\ntotal model fits: %d\n", analysis.TotalFits)
+	printStageSummary(metrics)
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, metrics); err != nil {
+			log.Fatal(err)
+		}
+	}
 	counts := map[trend.Cause]int{}
 	for _, c := range causes {
 		counts[c]++
@@ -180,4 +216,61 @@ func main() {
 	if interrupted {
 		os.Exit(130) // conventional SIGINT status: the report above is partial
 	}
+}
+
+// printStageSummary renders the per-stage wall-clock table from the
+// registry's "time/stage/*" timers, in pipeline order.
+func printStageSummary(metrics *obs.Registry) {
+	snap := metrics.Snapshot()
+	const prefix = "time/stage/"
+	var names []string
+	var total time.Duration
+	for name := range snap.Timings {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+			total += time.Duration(snap.Timings[name].TotalNS)
+		}
+	}
+	if len(names) == 0 || total <= 0 {
+		return
+	}
+	// Pipeline order, not lexical: model → reproduce → detect.
+	order := map[string]int{"model": 0, "reproduce": 1, "detect": 2}
+	sort.Slice(names, func(a, b int) bool {
+		sa, sb := strings.TrimPrefix(names[a], prefix), strings.TrimPrefix(names[b], prefix)
+		oa, oka := order[sa]
+		ob, okb := order[sb]
+		if oka && okb {
+			return oa < ob
+		}
+		if oka != okb {
+			return oka
+		}
+		return sa < sb
+	})
+	fmt.Printf("\nstage wall-clock:\n")
+	for _, name := range names {
+		d := time.Duration(snap.Timings[name].TotalNS)
+		fmt.Printf("  %-10s %12s  %5.1f%%\n",
+			strings.TrimPrefix(name, prefix), d.Round(time.Millisecond),
+			100*float64(d)/float64(total))
+	}
+	fmt.Printf("  %-10s %12s\n", "total", total.Round(time.Millisecond))
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON ("-" = stdout).
+func writeMetrics(path string, metrics *obs.Registry) error {
+	snap := metrics.Snapshot()
+	if path == "-" {
+		return snap.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -194,9 +194,17 @@ func findWithin(e *evaluator, left, right int) (int, error) {
 // ExactParallel/DetectExactParallelContext, which parallelize within one
 // search by giving each worker a private evaluator via SSMFitEvaluator.
 func SSMEvaluator(y []float64, seasonal bool) AICFunc {
+	return SSMEvaluatorStats(y, seasonal, nil)
+}
+
+// SSMEvaluatorStats is SSMEvaluator with optional FitStats accounting: stats
+// (nil to disable) accumulates likelihood evaluations and multi-start
+// activity across the search's fits without changing any fit's numerics.
+func SSMEvaluatorStats(y []float64, seasonal bool, stats *ssm.FitStats) AICFunc {
 	ws := kalman.NewWorkspace()
 	return func(cp int) (float64, error) {
-		return ssm.AICAtWorkspace(y, seasonal, cp, ws)
+		aic, _, err := ssm.AICAtOptions(y, seasonal, cp, ws, ssm.FitOptions{Stats: stats})
+		return aic, err
 	}
 }
 

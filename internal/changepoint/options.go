@@ -1,0 +1,122 @@
+package changepoint
+
+import (
+	"context"
+	"time"
+
+	"mictrend/internal/obs"
+	"mictrend/internal/ssm"
+)
+
+// SearchMethod selects the change point search algorithm for Detect. The
+// zero value is SearchExact, the paper's Algorithm 1.
+type SearchMethod int
+
+// Search methods.
+const (
+	// SearchExact is the serial memoized Algorithm 1: every candidate fitted
+	// cold at estimation tolerances.
+	SearchExact SearchMethod = iota
+	// SearchBinary is the approximate Algorithm 2 (O(log T) fits).
+	SearchBinary
+	// SearchExactParallel is Algorithm 1 on the candidate-sharded,
+	// warm-started scan: identical selection to SearchExact (the refinement
+	// pass compares contenders at serial AICs), different Fits accounting.
+	SearchExactParallel
+)
+
+// String names the method.
+func (m SearchMethod) String() string {
+	switch m {
+	case SearchBinary:
+		return "binary"
+	case SearchExactParallel:
+		return "exact-parallel"
+	default:
+		return "exact"
+	}
+}
+
+// DetectOptions configures Detect, the options-first change point entry
+// point. The zero value runs the serial exact scan of a non-seasonal model.
+type DetectOptions struct {
+	// Method is the search algorithm (default SearchExact).
+	Method SearchMethod
+	// Seasonal enables the 12-month seasonal component.
+	Seasonal bool
+	// Workers is the shard worker count for SearchExactParallel (≤0 =
+	// GOMAXPROCS); ignored by the serial methods. Any value yields identical
+	// results.
+	Workers int
+	// Grain overrides the parallel scan's shard size (0 = DefaultGrain);
+	// ignored by the serial methods.
+	Grain int
+	// Stats, when non-nil, accumulates the search's optimizer accounting
+	// (Kalman likelihood evaluations, multi-start restarts, failures). It
+	// never changes results.
+	Stats *ssm.FitStats
+	// Observer, when non-nil, receives StageStart/StageEnd events bracketing
+	// the search. Deliveries are panic-isolated: a panicking Observer loses
+	// its remaining events, never the search.
+	Observer obs.Observer
+}
+
+// ScanEvaluations returns how many distinct models the exact scan evaluates
+// for a series of length n: every admissible candidate plus the
+// intervention-free model. For the warm parallel scan,
+// Result.Fits − ScanEvaluations(n) is the refinement pass's cold refit
+// count; for the serial exact scan Result.Fits equals it exactly.
+func ScanEvaluations(n int) int {
+	if c := maxCandidate(n); c >= 0 {
+		return c + 2
+	}
+	return 1
+}
+
+// Detect runs the selected change point search on series. It consolidates
+// the DetectExact/DetectBinary/DetectExactParallel entry points behind one
+// options struct: each method produces byte-identical results to its
+// dedicated function, with observability (DetectOptions.Stats,
+// DetectOptions.Observer) threaded through without touching the numerics.
+// Cancellation surfaces as ctx's error within one in-flight model fit.
+func Detect(ctx context.Context, series []float64, opts DetectOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deliver := obs.Guard(opts.Observer, nil)
+	var begin time.Time
+	if deliver != nil {
+		begin = time.Now()
+		deliver(obs.Event{
+			Kind: obs.StageStart, Stage: "scan", Month: -1,
+			Total: ScanEvaluations(len(series)),
+		})
+	}
+	var (
+		res Result
+		err error
+	)
+	switch opts.Method {
+	case SearchBinary:
+		res, err = Binary(len(series), ContextAIC(ctx, SSMEvaluatorStats(series, opts.Seasonal, opts.Stats)))
+	case SearchExactParallel:
+		res, err = ExactParallel(ctx, len(series), ParallelOptions{
+			Workers: opts.Workers, WarmStart: true, Grain: opts.Grain,
+		}, func() FitEvaluator {
+			return SSMFitEvaluatorStats(series, opts.Seasonal, opts.Stats)
+		})
+	default:
+		res, err = Exact(len(series), ContextAIC(ctx, SSMEvaluatorStats(series, opts.Seasonal, opts.Stats)))
+	}
+	if deliver != nil && ctx.Err() == nil {
+		e := obs.Event{
+			Kind: obs.StageEnd, Stage: "scan", Month: -1,
+			Done: res.Fits, Duration: time.Since(begin),
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		deliver(e)
+	}
+	return res, err
+}

@@ -261,9 +261,17 @@ func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval fun
 // ExactParallel's one-evaluator-per-worker factory contract is how it is
 // meant to be shared across a scan.
 func SSMFitEvaluator(y []float64, seasonal bool) FitEvaluator {
+	return SSMFitEvaluatorStats(y, seasonal, nil)
+}
+
+// SSMFitEvaluatorStats is SSMFitEvaluator with optional FitStats accounting.
+// stats may be shared across the scan's workers (its fields are atomic);
+// nil disables collection. Accounting never changes a fit's numerics, so
+// the scan's results are identical with and without it.
+func SSMFitEvaluatorStats(y []float64, seasonal bool, stats *ssm.FitStats) FitEvaluator {
 	ws := kalman.NewWorkspace()
 	return func(cp int, start []float64) (float64, []float64, error) {
-		return ssm.AICAtStart(y, seasonal, cp, ws, start)
+		return ssm.AICAtOptions(y, seasonal, cp, ws, ssm.FitOptions{Start: start, Stats: stats})
 	}
 }
 

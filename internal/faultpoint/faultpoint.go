@@ -92,6 +92,15 @@ func Reset() {
 	active.Store(0)
 }
 
+// trips counts firings across all points for the process lifetime (Reset
+// does not clear it), so the observability layer can report fault activity
+// as a delta without holding the package lock.
+var trips atomic.Int64
+
+// Trips returns how many faults have fired process-wide since start. Callers
+// wanting a per-run count take the difference of two reads.
+func Trips() int64 { return trips.Load() }
+
 // Hits returns how many times the named point was reached while enabled.
 func Hits(name string) int {
 	mu.Lock()
@@ -138,6 +147,7 @@ func Inject(name, detail string) error {
 	}
 	if fire {
 		p.fired++
+		trips.Add(1)
 	}
 	mu.Unlock()
 

@@ -8,9 +8,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"mictrend/internal/faultpoint"
 	"mictrend/internal/mic"
+	"mictrend/internal/obs"
 )
 
 // FitOptions tunes the EM loop.
@@ -23,6 +25,22 @@ type FitOptions struct {
 	// Workers bounds FitAll's concurrency across months (default
 	// GOMAXPROCS). Fit itself is single-threaded.
 	Workers int
+	// PriorWeight, when positive, chains a Dirichlet prior across months
+	// (the paper's §IX Dynamic Topic Model direction): FitAll fits months
+	// serially, each month's φ carrying a prior centered at the previous
+	// month's fitted distributions with this concentration (pseudo-count
+	// mass per disease). The zero value disables the prior — months are
+	// independent and fitted in parallel.
+	PriorWeight float64
+	// Observer, when non-nil, receives one obs.MonthFitted event per month
+	// from FitAll, delivered in ascending month order for any worker count.
+	// A panicking Observer silently loses its remaining events (wrap with
+	// obs.Guard to intercept the panic); it never crashes a fit worker.
+	Observer obs.Observer
+	// Metrics, when non-nil, collects EM instrumentation: per-month
+	// iteration counts and E/M sweep vs likelihood timing. Nil costs
+	// nothing on the fit path.
+	Metrics *obs.Registry
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -279,11 +297,30 @@ func Fit(month *mic.Monthly, vocabMedicines int, opts FitOptions) (*Model, error
 		M:   vocabMedicines,
 	}
 
+	// Timers resolve to nil when metrics are off, so the disabled loop pays
+	// one pointer check per iteration and allocates nothing.
+	var tIterate, tLogLik *obs.Timer
+	if m := opts.Metrics; m != nil {
+		tIterate = m.Timer("time/em/iterate")
+		tLogLik = m.Timer("time/em/loglik")
+	}
+
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		var t0 time.Time
+		if tIterate != nil {
+			t0 = time.Now()
+		}
 		ix.iterate()
+		if tIterate != nil {
+			tIterate.Observe(time.Since(t0))
+			t0 = time.Now()
+		}
 		model.Iterations = iter + 1
 		ll := ix.logLik()
+		if tLogLik != nil {
+			tLogLik.Observe(time.Since(t0))
+		}
 		model.LogLik = ll
 		if prevLL != math.Inf(-1) {
 			denom := math.Abs(prevLL)
@@ -329,10 +366,72 @@ func fitMonth(month *mic.Monthly, vocabMedicines int, opts FitOptions) (m *Model
 	return m, false, err
 }
 
-// FitAll fits one model per month of the dataset. Months are independent,
-// so they are fitted concurrently by a bounded pool of opts.Workers
-// goroutines (default GOMAXPROCS); the models are identical to those of a
-// serial month-by-month loop.
+// fitAllInstruments carries FitAll's observability wiring: a sequencer that
+// re-orders per-month completions into ascending month order, the guarded
+// observer, and metric handles resolved once. A nil *fitAllInstruments (no
+// observer, no metrics) costs one pointer check per month.
+type fitAllInstruments struct {
+	seq     *obs.Sequencer
+	deliver obs.Observer
+	total   int
+	months  *obs.Counter   // em/months_fitted
+	iters   *obs.Counter   // em/iterations
+	hIters  *obs.Histogram // em/iterations_per_month
+}
+
+// newFitAllInstruments returns nil when opts carries neither an observer nor
+// a metrics registry.
+func newFitAllInstruments(opts FitOptions, total int) *fitAllInstruments {
+	if opts.Observer == nil && opts.Metrics == nil {
+		return nil
+	}
+	ins := &fitAllInstruments{
+		seq:     obs.NewSequencer(),
+		deliver: obs.Guard(opts.Observer, nil),
+		total:   total,
+	}
+	if m := opts.Metrics; m != nil {
+		ins.months = m.Counter("em/months_fitted")
+		ins.iters = m.Counter("em/iterations")
+		ins.hIters = m.Histogram("em/iterations_per_month", 1, 2, 5, 10, 20, 50)
+	}
+	return ins
+}
+
+// monthDone accounts one finished month. Metric merges and event deliveries
+// run in ascending month order regardless of which worker finished first,
+// so registry snapshots and event streams are identical for any worker
+// split. Safe from concurrent workers.
+func (ins *fitAllInstruments) monthDone(ctx context.Context, i int, m *Model, err error) {
+	if ins == nil {
+		return
+	}
+	ins.seq.Done(i, func() {
+		if m != nil {
+			ins.months.Inc()
+			ins.iters.Add(int64(m.Iterations))
+			ins.hIters.Observe(float64(m.Iterations))
+		}
+		if ins.deliver == nil || ctx.Err() != nil {
+			return
+		}
+		e := obs.Event{
+			Kind: obs.MonthFitted, Stage: "model",
+			Month: i, Done: i + 1, Total: ins.total,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		ins.deliver(e)
+	})
+}
+
+// FitAll fits one model per month of the dataset. With a zero
+// opts.PriorWeight months are independent and fitted concurrently by a
+// bounded pool of opts.Workers goroutines (default GOMAXPROCS); the models
+// are identical to those of a serial month-by-month loop. A positive
+// PriorWeight switches to the inherently serial smoothed chain, each month's
+// prior centered at the previous month's posterior.
 //
 // FitAll degrades rather than failing atomically: a month whose fit errors
 // or panics leaves a nil entry in the returned slice and a MonthError
@@ -344,9 +443,13 @@ func FitAll(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []M
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.PriorWeight > 0 {
+		return fitAllSmoothed(ctx, d, opts)
+	}
 	models := make([]*Model, d.T())
 	errs := make([]error, len(d.Months))
 	panicked := make([]bool, len(d.Months))
+	ins := newFitAllInstruments(opts, len(d.Months))
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -360,6 +463,7 @@ func FitAll(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []M
 				return models, monthErrors(errs, panicked), err
 			}
 			models[i], panicked[i], errs[i] = fitMonth(month, d.Medicines.Len(), opts)
+			ins.monthDone(ctx, i, models[i], errs[i])
 		}
 	} else {
 		in := make(chan int)
@@ -373,6 +477,7 @@ func FitAll(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []M
 						continue // drain: cancelled before this month started
 					}
 					models[i], panicked[i], errs[i] = fitMonth(d.Months[i], d.Medicines.Len(), opts)
+					ins.monthDone(ctx, i, models[i], errs[i])
 				}
 			}()
 		}
@@ -389,6 +494,48 @@ func FitAll(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []M
 		return models, monthErrors(errs, panicked), err
 	}
 	return models, monthErrors(errs, panicked), nil
+}
+
+// fitAllSmoothed is FitAll's PriorWeight > 0 path: the serial smoothed
+// chain with the same degradation contract — a failed month leaves a nil
+// model and a MonthError while the chain continues from the last month that
+// did fit (its posterior stays the prior).
+func fitAllSmoothed(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []MonthError, error) {
+	models := make([]*Model, d.T())
+	errs := make([]error, len(d.Months))
+	panicked := make([]bool, len(d.Months))
+	ins := newFitAllInstruments(opts, len(d.Months))
+	var prev *Model
+	for i, month := range d.Months {
+		if err := ctx.Err(); err != nil {
+			return models, monthErrors(errs, panicked), err
+		}
+		models[i], panicked[i], errs[i] = fitMonthSmoothed(month, d.Medicines.Len(), opts, prev)
+		if models[i] != nil {
+			prev = models[i]
+		}
+		ins.monthDone(ctx, i, models[i], errs[i])
+	}
+	if err := ctx.Err(); err != nil {
+		return models, monthErrors(errs, panicked), err
+	}
+	return models, monthErrors(errs, panicked), nil
+}
+
+// fitMonthSmoothed is fitMonth for the smoothed chain: the same faultpoint
+// site and panic isolation, with the previous month's posterior as prior.
+func fitMonthSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior *Model) (m *Model, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, panicked = nil, true
+			err = fmt.Errorf("medmodel: month %d fit panicked: %v", month.Month, r)
+		}
+	}()
+	if err := faultpoint.Inject("medmodel/fit-month", strconv.Itoa(month.Month)); err != nil {
+		return nil, false, err
+	}
+	m, err = FitSmoothed(month, vocabMedicines, opts, prior, opts.PriorWeight)
+	return m, false, err
 }
 
 // monthErrors collects the per-month failures in month order.

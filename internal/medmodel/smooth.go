@@ -124,22 +124,25 @@ func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior 
 // the previous month's posterior. The chain is inherently serial, so ctx is
 // checked between months: cancellation returns the months fitted so far with
 // ctx's error.
+//
+// Deprecated: set FitOptions.PriorWeight and call FitAll, which runs the same
+// serial chain but degrades per month (MonthError) instead of failing fast.
+// This wrapper preserves the old fail-fast contract by returning the first
+// month failure as its error.
 func FitAllSmoothed(ctx context.Context, d *mic.Dataset, opts FitOptions, priorWeight float64) ([]*Model, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	opts.PriorWeight = priorWeight
+	if priorWeight <= 0 {
+		// FitAll would treat 0 as "independent months, parallel"; the old
+		// contract was a serial chain that reduces to plain fits. The models
+		// are identical either way, but keep it serial for faithfulness.
+		opts.Workers = 1
 	}
-	models := make([]*Model, d.T())
-	var prev *Model
-	for i, month := range d.Months {
-		if err := ctx.Err(); err != nil {
-			return models, err
-		}
-		m, err := FitSmoothed(month, d.Medicines.Len(), opts, prev, priorWeight)
-		if err != nil {
-			return nil, err
-		}
-		models[i] = m
-		prev = m
+	models, monthErrs, err := FitAll(ctx, d, opts)
+	if err != nil {
+		return models, err
+	}
+	if len(monthErrs) > 0 {
+		return nil, monthErrs[0].Err
 	}
 	return models, nil
 }

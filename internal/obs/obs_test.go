@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", 1, 2)
+	tm := r.Timer("x")
+	if c != nil || g != nil || h != nil || tm != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// None of these may panic.
+	c.Add(3)
+	c.Inc()
+	g.Set(9)
+	h.Observe(1.5)
+	tm.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || tm.Total() != 0 || tm.Count() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Timings) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestNilHandleZeroAlloc(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var tm *Timer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(1)
+		tm.Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-handle instrumentation allocated %v/op", allocs)
+	}
+	r := NewRegistry()
+	ec := r.Counter("c")
+	eh := r.Histogram("h", 1, 10, 100)
+	allocs = testing.AllocsPerRun(1000, func() {
+		ec.Add(1)
+		eh.Observe(5)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled counter/histogram writes allocated %v/op", allocs)
+	}
+}
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Histogram("h", 1, 2) != r.Histogram("h") {
+		t.Fatal("same name must return the same histogram regardless of bounds")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iters", 2, 5, 10)
+	for _, v := range []float64{1, 2, 3, 7, 50} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["iters"]
+	if s.Count != 5 || s.Sum != 63 || s.Min != 1 || s.Max != 50 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	// Cumulative: ≤2 → {1,2}, ≤5 → +{3}, ≤10 → +{7}, +Inf → +{50}.
+	want := []int64{2, 3, 4, 5}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d: got %d want %d (%+v)", i, b.Count, want[i], s.Buckets)
+		}
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func(order []int) Snapshot {
+		r := NewRegistry()
+		for _, i := range order {
+			name := string(rune('a' + i))
+			r.Counter("count/" + name).Add(int64(i))
+			r.Histogram("hist/"+name, 1, 2).Observe(float64(i))
+		}
+		r.Timer("time/x").Observe(time.Duration(rand.Int63n(1e9)))
+		return r.Snapshot()
+	}
+	var b1, b2 bytes.Buffer
+	if err := build([]int{0, 1, 2, 3}).Deterministic().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]int{3, 1, 0, 2}).Deterministic().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("deterministic snapshots differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if strings.Contains(b1.String(), "timings") {
+		t.Fatal("Deterministic() must strip timings")
+	}
+	if !strings.Contains(b1.String(), `"+Inf"`) {
+		t.Fatal("overflow bucket bound must serialize as \"+Inf\"")
+	}
+}
+
+func TestConcurrentCountsAreExact(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h", 10, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(2)
+				h.Observe(float64(i % 150))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("counter = %d, want 16000", c.Value())
+	}
+	if s := r.Snapshot().Histograms["h"]; s.Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Count)
+	}
+}
+
+func TestSequencerSerialOrder(t *testing.T) {
+	const n = 200
+	seq := NewSequencer()
+	var mu sync.Mutex
+	var got []int
+	perm := rand.Perm(n)
+	var wg sync.WaitGroup
+	for _, i := range perm {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seq.Done(i, func() {
+				mu.Lock()
+				got = append(got, i)
+				mu.Unlock()
+			})
+		}(i)
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d delivered out of order (got index %d)", i, v)
+		}
+	}
+}
+
+func TestSequencerHoleNeverBlocks(t *testing.T) {
+	seq := NewSequencer()
+	fired := 0
+	seq.Done(0, func() { fired++ })
+	// Index 1 never reports; later indices must neither block nor fire.
+	done := make(chan struct{})
+	go func() {
+		seq.Done(2, func() { fired++ })
+		seq.Done(3, func() { fired++ })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done blocked on a hole")
+	}
+	if fired != 1 {
+		t.Fatalf("events past the hole fired (%d)", fired)
+	}
+}
+
+func TestGuardRecoversPanic(t *testing.T) {
+	if Guard(nil, nil) != nil {
+		t.Fatal("Guard(nil) must stay nil for the zero-cost disabled path")
+	}
+	var panics []any
+	calls := 0
+	g := Guard(func(e Event) {
+		calls++
+		if calls == 2 {
+			panic("observer bug")
+		}
+	}, func(r any) { panics = append(panics, r) })
+	g(Event{Kind: StageStart})
+	g(Event{Kind: StageEnd}) // panics
+	g(Event{Kind: StageEnd}) // dropped
+	g(Event{Kind: StageEnd}) // dropped
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2 (disabled after panic)", calls)
+	}
+	if len(panics) != 1 || panics[0] != "observer bug" {
+		t.Fatalf("onPanic saw %v", panics)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: MonthFitted, Stage: "model", Month: 4, Done: 5, Total: 36}
+	if !strings.Contains(e.String(), "month 4") {
+		t.Fatalf("unhelpful event string %q", e)
+	}
+	e = Event{Kind: SeriesDone, Stage: "detect", Series: "medicine:3", Err: "boom"}
+	if !strings.Contains(e.String(), "medicine:3") || !strings.Contains(e.String(), "boom") {
+		t.Fatalf("unhelpful event string %q", e)
+	}
+	for _, k := range []EventKind{StageStart, StageEnd, MonthFitted, SeriesDone} {
+		if k.String() == "" {
+			t.Fatal("kind without a name")
+		}
+	}
+}

@@ -5,12 +5,49 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync/atomic"
 
 	"mictrend/internal/faultpoint"
 	"mictrend/internal/kalman"
 	"mictrend/internal/optimize"
 	"mictrend/internal/stat"
 )
+
+// FitStats accumulates optimizer-level accounting across fits for the
+// observability layer: how many Kalman likelihood evaluations a search paid,
+// how often the multi-start recovery had to restart, and how many fits
+// failed outright. Fields are atomic, so one FitStats may be shared by every
+// worker of a parallel scan; the totals are sums of exact integers and
+// therefore deterministic for any worker split. A nil *FitStats disables
+// collection at the cost of one pointer check per fit — the hot per-candidate
+// path stays allocation-free either way.
+type FitStats struct {
+	// Fits counts completed (successful) maximum-likelihood fits.
+	Fits atomic.Int64
+	// LikEvals counts Kalman likelihood-filter evaluations: every objective
+	// evaluation of every optimization start, plus each fit's final
+	// concentrated-likelihood pass.
+	LikEvals atomic.Int64
+	// Starts counts optimization starts tried (warm and cold).
+	Starts atomic.Int64
+	// Restarts counts starts beyond each fit's first — the multi-start
+	// recovery rate.
+	Restarts atomic.Int64
+	// FitFailures counts fits where every start failed (OptimizationError).
+	FitFailures atomic.Int64
+}
+
+// Merge folds src's counts into s (either may be nil; both no-op).
+func (s *FitStats) Merge(src *FitStats) {
+	if s == nil || src == nil {
+		return
+	}
+	s.Fits.Add(src.Fits.Load())
+	s.LikEvals.Add(src.LikEvals.Load())
+	s.Starts.Add(src.Starts.Load())
+	s.Restarts.Add(src.Restarts.Load())
+	s.FitFailures.Add(src.FitFailures.Load())
+}
 
 // ErrSeriesTooShort is returned when a series is shorter than the model can
 // identify.
@@ -55,6 +92,10 @@ type FitOptions struct {
 	// only (0 = DefaultWarmStep). Cold starts always use the historical
 	// relative step, so their trajectories are unchanged by this option.
 	StartStep float64
+	// Stats, when non-nil, accumulates optimizer accounting (likelihood
+	// evaluations, starts, restarts, failures) for this fit. It never
+	// changes the fit's numerics.
+	Stats *FitStats
 }
 
 // DefaultWarmStep is the absolute initial simplex edge for warm starts:
@@ -173,7 +214,18 @@ func FitConfigOptions(y []float64, cfg Config, ws *kalman.Workspace, opts FitOpt
 	if cfg.Seasonal {
 		nq = 2
 	}
+	var evals, attempts int
+	if s := opts.Stats; s != nil {
+		defer func() {
+			s.LikEvals.Add(int64(evals))
+			s.Starts.Add(int64(attempts))
+			if attempts > 1 {
+				s.Restarts.Add(int64(attempts - 1))
+			}
+		}()
+	}
 	objective := func(params []float64) float64 {
+		evals++
 		ll, _, err := concentratedLogLik(scaled, cfg, searchModel, params, ws)
 		if err != nil {
 			return math.Inf(1)
@@ -195,7 +247,6 @@ func FitConfigOptions(y []float64, cfg Config, ws *kalman.Workspace, opts FitOpt
 	// Only when every start fails is the series declared failed.
 	var best optimize.Result
 	haveBest := false
-	attempts := 0
 	for _, s0 := range starts {
 		attempts++
 		if err := faultpoint.Inject("ssm/fit-attempt", strconv.Itoa(attempts)); err != nil {
@@ -218,8 +269,12 @@ func FitConfigOptions(y []float64, cfg Config, ws *kalman.Workspace, opts FitOpt
 		}
 	}
 	if !haveBest {
+		if s := opts.Stats; s != nil {
+			s.FitFailures.Add(1)
+		}
 		return nil, &OptimizationError{Attempts: attempts}
 	}
+	evals++
 	logLik, sigma2, err := concentratedLogLik(scaled, cfg, searchModel, best.X, ws)
 	if err != nil {
 		return nil, err
@@ -262,6 +317,9 @@ func FitConfigOptions(y []float64, cfg Config, ws *kalman.Workspace, opts FitOpt
 		base := m.Dim() - len(ivs)
 		fit.Lambdas = append([]float64(nil), final[base:]...)
 		fit.Lambda = fit.Lambdas[0]
+	}
+	if s := opts.Stats; s != nil {
+		s.Fits.Add(1)
 	}
 	return fit, nil
 }
@@ -391,7 +449,15 @@ func AICAtWorkspace(y []float64, seasonal bool, cp int, ws *kalman.Workspace) (f
 // for a cold fit) seeds the optimizer, and the returned opt is the fitted
 // optimum's parameters — the warm start for the next candidate.
 func AICAtStart(y []float64, seasonal bool, cp int, ws *kalman.Workspace, start []float64) (aic float64, opt []float64, err error) {
-	fit, err := FitConfigOptions(y, Config{Seasonal: seasonal, ChangePoint: cp}, ws, FitOptions{Start: start})
+	return AICAtOptions(y, seasonal, cp, ws, FitOptions{Start: start})
+}
+
+// AICAtOptions is the options-first change point search primitive: AICAtStart
+// with the full FitOptions, so scans can thread warm starts and FitStats
+// accounting through one call. A zero opts reproduces AICAtWorkspace's cold
+// fit bit-for-bit.
+func AICAtOptions(y []float64, seasonal bool, cp int, ws *kalman.Workspace, opts FitOptions) (aic float64, opt []float64, err error) {
+	fit, err := FitConfigOptions(y, Config{Seasonal: seasonal, ChangePoint: cp}, ws, opts)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -17,30 +17,33 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"mictrend/internal/changepoint"
 	"mictrend/internal/faultpoint"
 	"mictrend/internal/medmodel"
 	"mictrend/internal/mic"
+	"mictrend/internal/obs"
 	"mictrend/internal/ssm"
 )
 
-// Method selects the change point search algorithm.
-type Method int
+// Method selects the change point search algorithm. It is the pipeline-level
+// name for changepoint.SearchMethod, so the two option surfaces share one
+// vocabulary.
+type Method = changepoint.SearchMethod
 
 // Search methods.
 const (
-	MethodExact  Method = iota // Algorithm 1
-	MethodBinary               // Algorithm 2
+	// MethodExact is Algorithm 1. The pipeline runs it on the warm-started
+	// parallel scan (selection identical to the serial scan) whenever the
+	// worker budget grants a scan more than one token.
+	MethodExact = changepoint.SearchExact
+	// MethodBinary is Algorithm 2.
+	MethodBinary = changepoint.SearchBinary
+	// MethodExactParallel requests the parallel scan explicitly; within the
+	// pipeline it behaves exactly like MethodExact (same scan, same budget).
+	MethodExactParallel = changepoint.SearchExactParallel
 )
-
-// String names the method.
-func (m Method) String() string {
-	if m == MethodExact {
-		return "exact"
-	}
-	return "binary"
-}
 
 // SeriesKind distinguishes the three series families of the paper.
 type SeriesKind int
@@ -97,8 +100,23 @@ type Options struct {
 	// inside the scan instead of idling cores. 1 forces serial scans.
 	// Results are identical for every setting; only wall-clock changes.
 	ScanWorkers int
-	// EM tunes the medication model fit. EM.Workers defaults to Workers.
+	// EM tunes the medication model fit. EM.Workers defaults to Workers, and
+	// EM.Observer/EM.Metrics default to the pipeline's Observer/Metrics.
 	EM medmodel.FitOptions
+	// Observer, when non-nil, receives the pipeline's progress events:
+	// StageStart/StageEnd around the model, reproduce, and detect stages, one
+	// MonthFitted per month, one SeriesDone per series. Per-unit events
+	// arrive in serial order (months ascending, series in job order) for any
+	// Workers/ScanWorkers split, and deliveries are serialized. A panicking
+	// Observer is recovered, recorded as a StageObserver failure, and
+	// permanently muted; cancelling ctx stops delivery. Nil costs nothing.
+	Observer obs.Observer
+	// Metrics, when non-nil, collects the run's counters, histograms, and
+	// stage timers (see the README's metrics table). The registry's
+	// counter/gauge/histogram sections are deterministic for a given input
+	// regardless of worker counts; only its timings vary. Nil costs nothing
+	// on the fit path.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -140,6 +158,9 @@ const (
 	// StageDetect is a change point search that failed or panicked; the
 	// series carries no detection.
 	StageDetect
+	// StageObserver is a user progress Observer that panicked; the pipeline
+	// muted it and kept running, so the run lost events but no results.
+	StageObserver
 )
 
 // String names the stage.
@@ -149,6 +170,8 @@ func (s FailureStage) String() string {
 		return "model"
 	case StageValidate:
 		return "validate"
+	case StageObserver:
+		return "observer"
 	default:
 		return "detect"
 	}
@@ -178,9 +201,12 @@ type Failure struct {
 // String renders the failure for reports.
 func (f Failure) String() string {
 	var what string
-	if f.Stage == StageModel {
+	switch f.Stage {
+	case StageModel:
 		what = fmt.Sprintf("month %d", f.Month)
-	} else {
+	case StageObserver:
+		return fmt.Sprintf("%s: %s", f.Stage, f.Err)
+	default:
 		what = seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine})
 	}
 	s := fmt.Sprintf("%s %s: %s", f.Stage, what, f.Err)
@@ -223,25 +249,160 @@ type Analysis struct {
 	TotalFits int
 }
 
+// pipelineInstruments carries Analyze's observability wiring: the guarded,
+// context-gated observer, the metrics registry, and the observer failures
+// recorded so far. A nil *pipelineInstruments (neither an Observer nor a
+// Metrics registry configured) makes every method a no-op, keeping the
+// disabled pipeline on its old code path.
+type pipelineInstruments struct {
+	deliver obs.Observer
+	metrics *obs.Registry
+	exact   bool // scan-cost counters only make sense for the exact scans
+
+	mu        sync.Mutex
+	obsFails  []Failure
+	tripsBase int64
+}
+
+func newPipelineInstruments(ctx context.Context, opts Options) *pipelineInstruments {
+	if opts.Observer == nil && opts.Metrics == nil {
+		return nil
+	}
+	ins := &pipelineInstruments{
+		metrics:   opts.Metrics,
+		exact:     opts.Method != MethodBinary,
+		tripsBase: faultpoint.Trips(),
+	}
+	guarded := obs.Guard(opts.Observer, func(r any) {
+		ins.mu.Lock()
+		ins.obsFails = append(ins.obsFails, Failure{
+			Stage: StageObserver, Month: -1,
+			Err: fmt.Sprintf("observer panicked: %v", r), Panicked: true,
+		})
+		ins.mu.Unlock()
+	})
+	if guarded != nil {
+		ins.deliver = func(e obs.Event) {
+			if ctx.Err() != nil {
+				return // cancelled: stop delivery cleanly
+			}
+			guarded(e)
+		}
+	}
+	return ins
+}
+
+// stage opens one pipeline stage (emitting StageStart) and returns its
+// closer, which records the stage timer and emits StageEnd with the stage's
+// wall-clock and outcome.
+func (ins *pipelineInstruments) stage(name string, total int) func(done int, err error) {
+	if ins == nil {
+		return func(int, error) {}
+	}
+	t0 := time.Now()
+	if ins.deliver != nil {
+		ins.deliver(obs.Event{Kind: obs.StageStart, Stage: name, Month: -1, Total: total})
+	}
+	return func(done int, err error) {
+		d := time.Since(t0)
+		ins.metrics.Timer("time/stage/" + name).Observe(d)
+		if ins.deliver != nil {
+			e := obs.Event{
+				Kind: obs.StageEnd, Stage: name, Month: -1,
+				Total: total, Done: done, Duration: d,
+			}
+			if err != nil {
+				e.Err = err.Error()
+			}
+			ins.deliver(e)
+		}
+	}
+}
+
+// seriesDone accounts one finished detection job. detectAll invokes it
+// through a sequencer in job-index order, so the registry merges and the
+// SeriesDone stream are deterministic for any worker split.
+func (ins *pipelineInstruments) seriesDone(job Detection, res changepoint.Result, failErr string, cancelled bool, stats *ssm.FitStats, dur time.Duration, idx, total int) {
+	if ins == nil || cancelled {
+		return
+	}
+	if m := ins.metrics; m != nil {
+		if stats != nil {
+			m.Counter("ssm/lik_evals").Add(stats.LikEvals.Load())
+			m.Counter("ssm/starts").Add(stats.Starts.Load())
+			m.Counter("ssm/restarts").Add(stats.Restarts.Load())
+			m.Counter("ssm/fit_failures").Add(stats.FitFailures.Load())
+		}
+		m.Counter("scan/series").Inc()
+		if failErr == "" {
+			m.Counter("scan/fits").Add(int64(res.Fits))
+			if ins.exact {
+				evals := changepoint.ScanEvaluations(len(job.Series))
+				m.Counter("scan/candidates").Add(int64(evals))
+				if refits := res.Fits - evals; refits > 0 {
+					m.Counter("scan/warm_refits").Add(int64(refits))
+				}
+			}
+		}
+		m.Timer("time/scan/series").Observe(dur)
+	}
+	if ins.deliver != nil {
+		ins.deliver(obs.Event{
+			Kind: obs.SeriesDone, Stage: "detect", Series: seriesKey(job),
+			Month: -1, Done: idx + 1, Total: total, Duration: dur, Err: failErr,
+		})
+	}
+}
+
+// finish folds the run-level accounting into the analysis and registry:
+// observer-panic failures, per-stage failure counters, and the run's
+// fault-injection trip delta.
+func (ins *pipelineInstruments) finish(analysis *Analysis) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	analysis.Failures = append(analysis.Failures, ins.obsFails...)
+	ins.mu.Unlock()
+	if m := ins.metrics; m != nil {
+		m.Gauge("faultpoint/trips").Set(faultpoint.Trips() - ins.tripsBase)
+		for _, f := range analysis.Failures {
+			m.Counter("pipeline/failures/" + f.Stage.String()).Inc()
+		}
+		m.Counter("scan/total_fits").Add(int64(analysis.TotalFits))
+	}
+}
+
 // Analyze runs the full two-stage pipeline.
 //
 // Failure semantics: the pipeline degrades instead of failing atomically. A
 // month whose EM fit errors or panics falls back to the cooccurrence model;
 // a series containing NaN/Inf is skipped before detection; a series whose
 // change point search fails (after multi-start recovery) or panics loses
-// only its own detection. Every such event is recorded in
-// Analysis.Failures. The error return is reserved for corpus-level problems
-// (reproduction) and for ctx: when ctx is cancelled mid-scan, Analyze stops
-// within one in-flight model fit and returns the detections completed so far
-// alongside ctx's error.
+// only its own detection; a panicking progress Observer is muted. Every such
+// event is recorded in Analysis.Failures. The error return is reserved for
+// corpus-level problems (reproduction) and for ctx: when ctx is cancelled
+// mid-scan, Analyze stops within one in-flight model fit and returns the
+// detections completed so far alongside ctx's error.
 func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	ins := newPipelineInstruments(ctx, opts)
+	if ins != nil {
+		if opts.EM.Observer == nil {
+			opts.EM.Observer = ins.deliver
+		}
+		if opts.EM.Metrics == nil {
+			opts.EM.Metrics = ins.metrics
+		}
+	}
 	filtered := mic.FilterDataset(ds, mic.FilterOptions{MinMonthlyFreq: opts.MinMonthlyFreq})
 	analysis := &Analysis{}
+	endModel := ins.stage("model", len(filtered.Months))
 	models, monthFails, err := medmodel.FitAll(ctx, filtered, opts.EM)
+	endModel(len(filtered.Months)-len(monthFails), err)
 	if err != nil {
 		return nil, fmt.Errorf("trend: fitting medication models: %w", err)
 	}
@@ -251,8 +412,13 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 			Stage: StageModel, Month: mf.Month, Err: mf.Err.Error(), Panicked: mf.Panicked,
 		})
 	}
+	if ins != nil && len(monthFails) > 0 {
+		ins.metrics.Counter("em/fallbacks").Add(int64(len(monthFails)))
+	}
+	endRepro := ins.stage("reproduce", -1)
 	series, err := medmodel.Reproduce(filtered, models)
 	if err != nil {
+		endRepro(0, err)
 		return nil, fmt.Errorf("trend: reproducing series: %w", err)
 	}
 	series = series.FilterMinTotal(opts.MinSeriesTotal)
@@ -260,11 +426,15 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 	analysis.Models = models
 	analysis.Series = series
 	jobs, valFails := validateJobs(collectJobs(series))
+	endRepro(len(jobs), nil)
 	analysis.Failures = append(analysis.Failures, valFails...)
-	results, detFails, totalFits, derr := detectAll(ctx, jobs, opts)
+	endDetect := ins.stage("detect", len(jobs))
+	results, detFails, totalFits, derr := detectAll(ctx, jobs, opts, ins)
+	endDetect(len(results), derr)
 	analysis.Failures = append(analysis.Failures, detFails...)
-	sortFailures(analysis.Failures)
 	analysis.TotalFits = totalFits
+	ins.finish(analysis)
+	sortFailures(analysis.Failures)
 	for _, det := range results {
 		switch det.Kind {
 		case KindDisease:
@@ -378,12 +548,14 @@ func collectJobs(series *medmodel.SeriesSet) []Detection {
 // itself is worker-count-invariant, so detections are deterministic under
 // any Workers/ScanWorkers split and byte-identical for the surviving series
 // whether or not other series failed.
-func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection, []Failure, int, error) {
+func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelineInstruments) ([]Detection, []Failure, int, error) {
 	type outcome struct {
 		i         int
 		det       Detection
 		fail      *Failure
 		cancelled bool
+		stats     *ssm.FitStats
+		dur       time.Duration
 	}
 	budget := newWorkerBudget(opts.Workers)
 	out := make(chan outcome)
@@ -405,8 +577,18 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection
 					out <- outcome{i: i, cancelled: true}
 					return
 				}
-				det, fail, cancelled := runDetection(ctx, jobs[i], opts, budget)
-				out <- outcome{i: i, det: det, fail: fail, cancelled: cancelled}
+				o := outcome{i: i}
+				if ins != nil {
+					if ins.metrics != nil {
+						o.stats = &ssm.FitStats{}
+					}
+					t0 := time.Now()
+					o.det, o.fail, o.cancelled = runDetection(ctx, jobs[i], opts, budget, o.stats)
+					o.dur = time.Since(t0)
+				} else {
+					o.det, o.fail, o.cancelled = runDetection(ctx, jobs[i], opts, budget, nil)
+				}
+				out <- o
 			}(i)
 		}
 	}()
@@ -415,6 +597,10 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection
 	done := make([]bool, len(jobs))
 	var failures []Failure
 	totalFits := 0
+	var seq *obs.Sequencer
+	if ins != nil {
+		seq = obs.NewSequencer()
+	}
 	for o := range out {
 		switch {
 		case o.cancelled:
@@ -424,6 +610,16 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection
 			dets[o.i] = o.det
 			done[o.i] = true
 			totalFits += o.det.Result.Fits
+		}
+		if seq != nil {
+			o := o
+			seq.Done(o.i, func() {
+				failErr := ""
+				if o.fail != nil {
+					failErr = o.fail.Err
+				}
+				ins.seriesDone(jobs[o.i], o.det.Result, failErr, o.cancelled, o.stats, o.dur, o.i, len(jobs))
+			})
 		}
 	}
 	results := make([]Detection, 0, len(jobs))
@@ -441,7 +637,7 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options) ([]Detection
 // them too). The cancelled return distinguishes a context abort (not a
 // series failure) from a genuine one. budget supplies the scan's level-two
 // extra workers; nil runs the scan serially.
-func runDetection(ctx context.Context, job Detection, opts Options, budget *workerBudget) (det Detection, fail *Failure, cancelled bool) {
+func runDetection(ctx context.Context, job Detection, opts Options, budget *workerBudget, stats *ssm.FitStats) (det Detection, fail *Failure, cancelled bool) {
 	det = job
 	defer func() {
 		if r := recover(); r != nil {
@@ -456,14 +652,16 @@ func runDetection(ctx context.Context, job Detection, opts Options, budget *work
 	if err := faultpoint.Inject("trend/detect", seriesKey(job)); err != nil {
 		return det, detectFailure(job, err), false
 	}
-	var res changepoint.Result
-	var err error
-	if opts.Method == MethodExact {
+	dopts := changepoint.DetectOptions{Seasonal: opts.Seasonal, Stats: stats}
+	if opts.Method == MethodBinary {
+		dopts.Method = changepoint.SearchBinary
+	} else {
 		// Level two of the worker budget: claim idle tokens (beyond this
 		// series' own) for the scan's shard workers, returning them as soon
 		// as the scan finishes. The scan's result does not depend on how
 		// many we get.
-		workers := 1
+		dopts.Method = changepoint.SearchExactParallel
+		dopts.Workers = 1
 		if budget != nil {
 			target := opts.ScanWorkers
 			if target <= 0 {
@@ -471,14 +669,11 @@ func runDetection(ctx context.Context, job Detection, opts Options, budget *work
 			}
 			if extra := budget.tryAcquire(target - 1); extra > 0 {
 				defer budget.release(extra)
-				workers += extra
+				dopts.Workers += extra
 			}
 		}
-		res, err = changepoint.DetectExactParallelContext(ctx, det.Series, opts.Seasonal,
-			changepoint.ParallelOptions{Workers: workers, WarmStart: true})
-	} else {
-		res, err = changepoint.DetectBinaryContext(ctx, det.Series, opts.Seasonal)
 	}
+	res, err := changepoint.Detect(ctx, det.Series, dopts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return det, nil, true

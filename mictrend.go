@@ -9,19 +9,65 @@
 //   - the latent-variable medication model (EM) with baselines and
 //     time-series reproduction,
 //   - the structural state space model with AIC change point search
-//     (exact, binary, and greedy multi-change-point), and
+//     (exact, binary, and greedy multi-change-point),
 //   - the end-to-end trend analysis pipeline with change-cause
 //     classification plus the geographic-spread and hospital-gap
-//     applications.
+//     applications, and
+//   - the observability layer: progress events, metrics, and failure
+//     inspection for long pipeline runs.
 //
-// Quick start:
+// # Quick start
+//
+// The API is options-first: each entry point takes a context and one options
+// struct whose zero value (or Default* constructor) is the paper's setup.
 //
 //	corpus, truth, _ := mictrend.GenerateCorpus(mictrend.GeneratorConfig{Months: 36, RecordsPerMonth: 1000})
-//	analysis, _ := mictrend.AnalyzeTrends(corpus, mictrend.DefaultAnalysisOptions())
+//
+//	opts := mictrend.DefaultAnalysisOptions()
+//	opts.Method = mictrend.MethodExact // Algorithm 1; MethodBinary for the O(log T) search
+//	analysis, err := mictrend.AnalyzeTrendsContext(ctx, corpus, opts)
+//	if err != nil {
+//		// Cancellation: analysis still holds everything completed so far.
+//	}
 //	for _, det := range mictrend.DetectedChangePoints(analysis.Prescriptions) {
 //		// inspect det.Result.ChangePoint …
 //	}
 //	_ = truth
+//
+// The pipeline degrades instead of aborting: a month whose EM fit fails
+// falls back to the cooccurrence model, and a series whose search fails
+// loses only its own detection. Inspect what was skipped or downgraded:
+//
+//	for _, f := range analysis.Failures {
+//		fmt.Println(f) // e.g. "detect prescription:3/7: … (after 4 starts)"
+//	}
+//
+// # Observability
+//
+// Long runs report progress through an Observer and collect counters,
+// histograms, and stage timers in a Metrics registry, both wired through
+// AnalysisOptions:
+//
+//	metrics := mictrend.NewMetrics()
+//	opts.Observer = func(e mictrend.Event) { log.Println(e) }
+//	opts.Metrics = metrics
+//	analysis, _ = mictrend.AnalyzeTrendsContext(ctx, corpus, opts)
+//	_ = metrics.Snapshot().WriteJSON(os.Stdout)
+//
+// Event delivery is serialized, panic-isolated (a panicking Observer is
+// muted and recorded as a StageObserver failure), and deterministic in
+// order; the snapshot's counter/gauge/histogram sections are identical for
+// any worker configuration.
+//
+// # Single-series change point detection
+//
+// Outside the pipeline, DetectChangePoint searches one series with the same
+// options-first shape:
+//
+//	res, err := mictrend.DetectChangePoint(ctx, series, mictrend.DetectOptions{
+//		Method:   mictrend.SearchExactParallel,
+//		Seasonal: true,
+//	})
 package mictrend
 
 import (
@@ -33,9 +79,55 @@ import (
 	"mictrend/internal/medmodel"
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
+	"mictrend/internal/obs"
 	"mictrend/internal/ssm"
 	"mictrend/internal/trend"
 )
+
+// --- observability ---
+
+// Observability types.
+type (
+	// Event is one structured pipeline progress event.
+	Event = obs.Event
+	// EventKind identifies a progress event (stage start/end, month fitted,
+	// series done).
+	EventKind = obs.EventKind
+	// Observer receives progress events; wire one through
+	// AnalysisOptions.Observer or DetectOptions.Observer. Deliveries are
+	// serialized, panic-isolated, and arrive in serial-equivalent order for
+	// any worker count.
+	Observer = obs.Observer
+	// Metrics is a registry of named counters, gauges, histograms, and
+	// timers; wire one through AnalysisOptions.Metrics.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry. Its
+	// counter/gauge/histogram sections are deterministic for a given input
+	// regardless of worker counts; Deterministic() strips the wall-clock
+	// timings.
+	MetricsSnapshot = obs.Snapshot
+	// ScanStats accumulates optimizer-level accounting (likelihood
+	// evaluations, multi-start restarts, failures) across the fits of a
+	// change point search; wire one through DetectOptions.Stats.
+	ScanStats = ssm.FitStats
+)
+
+// Progress event kinds.
+const (
+	// EventStageStart opens a pipeline stage ("model", "reproduce",
+	// "detect", "scan").
+	EventStageStart = obs.StageStart
+	// EventStageEnd closes a stage, carrying its wall-clock duration.
+	EventStageEnd = obs.StageEnd
+	// EventMonthFitted reports one month's medication model fit.
+	EventMonthFitted = obs.MonthFitted
+	// EventSeriesDone reports one series' change point search.
+	EventSeriesDone = obs.SeriesDone
+)
+
+// NewMetrics returns an empty metrics registry to pass as
+// AnalysisOptions.Metrics. A nil registry (the default) costs nothing.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // --- MIC data model ---
 
@@ -153,9 +245,10 @@ type MonthFitError = medmodel.MonthError
 
 // FitMedicationModels fits one model per month, failing fast on the first
 // month that cannot be fitted. Use FitMedicationModelsContext for
-// skip-and-report semantics and cancellation.
+// skip-and-report semantics and cancellation. Set EMOptions.PriorWeight to
+// chain a Dirichlet prior across months (the smoothed variant).
 func FitMedicationModels(d *Dataset, opts EMOptions) ([]*MedicationModel, error) {
-	models, fails, err := medmodel.FitAll(context.Background(), d, opts)
+	models, fails, err := FitMedicationModelsContext(context.Background(), d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -174,12 +267,12 @@ func FitMedicationModelsContext(ctx context.Context, d *Dataset, opts EMOptions)
 
 // FitMedicationModelsSmoothed chains a Dirichlet prior across months (the
 // paper's §IX Dynamic Topic Model direction).
+//
+// Deprecated: set EMOptions.PriorWeight and call FitMedicationModels (or
+// FitMedicationModelsContext for per-month degradation and cancellation).
 func FitMedicationModelsSmoothed(d *Dataset, opts EMOptions, priorWeight float64) ([]*MedicationModel, error) {
-	models, err := medmodel.FitAllSmoothed(context.Background(), d, opts, priorWeight)
-	if err != nil {
-		return nil, err
-	}
-	return models, nil
+	opts.PriorWeight = priorWeight
+	return FitMedicationModels(d, opts)
 }
 
 // ReproduceSeries applies fitted models to their months and accumulates the
@@ -218,14 +311,48 @@ func FitStructuralModel(series []float64, cfg StructuralConfig) (*StructuralFit,
 	return ssm.FitConfig(series, cfg)
 }
 
+// DetectOptions configures DetectChangePoint: the search method, the model
+// variant, worker count, and optional observability (DetectOptions.Stats,
+// DetectOptions.Observer). The zero value runs the serial exact scan of a
+// non-seasonal model.
+type DetectOptions = changepoint.DetectOptions
+
+// SearchMethod selects DetectChangePoint's algorithm.
+type SearchMethod = changepoint.SearchMethod
+
+// Change point search methods for DetectOptions.Method.
+const (
+	// SearchExact is the serial Algorithm 1 (O(T) fits).
+	SearchExact = changepoint.SearchExact
+	// SearchBinary is the approximate Algorithm 2 (O(log T) fits).
+	SearchBinary = changepoint.SearchBinary
+	// SearchExactParallel is Algorithm 1 on the candidate-sharded,
+	// warm-started scan; it selects the same change point as SearchExact for
+	// any worker count.
+	SearchExactParallel = changepoint.SearchExactParallel
+)
+
+// DetectChangePoint runs the selected change point search on one series. It
+// consolidates the deprecated DetectChangePointExact/Binary/ExactParallel
+// entry points behind one options struct, producing byte-identical results
+// to each; cancellation surfaces as ctx's error within one in-flight model
+// fit.
+func DetectChangePoint(ctx context.Context, series []float64, opts DetectOptions) (ChangePointResult, error) {
+	return changepoint.Detect(ctx, series, opts)
+}
+
 // DetectChangePointExact runs the paper's Algorithm 1 (O(T) fits).
+//
+// Deprecated: use DetectChangePoint with DetectOptions{Method: SearchExact}.
 func DetectChangePointExact(series []float64, seasonal bool) (ChangePointResult, error) {
-	return changepoint.DetectExact(series, seasonal)
+	return DetectChangePoint(context.Background(), series, DetectOptions{Method: SearchExact, Seasonal: seasonal})
 }
 
 // DetectChangePointBinary runs the paper's Algorithm 2 (O(log T) fits).
+//
+// Deprecated: use DetectChangePoint with DetectOptions{Method: SearchBinary}.
 func DetectChangePointBinary(series []float64, seasonal bool) (ChangePointResult, error) {
-	return changepoint.DetectBinary(series, seasonal)
+	return DetectChangePoint(context.Background(), series, DetectOptions{Method: SearchBinary, Seasonal: seasonal})
 }
 
 // DetectChangePointExactParallel runs Algorithm 1 with the candidate-sharded,
@@ -233,8 +360,13 @@ func DetectChangePointBinary(series []float64, seasonal bool) (ChangePointResult
 // months, each seeding its fits from the previous candidate's optimum. The
 // selected change point matches the serial exact scan; see
 // changepoint.ParallelOptions for the exact determinism contract.
+//
+// Deprecated: use DetectChangePoint with DetectOptions{Method:
+// SearchExactParallel, Workers: workers}.
 func DetectChangePointExactParallel(series []float64, seasonal bool, workers int) (ChangePointResult, error) {
-	return changepoint.DetectExactParallel(series, seasonal, changepoint.ParallelOptions{Workers: workers, WarmStart: true})
+	return DetectChangePoint(context.Background(), series, DetectOptions{
+		Method: SearchExactParallel, Seasonal: seasonal, Workers: workers,
+	})
 }
 
 // DetectChangePoints runs the greedy multiple-change-point search (§IX
@@ -276,12 +408,18 @@ const (
 	CausePrescription = trend.CausePrescription
 )
 
-// Change point search methods.
+// Change point search methods for AnalysisOptions.Method. These are the
+// same constants as the Search* values; the pipeline runs MethodExact (and
+// MethodExactParallel) on the warm-started parallel scan under its worker
+// budget.
 const (
 	// MethodExact is the paper's Algorithm 1.
 	MethodExact = trend.MethodExact
 	// MethodBinary is the paper's Algorithm 2.
 	MethodBinary = trend.MethodBinary
+	// MethodExactParallel requests the parallel scan explicitly; within the
+	// pipeline it behaves exactly like MethodExact.
+	MethodExactParallel = trend.MethodExactParallel
 )
 
 // Series kinds.
@@ -296,6 +434,7 @@ const (
 	StageModel    = trend.StageModel
 	StageValidate = trend.StageValidate
 	StageDetect   = trend.StageDetect
+	StageObserver = trend.StageObserver
 )
 
 // DefaultAnalysisOptions mirrors the paper's setup (seasonal model, exact
@@ -305,7 +444,7 @@ func DefaultAnalysisOptions() AnalysisOptions { return trend.DefaultOptions() }
 // AnalyzeTrends runs the full two-stage pipeline. Per-series and per-month
 // problems do not abort the run; they are recorded in Analysis.Failures.
 func AnalyzeTrends(d *Dataset, opts AnalysisOptions) (*Analysis, error) {
-	return trend.Analyze(context.Background(), d, opts)
+	return AnalyzeTrendsContext(context.Background(), d, opts)
 }
 
 // AnalyzeTrendsContext is AnalyzeTrends under a context: cancellation stops

@@ -1,0 +1,8 @@
+//go:build !race
+
+package mictrend
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions skip under -race, where runtime bookkeeping
+// makes testing.AllocsPerRun unrepresentative of production builds.
+const raceEnabled = false
