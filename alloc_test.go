@@ -44,6 +44,20 @@ func TestInstrumentationAllocFree(t *testing.T) {
 		t.Errorf("nil metric handles allocate %.0f/op, want 0", n)
 	}
 
+	// Nil span sinks — what traced code holds when no Tracer is configured —
+	// must be equally free: a nil *Tracer no-ops and guarding a nil observer
+	// returns nil (so hot loops keep a single pointer check).
+	var tr *obs.Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Observe(obs.SpanEvent{Name: "x"})
+		_ = tr.Len()
+		if obs.GuardSpans(nil, nil) != nil {
+			t.Fatal("GuardSpans(nil) must stay nil")
+		}
+	}); n != 0 {
+		t.Errorf("nil span sinks allocate %.0f/op, want 0", n)
+	}
+
 	// The Kalman workspace kernel — the unit the likelihood search pays
 	// hundreds of times per fit — must stay allocation-free in steady state.
 	y := syntheticBreakSeries(43, 20)

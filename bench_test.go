@@ -24,6 +24,7 @@ import (
 	"mictrend/internal/micgen"
 	"mictrend/internal/obs"
 	"mictrend/internal/ssm"
+	"mictrend/internal/trend"
 )
 
 // benchConfig is a trimmed experiment configuration so the full table/figure
@@ -507,5 +508,76 @@ func BenchmarkObsNil(b *testing.B) {
 		g.Set(int64(i))
 		h.Observe(float64(i % 7))
 		tm.Observe(0)
+	}
+}
+
+// BenchmarkObsNilTrace measures the disabled span-tracing fast path: the nil
+// *Tracer traced code holds when no trace sink is configured. Like
+// BenchmarkObsNil it must stay at 0 allocs/op (asserted by the CI benchmark
+// smoke).
+func BenchmarkObsNilTrace(b *testing.B) {
+	var tr *obs.Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(obs.SpanEvent{Name: "bench", Month: i})
+		_ = tr.Len()
+	}
+}
+
+// benchAnalyzeCorpus is the shared small corpus for the pipeline-overhead
+// benchmarks below.
+func benchAnalyzeCorpus(b *testing.B) *mic.Dataset {
+	b.Helper()
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed: 5, Months: 18, RecordsPerMonth: 400, BulkDiseases: 5, BulkMedicines: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func benchAnalyzeOptions() trend.Options {
+	opts := trend.DefaultOptions()
+	opts.Method = trend.MethodBinary
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 300
+	return opts
+}
+
+// BenchmarkAnalyze is the untraced pipeline baseline for
+// BenchmarkAnalyzeTraced: same corpus and options, no observability
+// configured.
+func BenchmarkAnalyze(b *testing.B) {
+	ds := benchAnalyzeCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trend.Analyze(context.Background(), ds, benchAnalyzeOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeTraced runs the same pipeline with a live Tracer and
+// Explain collection, pinning the full observability overhead (span
+// collection, provenance ladders, convergence traces) against
+// BenchmarkAnalyze. Baselines live in BENCH_obs.json.
+func BenchmarkAnalyzeTraced(b *testing.B) {
+	ds := benchAnalyzeCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tracer := obs.NewTracer()
+		opts := benchAnalyzeOptions()
+		opts.Trace = tracer.Observe
+		opts.Explain = true
+		a, err := trend.Analyze(context.Background(), ds, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tracer.Len() == 0 || len(a.SeriesProvenance) == 0 {
+			b.Fatal("traced run collected nothing")
+		}
 	}
 }

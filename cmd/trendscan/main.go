@@ -14,6 +14,12 @@
 //	trendscan -generate -progress                    (log progress events)
 //	trendscan -generate -metrics -                   (dump the metrics registry as JSON)
 //	trendscan -generate -pprof localhost:6060        (serve net/http/pprof during the run)
+//	trendscan -generate -trace out.json              (write a Perfetto-loadable span trace)
+//	trendscan -generate -explain explain/            (write decision-provenance JSON artifacts)
+//	trendscan -generate -prom localhost:9100         (serve Prometheus text metrics at /metrics)
+//
+// An interrupted run (SIGINT) still flushes its partial trace, metrics, and
+// explain artifacts before exiting.
 package main
 
 import (
@@ -35,6 +41,10 @@ import (
 	"mictrend/internal/obs"
 	"mictrend/internal/trend"
 )
+
+// version stamps the explain manifest so archived artifacts identify the
+// binary that produced them.
+const version = "trendscan/0.5"
 
 func main() {
 	log.SetFlags(0)
@@ -58,15 +68,32 @@ func main() {
 		progress    = flag.Bool("progress", false, "log pipeline progress events (stages, fitted months, finished series)")
 		metricsPath = flag.String("metrics", "", "write the run's metrics registry as JSON to this file (\"-\" = stdout)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		tracePath   = flag.String("trace", "", "write the run's spans as Chrome Trace Event JSON to this file (load in Perfetto or chrome://tracing)")
+		explainDir  = flag.String("explain", "", "write decision-provenance artifacts (run manifest, per-month EM traces, per-series AIC ladders) under this directory")
+		promAddr    = flag.String("prom", "", "serve Prometheus text metrics on this address at /metrics (the -pprof mux serves it too)")
 	)
 	flag.Parse()
 
+	// DefaultServeMux carries the pprof handlers (blank import), the expvar
+	// page at /debug/vars (expvar is linked in through the obs registry
+	// bridge), and the Prometheus exposition at /metrics — every debug
+	// listener serves all three.
+	metrics := obs.NewRegistry()
+	metrics.PublishExpvar("mictrend")
+	http.Handle("/metrics", metrics.PrometheusHandler("mictrend"))
 	if *pprofAddr != "" {
-		// DefaultServeMux carries the pprof handlers via the blank import.
 		go func() {
 			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				log.Printf("warning: pprof server: %v", err)
+			}
+		}()
+	}
+	if *promAddr != "" && *promAddr != *pprofAddr {
+		go func() {
+			log.Printf("prometheus metrics on http://%s/metrics", *promAddr)
+			if err := http.ListenAndServe(*promAddr, nil); err != nil {
+				log.Printf("warning: prometheus server: %v", err)
 			}
 		}()
 	}
@@ -108,10 +135,47 @@ func main() {
 	default:
 		log.Fatalf("unknown method %q (want exact or binary)", *method)
 	}
-	metrics := obs.NewRegistry()
 	opts.Metrics = metrics
 	if *progress {
 		opts.Observer = func(e obs.Event) { log.Print(e) }
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		opts.Trace = tracer.Observe
+	}
+	opts.Explain = *explainDir != ""
+
+	// flushTelemetry writes whatever observability the run accumulated —
+	// trace, metrics JSON, explain artifacts — and runs on every exit path,
+	// so an interrupted run still hands over its partial telemetry.
+	flushTelemetry := func(analysis *trend.Analysis, interrupted bool) {
+		if tracer != nil {
+			if err := writeTrace(*tracePath, tracer); err != nil {
+				log.Printf("warning: %v", err)
+			} else {
+				fmt.Printf("wrote trace (%d spans) to %s\n", tracer.Len(), *tracePath)
+			}
+		}
+		if *metricsPath != "" {
+			if err := writeMetrics(*metricsPath, metrics); err != nil {
+				log.Printf("warning: %v", err)
+			}
+		}
+		if *explainDir != "" && analysis != nil {
+			man := trend.BuildManifest(opts, analysis)
+			man.Version = version
+			man.Records = ds.NumRecords()
+			man.Interrupted = interrupted
+			if *generate {
+				man.Seed = *seed
+			}
+			if err := trend.WriteExplain(*explainDir, analysis, man); err != nil {
+				log.Printf("warning: %v", err)
+			} else {
+				fmt.Printf("wrote explain artifacts (%d series) to %s\n", len(analysis.SeriesProvenance), *explainDir)
+			}
+		}
 	}
 
 	fmt.Printf("analyzing %d months, %d records, %s search…\n", ds.T(), ds.NumRecords(), opts.Method)
@@ -120,11 +184,13 @@ func main() {
 	switch {
 	case errors.Is(err, context.Canceled):
 		if analysis == nil {
+			flushTelemetry(nil, true)
 			log.Fatal("interrupted before any results were available")
 		}
 		log.Print("warning: interrupted — reporting partial results")
 		interrupted = true
 	case err != nil:
+		flushTelemetry(analysis, false)
 		log.Fatal(err)
 	}
 	causes := trend.ClassifyChanges(analysis, 2)
@@ -170,11 +236,7 @@ func main() {
 
 	fmt.Printf("\ntotal model fits: %d\n", analysis.TotalFits)
 	printStageSummary(metrics)
-	if *metricsPath != "" {
-		if err := writeMetrics(*metricsPath, metrics); err != nil {
-			log.Fatal(err)
-		}
-	}
+	flushTelemetry(analysis, interrupted)
 	counts := map[trend.Cause]int{}
 	for _, c := range causes {
 		counts[c]++
@@ -256,6 +318,19 @@ func printStageSummary(metrics *obs.Registry) {
 			100*float64(d)/float64(total))
 	}
 	fmt.Printf("  %-10s %12s\n", "total", total.Round(time.Millisecond))
+}
+
+// writeTrace dumps the collected spans as Chrome Trace Event JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the registry snapshot as indented JSON ("-" = stdout).

@@ -53,6 +53,10 @@ type evaluator struct {
 	f     AICFunc
 	cache map[int]float64
 	fits  int
+	// prov, when non-nil, receives one ladder rung (tagged path) per cache
+	// miss — exactly the distinct fits, in evaluation order.
+	prov *Provenance
+	path string
 }
 
 func newEvaluator(f AICFunc) *evaluator {
@@ -72,6 +76,7 @@ func (e *evaluator) aic(cp int) (float64, error) {
 	}
 	e.cache[cp] = v
 	e.fits++
+	e.prov.candidate(cp, v, e.path)
 	return v, nil
 }
 
@@ -91,10 +96,17 @@ func maxCandidate(n int) int { return n - MinActiveObservations }
 // point plus the no-intervention model, returning the AIC-minimizing choice.
 // Ties prefer no change point (the paper iterates ∞ last with ≤).
 func Exact(n int, f AICFunc) (Result, error) {
+	return exact(n, f, nil)
+}
+
+// exact is Exact with optional decision-provenance recording: prov (nil to
+// disable) receives the full serial AIC ladder, cold path.
+func exact(n int, f AICFunc, prov *Provenance) (Result, error) {
 	if n < 2 {
 		return Result{}, fmt.Errorf("changepoint: series length %d too short", n)
 	}
 	e := newEvaluator(f)
+	e.prov, e.path = prov, PathCold
 	best := ssm.NoChangePoint
 	bestAIC, err := e.aic(ssm.NoChangePoint)
 	if err != nil {
@@ -110,7 +122,9 @@ func Exact(n int, f AICFunc) (Result, error) {
 			best, bestAIC = cp, aic
 		}
 	}
-	return Result{ChangePoint: best, AIC: bestAIC, NoChangeAIC: noneAIC, Fits: e.fits}, nil
+	res := Result{ChangePoint: best, AIC: bestAIC, NoChangeAIC: noneAIC, Fits: e.fits}
+	prov.finish(SearchExact.String(), n, res)
+	return res, nil
 }
 
 // Binary implements Algorithm 2: a binary search that halves the candidate
@@ -119,17 +133,27 @@ func Exact(n int, f AICFunc) (Result, error) {
 // exact method, never reports a change point that does not beat the
 // intervention-free model.
 func Binary(n int, f AICFunc) (Result, error) {
+	return binary(n, f, nil)
+}
+
+// binary is Binary with optional decision-provenance recording: prov (nil to
+// disable) receives every distinct evaluation in visit order (probe path)
+// plus the bisection trail in Steps.
+func binary(n int, f AICFunc, prov *Provenance) (Result, error) {
 	if n < 2 {
 		return Result{}, fmt.Errorf("changepoint: series length %d too short", n)
 	}
 	e := newEvaluator(f)
+	e.prov, e.path = prov, PathProbe
 	hi := maxCandidate(n)
 	if hi < 0 {
 		aic, err := e.aic(ssm.NoChangePoint)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{ChangePoint: ssm.NoChangePoint, AIC: aic, NoChangeAIC: aic, Fits: e.fits}, nil
+		res := Result{ChangePoint: ssm.NoChangePoint, AIC: aic, NoChangeAIC: aic, Fits: e.fits}
+		prov.finish(SearchBinary.String(), n, res)
+		return res, nil
 	}
 	best, err := findWithin(e, 0, hi)
 	if err != nil {
@@ -148,10 +172,13 @@ func Binary(n int, f AICFunc) (Result, error) {
 		res.ChangePoint = ssm.NoChangePoint
 		res.AIC = noneAIC
 	}
+	prov.finish(SearchBinary.String(), n, res)
 	return res, nil
 }
 
-// findWithin is the recursive core of Algorithm 2.
+// findWithin is the recursive core of Algorithm 2. Each inspected interval
+// is recorded in the evaluator's provenance (when enabled) with the endpoint
+// AICs and the pruning decision.
 func findWithin(e *evaluator, left, right int) (int, error) {
 	if right-left <= 1 {
 		aicL, err := e.aic(left)
@@ -163,8 +190,10 @@ func findWithin(e *evaluator, left, right int) (int, error) {
 			return 0, err
 		}
 		if aicL <= aicR {
+			e.prov.step(left, right, aicL, aicR, "leaf-left")
 			return left, nil
 		}
+		e.prov.step(left, right, aicL, aicR, "leaf-right")
 		return right, nil
 	}
 	middle := (left + right) / 2
@@ -177,8 +206,10 @@ func findWithin(e *evaluator, left, right int) (int, error) {
 		return 0, err
 	}
 	if aicL < aicR {
+		e.prov.step(left, right, aicL, aicR, "left")
 		return findWithin(e, left, middle)
 	}
+	e.prov.step(left, right, aicL, aicR, "right")
 	return findWithin(e, middle, right)
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"mictrend/internal/kalman"
 	"mictrend/internal/obs"
 	"mictrend/internal/ssm"
 )
@@ -59,6 +60,18 @@ type DetectOptions struct {
 	// the search. Deliveries are panic-isolated: a panicking Observer loses
 	// its remaining events, never the search.
 	Observer obs.Observer
+	// Provenance, when non-nil, is filled with the search's decision record:
+	// the full AIC ladder (every candidate's score and evaluation path), the
+	// binary search's bisection trail, and the selected model's optimizer
+	// solution (one extra cold fit, not counted in Result.Fits). Recording
+	// never changes the search's numerics, and the record is deterministic
+	// under the same contract as Result.
+	Provenance *Provenance
+	// Trace, when non-nil, receives intra-scan spans (exact-parallel shard
+	// and refit spans; the serial methods emit none). Deliveries are
+	// panic-isolated like Observer's and may arrive from concurrent workers;
+	// a nil Trace costs nothing.
+	Trace obs.SpanObserver
 }
 
 // ScanEvaluations returns how many distinct models the exact scan evaluates
@@ -98,15 +111,27 @@ func Detect(ctx context.Context, series []float64, opts DetectOptions) (Result, 
 	)
 	switch opts.Method {
 	case SearchBinary:
-		res, err = Binary(len(series), ContextAIC(ctx, SSMEvaluatorStats(series, opts.Seasonal, opts.Stats)))
+		res, err = binary(len(series), ContextAIC(ctx, SSMEvaluatorStats(series, opts.Seasonal, opts.Stats)), opts.Provenance)
 	case SearchExactParallel:
 		res, err = ExactParallel(ctx, len(series), ParallelOptions{
 			Workers: opts.Workers, WarmStart: true, Grain: opts.Grain,
+			Provenance: opts.Provenance, Trace: obs.GuardSpans(opts.Trace, nil),
 		}, func() FitEvaluator {
 			return SSMFitEvaluatorStats(series, opts.Seasonal, opts.Stats)
 		})
 	default:
-		res, err = Exact(len(series), ContextAIC(ctx, SSMEvaluatorStats(series, opts.Seasonal, opts.Stats)))
+		res, err = exact(len(series), ContextAIC(ctx, SSMEvaluatorStats(series, opts.Seasonal, opts.Stats)), opts.Provenance)
+	}
+	if p := opts.Provenance; p != nil && err == nil {
+		p.Seasonal = opts.Seasonal
+		// One extra cold fit of the winning configuration recovers the
+		// selected model's parameter vector; it replays the serial path's
+		// numerics, so it never changes the result and is not counted in
+		// Result.Fits.
+		ws := kalman.NewWorkspace()
+		if _, opt, perr := ssm.AICAtOptions(series, opts.Seasonal, res.ChangePoint, ws, ssm.FitOptions{Stats: opts.Stats}); perr == nil {
+			p.Params = opt
+		}
 	}
 	if deliver != nil && ctx.Err() == nil {
 		e := obs.Event{

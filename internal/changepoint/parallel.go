@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"mictrend/internal/faultpoint"
 	"mictrend/internal/kalman"
+	"mictrend/internal/obs"
 	"mictrend/internal/ssm"
 )
 
@@ -51,6 +53,19 @@ type ParallelOptions struct {
 	// Grain overrides DefaultGrain (0 = default). Results depend on Grain
 	// only when WarmStart is set.
 	Grain int
+	// Provenance, when non-nil, is filled with the scan's AIC ladder: every
+	// position in serial order, tagged cold/warm by its shard geometry, with
+	// refined candidates carrying both their warm and cold AICs. Recording
+	// never changes the scan's numerics; the ladder is deterministic for a
+	// fixed (series, WarmStart, Grain) — Workers never changes it.
+	Provenance *Provenance
+	// Trace, when non-nil, receives intra-scan spans: one "scan/shard" span
+	// per completed shard (emitted in shard order via an obs.Sequencer, so
+	// span order is worker-invariant) and one "scan/refit" span per cold
+	// refit in the warm refinement pass. A nil Trace costs nothing — no
+	// clock reads, no allocations. Deliveries may come from concurrent
+	// workers; the observer must be goroutine-safe (obs.Tracer.Observe is).
+	Trace obs.SpanObserver
 }
 
 func (o ParallelOptions) withDefaults() ParallelOptions {
@@ -144,12 +159,37 @@ func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval fun
 	}
 	close(shards)
 
+	// Shard spans are emitted through a Sequencer so their order is shard
+	// order, never completion order: span content stays worker-invariant.
+	var seq *obs.Sequencer
+	if opts.Trace != nil {
+		seq = obs.NewSequencer()
+	}
+	shardSpan := func(s, lo, hi int, began time.Time, spanErr error) {
+		if opts.Trace == nil {
+			return
+		}
+		sp := obs.SpanEvent{
+			Cat: "scan", Name: "scan/shard", TID: obs.LaneScan,
+			Start: began, Duration: time.Since(began), Month: -1,
+			Detail: fmt.Sprintf("shard %d [%d,%d)", s, lo, hi),
+		}
+		if spanErr != nil {
+			sp.Err = spanErr.Error()
+		}
+		seq.Done(s, func() { opts.Trace(sp) })
+	}
+
 	work := func(eval FitEvaluator) {
 		for s := range shards {
 			lo := s * opts.Grain
 			hi := lo + opts.Grain
 			if hi > total {
 				hi = total
+			}
+			var began time.Time
+			if opts.Trace != nil {
+				began = time.Now()
 			}
 			var warm []float64
 			for pos := lo; pos < hi; pos++ {
@@ -162,6 +202,7 @@ func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval fun
 				}
 				if err := faultpoint.Inject(scanFault, strconv.Itoa(cp)); err != nil {
 					record(pos, err, nil)
+					shardSpan(s, lo, hi, began, err)
 					return
 				}
 				var start []float64
@@ -179,15 +220,18 @@ func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval fun
 					return eval(cp, start)
 				}()
 				if panicked {
+					shardSpan(s, lo, hi, began, fmt.Errorf("panic fitting candidate %d", cp))
 					return
 				}
 				if err != nil {
 					record(pos, err, nil)
+					shardSpan(s, lo, hi, began, err)
 					return
 				}
 				aics[pos] = aic
 				warm = opt
 			}
+			shardSpan(s, lo, hi, began, nil)
 		}
 	}
 	if workers <= 1 {
@@ -219,7 +263,11 @@ func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval fun
 	// The refit set derives from the worker-invariant aics array and is
 	// visited in serial order, so determinism is preserved.
 	fits := total
+	var refitWarm map[int]float64
 	if opts.WarmStart {
+		if opts.Provenance != nil {
+			refitWarm = make(map[int]float64)
+		}
 		provisional := aics[0]
 		for _, aic := range aics[1:] {
 			if aic < provisional {
@@ -234,9 +282,23 @@ func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval fun
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
+			var began time.Time
+			if opts.Trace != nil {
+				began = time.Now()
+			}
 			aic, _, err := eval(pos-1, nil)
 			if err != nil {
 				return Result{}, err
+			}
+			if opts.Trace != nil {
+				opts.Trace(obs.SpanEvent{
+					Cat: "scan", Name: "scan/refit", TID: obs.LaneScan,
+					Start: began, Duration: time.Since(began), Month: -1,
+					Detail: fmt.Sprintf("cp=%d", pos-1),
+				})
+			}
+			if refitWarm != nil {
+				refitWarm[pos] = aics[pos]
 			}
 			aics[pos] = aic
 			fits++
@@ -252,7 +314,32 @@ func ExactParallel(ctx context.Context, n int, opts ParallelOptions, newEval fun
 			best, bestAIC = cp, aics[cp+1]
 		}
 	}
-	return Result{ChangePoint: best, AIC: bestAIC, NoChangeAIC: aics[0], Fits: fits}, nil
+	res := Result{ChangePoint: best, AIC: bestAIC, NoChangeAIC: aics[0], Fits: fits}
+
+	// The ladder reconstructs each position's evaluation path from the shard
+	// geometry alone (positions at shard starts fit cold, the rest warm) plus
+	// the refit set, so the record is identical for any worker count.
+	if prov := opts.Provenance; prov != nil {
+		for pos := 0; pos < total; pos++ {
+			cp := pos - 1
+			if cp < 0 {
+				cp = ssm.NoChangePoint
+			}
+			path := PathCold
+			if opts.WarmStart && pos%opts.Grain != 0 {
+				path = PathWarm
+			}
+			if warmAIC, refitted := refitWarm[pos]; refitted {
+				prov.Candidates = append(prov.Candidates, CandidateEval{
+					CP: cp, AIC: aics[pos], Path: PathRefit, WarmAIC: warmAIC,
+				})
+				continue
+			}
+			prov.candidate(cp, aics[pos], path)
+		}
+		prov.finish(SearchExactParallel.String(), n, res)
+	}
+	return res, nil
 }
 
 // SSMFitEvaluator returns a FitEvaluator fitting the paper's structural

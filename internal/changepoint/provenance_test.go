@@ -1,0 +1,299 @@
+package changepoint
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mictrend/internal/obs"
+	"mictrend/internal/ssm"
+)
+
+// ladderAICs extracts the (cp, aic) pairs of a ladder in recorded order.
+func ladderAICs(p *Provenance) []CandidateEval {
+	out := make([]CandidateEval, len(p.Candidates))
+	for i, c := range p.Candidates {
+		out[i] = CandidateEval{CP: c.CP, AIC: c.AIC}
+	}
+	return out
+}
+
+// TestExactProvenanceLadder pins the serial record: one cold rung per
+// evaluation in serial order (no-change first, then candidates ascending),
+// with the outcome fields mirroring the Result.
+func TestExactProvenanceLadder(t *testing.T) {
+	const n = 43
+	var p Provenance
+	res, err := exact(n, valleyAIC(20, 30, 100), &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method != "exact" || p.N != n {
+		t.Fatalf("header = %q/%d", p.Method, p.N)
+	}
+	if len(p.Candidates) != res.Fits {
+		t.Fatalf("%d rungs, want %d", len(p.Candidates), res.Fits)
+	}
+	for i, c := range p.Candidates {
+		wantCP := i - 1
+		if i == 0 {
+			wantCP = ssm.NoChangePoint
+		}
+		if c.CP != wantCP || c.Path != PathCold || c.WarmAIC != 0 {
+			t.Fatalf("rung %d = %+v, want cp %d cold", i, c, wantCP)
+		}
+		wantAIC, _ := valleyAIC(20, 30, 100)(c.CP)
+		if c.AIC != wantAIC {
+			t.Fatalf("rung %d AIC %v, want %v", i, c.AIC, wantAIC)
+		}
+	}
+	if p.ChangePoint != res.ChangePoint || p.AIC != res.AIC ||
+		p.NoChangeAIC != res.NoChangeAIC || p.Fits != res.Fits {
+		t.Fatalf("outcome %+v does not mirror result %+v", p, res)
+	}
+	if len(p.Steps) != 0 {
+		t.Fatalf("exact scan recorded %d bisection steps", len(p.Steps))
+	}
+}
+
+// TestBinaryProvenanceTrail pins Algorithm 2's record: the ladder holds the
+// distinct evaluations in visit order (probe path), and Steps replays the
+// bisection — each interval is a valid sub-interval of its predecessor, its
+// endpoint AICs match the ladder, and the surviving half follows the
+// lower-AIC endpoint.
+func TestBinaryProvenanceTrail(t *testing.T) {
+	const n = 43
+	f := valleyAIC(20, 30, 100)
+	var p Provenance
+	res, err := binary(n, f, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method != "binary" {
+		t.Fatalf("method %q", p.Method)
+	}
+	if len(p.Candidates) != res.Fits {
+		t.Fatalf("%d rungs, want %d (distinct evaluations)", len(p.Candidates), res.Fits)
+	}
+	seen := map[int]float64{}
+	for i, c := range p.Candidates {
+		if c.Path != PathProbe {
+			t.Fatalf("rung %d path %q, want probe", i, c.Path)
+		}
+		if _, dup := seen[c.CP]; dup {
+			t.Fatalf("cp %d recorded twice: memoized hits must not repeat", c.CP)
+		}
+		seen[c.CP] = c.AIC
+	}
+	if len(p.Steps) == 0 {
+		t.Fatal("no bisection steps recorded")
+	}
+	prev := BinaryStep{Left: 0, Right: maxCandidate(n)}
+	for i, s := range p.Steps {
+		if s.Left != prev.Left || s.Right != prev.Right {
+			t.Fatalf("step %d interval [%d,%d], want the surviving half [%d,%d]",
+				i, s.Left, s.Right, prev.Left, prev.Right)
+		}
+		if s.AICLeft != seen[s.Left] || s.AICRight != seen[s.Right] {
+			t.Fatalf("step %d endpoint AICs %v/%v disagree with ladder %v/%v",
+				i, s.AICLeft, s.AICRight, seen[s.Left], seen[s.Right])
+		}
+		middle := (s.Left + s.Right) / 2
+		switch s.Move {
+		case "left":
+			if !(s.AICLeft < s.AICRight) {
+				t.Fatalf("step %d pruned right without AIC support: %+v", i, s)
+			}
+			prev = BinaryStep{Left: s.Left, Right: middle}
+		case "right":
+			if s.AICLeft < s.AICRight {
+				t.Fatalf("step %d pruned left without AIC support: %+v", i, s)
+			}
+			prev = BinaryStep{Left: middle, Right: s.Right}
+		case "leaf-left", "leaf-right":
+			if i != len(p.Steps)-1 {
+				t.Fatalf("leaf step %d is not last", i)
+			}
+			leaf := s.Left
+			if s.Move == "leaf-right" {
+				leaf = s.Right
+			}
+			if res.Detected() && res.ChangePoint != leaf {
+				t.Fatalf("leaf selected %d but result has %d", leaf, res.ChangePoint)
+			}
+		default:
+			t.Fatalf("step %d unknown move %q", i, s.Move)
+		}
+	}
+	if res.ChangePoint != 20 {
+		t.Fatalf("cp = %d, want 20", res.ChangePoint)
+	}
+}
+
+// TestExactParallelColdProvenanceMatchesSerial is the acceptance criterion:
+// for any worker split, the cold parallel scan's AIC ladder matches the
+// serial scan's byte for byte (same rungs, same order, identical floats).
+func TestExactParallelColdProvenanceMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real scans")
+	}
+	y := randomSeries(3, 26)
+	var serial Provenance
+	if _, err := exact(len(y), SSMEvaluator(y, false), &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, grain := range []int{1, 4, DefaultGrain} {
+			var p Provenance
+			_, err := ExactParallel(context.Background(), len(y), ParallelOptions{
+				Workers: workers, Grain: grain, Provenance: &p,
+			}, func() FitEvaluator { return SSMFitEvaluator(y, false) })
+			if err != nil {
+				t.Fatalf("workers %d grain %d: %v", workers, grain, err)
+			}
+			if !reflect.DeepEqual(ladderAICs(&p), ladderAICs(&serial)) {
+				t.Fatalf("workers %d grain %d: cold parallel ladder diverges from serial:\n%v\n%v",
+					workers, grain, ladderAICs(&p), ladderAICs(&serial))
+			}
+			for i, c := range p.Candidates {
+				if c.Path != PathCold {
+					t.Fatalf("workers %d grain %d rung %d: path %q, want cold", workers, grain, i, c.Path)
+				}
+			}
+		}
+	}
+}
+
+// TestExactParallelWarmProvenanceDeterministic pins the warm record's
+// contract: identical for every worker count at a fixed grain, paths follow
+// the shard geometry (cold at shard starts, warm inside, refit for the
+// refinement set), refit rungs carry both AICs, and the selected candidate's
+// rung holds the result's exact AIC.
+func TestExactParallelWarmProvenanceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real scans")
+	}
+	y := randomSeries(7, 30)
+	const grain = DefaultGrain
+	var base *Provenance
+	for _, workers := range []int{1, 2, 5, 8} {
+		var p Provenance
+		res, err := ExactParallel(context.Background(), len(y), ParallelOptions{
+			Workers: workers, WarmStart: true, Grain: grain, Provenance: &p,
+		}, func() FitEvaluator { return SSMFitEvaluator(y, false) })
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if base == nil {
+			base = &p
+			refits := 0
+			for i, c := range p.Candidates {
+				switch c.Path {
+				case PathCold:
+					if i%grain != 0 {
+						t.Fatalf("rung %d cold off a shard boundary", i)
+					}
+				case PathWarm:
+					if i%grain == 0 {
+						t.Fatalf("rung %d warm at a shard boundary", i)
+					}
+				case PathRefit:
+					refits++
+					if c.WarmAIC == 0 {
+						t.Fatalf("refit rung %d lost its warm AIC: %+v", i, c)
+					}
+				default:
+					t.Fatalf("rung %d unknown path %q", i, c.Path)
+				}
+				if c.CP == res.ChangePoint && c.AIC != res.AIC {
+					t.Fatalf("selected rung AIC %v != result AIC %v", c.AIC, res.AIC)
+				}
+			}
+			if want := res.Fits - ScanEvaluations(len(y)); refits != want {
+				t.Fatalf("%d refit rungs, want %d (Fits − ScanEvaluations)", refits, want)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(p.Candidates, base.Candidates) {
+			t.Fatalf("workers %d: warm ladder not worker-invariant", workers)
+		}
+	}
+}
+
+// TestExactParallelScanSpans pins the intra-scan span contract: shard spans
+// arrive in shard order regardless of worker count, their content (name,
+// lane, detail) is worker-invariant, and the warm refinement's refits emit
+// one span each.
+func TestExactParallelScanSpans(t *testing.T) {
+	details := func(workers int) (shards, refits []string) {
+		tr := obs.NewTracer()
+		_, err := ExactParallel(context.Background(), 43, ParallelOptions{
+			Workers: workers, WarmStart: true, Trace: tr.Observe,
+		}, syntheticEvaluator(new(atomic.Int64), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range tr.Spans() {
+			if sp.Cat != "scan" || sp.TID != obs.LaneScan {
+				t.Fatalf("span off the scan lane: %+v", sp)
+			}
+			switch sp.Name {
+			case "scan/shard":
+				shards = append(shards, sp.Detail)
+			case "scan/refit":
+				refits = append(refits, sp.Detail)
+			default:
+				t.Fatalf("unexpected span %q", sp.Name)
+			}
+		}
+		return shards, refits
+	}
+	baseShards, baseRefits := details(1)
+	if len(baseShards) == 0 {
+		t.Fatal("no shard spans emitted")
+	}
+	for i, d := range baseShards {
+		if want := fmt.Sprintf("shard %d [", i); !strings.HasPrefix(d, want) {
+			t.Fatalf("shard span %d detail %q, want prefix %q", i, d, want)
+		}
+	}
+	if len(baseRefits) == 0 {
+		t.Fatal("warm scan refined nothing: refit spans missing")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		shards, refits := details(workers)
+		if !reflect.DeepEqual(shards, baseShards) || !reflect.DeepEqual(refits, baseRefits) {
+			t.Fatalf("workers %d: span content not worker-invariant", workers)
+		}
+	}
+}
+
+// TestDetectProvenanceSelectedParams pins the Detect-level additions: the
+// record carries the model flavor and a parameter vector for the selected
+// configuration, for every search method.
+func TestDetectProvenanceSelectedParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real scans")
+	}
+	y := randomSeries(5, 24)
+	for _, method := range []SearchMethod{SearchExact, SearchBinary, SearchExactParallel} {
+		var p Provenance
+		res, err := Detect(context.Background(), y, DetectOptions{Method: method, Provenance: &p})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if p.Method != method.String() {
+			t.Fatalf("method %q, want %q", p.Method, method)
+		}
+		if len(p.Params) == 0 {
+			t.Fatalf("%v: no selected-model parameters recorded", method)
+		}
+		if p.ChangePoint != res.ChangePoint || p.AIC != res.AIC {
+			t.Fatalf("%v: provenance outcome %d/%v != result %d/%v",
+				method, p.ChangePoint, p.AIC, res.ChangePoint, res.AIC)
+		}
+	}
+}

@@ -41,6 +41,16 @@ type FitOptions struct {
 	// iteration counts and E/M sweep vs likelihood timing. Nil costs
 	// nothing on the fit path.
 	Metrics *obs.Registry
+	// Trace, when non-nil, receives one "em/month" span per month from
+	// FitAll, timed around the month's fit and emitted in ascending month
+	// order for any worker count (the same Sequencer that orders Observer
+	// events). A nil Trace costs nothing — no clock reads, no allocations.
+	Trace obs.SpanObserver
+	// TraceConvergence records each month's per-iteration log-likelihood in
+	// Model.LogLikTrace, the EM convergence evidence the explain artifacts
+	// export. Off (the default) the fit loop stores only the final value and
+	// allocates no trace.
+	TraceConvergence bool
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -322,6 +332,9 @@ func Fit(month *mic.Monthly, vocabMedicines int, opts FitOptions) (*Model, error
 			tLogLik.Observe(time.Since(t0))
 		}
 		model.LogLik = ll
+		if opts.TraceConvergence {
+			model.LogLikTrace = append(model.LogLikTrace, ll)
+		}
 		if prevLL != math.Inf(-1) {
 			denom := math.Abs(prevLL)
 			if denom == 0 {
@@ -373,21 +386,23 @@ func fitMonth(month *mic.Monthly, vocabMedicines int, opts FitOptions) (m *Model
 type fitAllInstruments struct {
 	seq     *obs.Sequencer
 	deliver obs.Observer
+	trace   obs.SpanObserver
 	total   int
 	months  *obs.Counter   // em/months_fitted
 	iters   *obs.Counter   // em/iterations
 	hIters  *obs.Histogram // em/iterations_per_month
 }
 
-// newFitAllInstruments returns nil when opts carries neither an observer nor
-// a metrics registry.
+// newFitAllInstruments returns nil when opts carries no observer, no span
+// sink, and no metrics registry.
 func newFitAllInstruments(opts FitOptions, total int) *fitAllInstruments {
-	if opts.Observer == nil && opts.Metrics == nil {
+	if opts.Observer == nil && opts.Metrics == nil && opts.Trace == nil {
 		return nil
 	}
 	ins := &fitAllInstruments{
 		seq:     obs.NewSequencer(),
 		deliver: obs.Guard(opts.Observer, nil),
+		trace:   obs.GuardSpans(opts.Trace, nil),
 		total:   total,
 	}
 	if m := opts.Metrics; m != nil {
@@ -398,19 +413,45 @@ func newFitAllInstruments(opts FitOptions, total int) *fitAllInstruments {
 	return ins
 }
 
+// began stamps a month fit's start, only when spans are on: the untraced
+// path keeps its no-clock-read contract.
+func (ins *fitAllInstruments) began() time.Time {
+	if ins == nil || ins.trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
 // monthDone accounts one finished month. Metric merges and event deliveries
 // run in ascending month order regardless of which worker finished first,
 // so registry snapshots and event streams are identical for any worker
 // split. Safe from concurrent workers.
-func (ins *fitAllInstruments) monthDone(ctx context.Context, i int, m *Model, err error) {
+func (ins *fitAllInstruments) monthDone(ctx context.Context, i int, m *Model, err error, began time.Time) {
 	if ins == nil {
 		return
+	}
+	var dur time.Duration
+	if ins.trace != nil {
+		dur = time.Since(began)
 	}
 	ins.seq.Done(i, func() {
 		if m != nil {
 			ins.months.Inc()
 			ins.iters.Add(int64(m.Iterations))
 			ins.hIters.Observe(float64(m.Iterations))
+		}
+		if ins.trace != nil && ctx.Err() == nil {
+			sp := obs.SpanEvent{
+				Cat: "em", Name: "em/month", TID: obs.LaneEM,
+				Start: began, Duration: dur, Month: i,
+			}
+			if m != nil {
+				sp.Detail = "iters=" + strconv.Itoa(m.Iterations)
+			}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			ins.trace(sp)
 		}
 		if ins.deliver == nil || ctx.Err() != nil {
 			return
@@ -462,8 +503,9 @@ func FitAll(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []M
 			if err := ctx.Err(); err != nil {
 				return models, monthErrors(errs, panicked), err
 			}
+			began := ins.began()
 			models[i], panicked[i], errs[i] = fitMonth(month, d.Medicines.Len(), opts)
-			ins.monthDone(ctx, i, models[i], errs[i])
+			ins.monthDone(ctx, i, models[i], errs[i], began)
 		}
 	} else {
 		in := make(chan int)
@@ -476,8 +518,9 @@ func FitAll(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Model, []M
 					if ctx.Err() != nil {
 						continue // drain: cancelled before this month started
 					}
+					began := ins.began()
 					models[i], panicked[i], errs[i] = fitMonth(d.Months[i], d.Medicines.Len(), opts)
-					ins.monthDone(ctx, i, models[i], errs[i])
+					ins.monthDone(ctx, i, models[i], errs[i], began)
 				}
 			}()
 		}
@@ -510,11 +553,12 @@ func fitAllSmoothed(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Mo
 		if err := ctx.Err(); err != nil {
 			return models, monthErrors(errs, panicked), err
 		}
+		began := ins.began()
 		models[i], panicked[i], errs[i] = fitMonthSmoothed(month, d.Medicines.Len(), opts, prev)
 		if models[i] != nil {
 			prev = models[i]
 		}
-		ins.monthDone(ctx, i, models[i], errs[i])
+		ins.monthDone(ctx, i, models[i], errs[i], began)
 	}
 	if err := ctx.Err(); err != nil {
 		return models, monthErrors(errs, panicked), err

@@ -55,6 +55,10 @@ type Model struct {
 	LogLik float64
 	// Iterations is the number of EM iterations performed.
 	Iterations int
+	// LogLikTrace is the per-iteration training log-likelihood, recorded only
+	// when FitOptions.TraceConvergence is set (nil otherwise). Its last entry
+	// equals LogLik and its length equals Iterations.
+	LogLikTrace []float64
 }
 
 // Name implements Predictor.

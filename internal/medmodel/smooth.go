@@ -103,6 +103,9 @@ func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior 
 
 		ll := logLikelihood(recs, phi)
 		model.LogLik = ll
+		if opts.TraceConvergence {
+			model.LogLikTrace = append(model.LogLikTrace, ll)
+		}
 		if prevLL != negInf() {
 			denom := prevLL
 			if denom < 0 {

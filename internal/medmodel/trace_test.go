@@ -1,0 +1,88 @@
+package medmodel
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/obs"
+)
+
+// TestFitConvergenceTrace pins the TraceConvergence contract: the recorded
+// per-iteration log-likelihoods end at the final LogLik, one entry per
+// iteration — and stay nil when tracing is off.
+func TestFitConvergenceTrace(t *testing.T) {
+	d := multiMonth(1)
+	plain, err := Fit(d.Months[0], d.Medicines.Len(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.LogLikTrace != nil {
+		t.Fatal("untraced fit allocated a convergence trace")
+	}
+	traced, err := Fit(d.Months[0], d.Medicines.Len(), FitOptions{TraceConvergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.LogLikTrace) != traced.Iterations {
+		t.Fatalf("trace length %d, want %d iterations", len(traced.LogLikTrace), traced.Iterations)
+	}
+	if got := traced.LogLikTrace[len(traced.LogLikTrace)-1]; got != traced.LogLik {
+		t.Fatalf("trace ends at %v, want final LogLik %v", got, traced.LogLik)
+	}
+	if traced.LogLik != plain.LogLik || traced.Iterations != plain.Iterations {
+		t.Fatal("tracing changed the fit")
+	}
+	// Same contract on the smoothed path.
+	smoothed, err := FitSmoothed(d.Months[0], d.Medicines.Len(),
+		FitOptions{TraceConvergence: true}, traced, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smoothed.LogLikTrace) != smoothed.Iterations {
+		t.Fatalf("smoothed trace length %d, want %d", len(smoothed.LogLikTrace), smoothed.Iterations)
+	}
+}
+
+// TestFitAllMonthSpans pins the span contract: one em/month span per month,
+// emitted in ascending month order for any worker count, with the failed
+// month's span carrying its error.
+func TestFitAllMonthSpans(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Enable("medmodel/fit-month", faultpoint.Spec{
+		Match: func(detail string) bool { return detail == "2" },
+	})
+	d := multiMonth(5)
+	for _, workers := range []int{1, 3} {
+		var got []obs.SpanEvent
+		_, fails, err := FitAll(context.Background(), d, FitOptions{
+			Workers: workers,
+			Trace:   func(sp obs.SpanEvent) { got = append(got, sp) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fails) != 1 {
+			t.Fatalf("workers %d: fails = %+v", workers, fails)
+		}
+		if len(got) != 5 {
+			t.Fatalf("workers %d: %d spans, want 5", workers, len(got))
+		}
+		for i, sp := range got {
+			if sp.Name != "em/month" || sp.Cat != "em" || sp.TID != obs.LaneEM {
+				t.Fatalf("workers %d: span %d mislabelled: %+v", workers, i, sp)
+			}
+			if sp.Month != i {
+				t.Fatalf("workers %d: span %d out of month order (month %d)", workers, i, sp.Month)
+			}
+			if (sp.Err != "") != (i == 2) {
+				t.Fatalf("workers %d: span %d error %q, failure belongs to month 2", workers, i, sp.Err)
+			}
+			if i != 2 && !strings.HasPrefix(sp.Detail, "iters=") {
+				t.Fatalf("workers %d: span %d detail %q, want iteration count", workers, i, sp.Detail)
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -255,6 +256,29 @@ func (b BucketCount) MarshalJSON() ([]byte, error) {
 		le = "+Inf"
 	}
 	return json.Marshal(alias{Le: le, Count: b.Count})
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string form
+// MarshalJSON emits, so snapshot JSON round-trips.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	type alias struct {
+		Le    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	b.Count = a.Count
+	var s string
+	if err := json.Unmarshal(a.Le, &s); err == nil {
+		if s == "+Inf" {
+			b.Le = math.Inf(1)
+			return nil
+		}
+		return fmt.Errorf("obs: bucket bound %q is not a number or \"+Inf\"", s)
+	}
+	return json.Unmarshal(a.Le, &b.Le)
 }
 
 // HistogramSnapshot is a histogram's state at snapshot time.

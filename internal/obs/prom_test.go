@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promTestRegistry builds a registry exercising every metric family plus the
+// name characters that need sanitizing.
+func promTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("em/months_fitted").Add(12)
+	r.Counter("scan/fits").Add(345)
+	r.Counter("pipeline/failures/detect").Inc()
+	r.Gauge("faultpoint/trips").Set(2)
+	h := r.Histogram("em/iterations_per_month", 1, 2, 5, 10, 20, 50)
+	for _, v := range []float64{1, 3, 3, 7, 50, 60} {
+		h.Observe(v)
+	}
+	r.Timer("time/stage/model").Observe(1500 * time.Millisecond)
+	return r
+}
+
+// Prometheus text exposition format grammar, per the format spec
+// (version 0.0.4).
+var (
+	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promSample     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (NaN|[+-]Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+)?$`)
+	promLabelPair  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// validatePromExposition parses a text exposition document strictly enough
+// that anything it accepts a Prometheus scraper accepts too: legal metric
+// and label names, HELP/TYPE lines preceding their family's samples, sample
+// values parseable as Go floats, histogram bucket/count consistency, and a
+// trailing newline. It returns the per-family sample counts.
+func validatePromExposition(t *testing.T, doc string) map[string][]string {
+	t.Helper()
+	if doc == "" {
+		t.Fatal("empty exposition")
+	}
+	if !strings.HasSuffix(doc, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	typed := map[string]string{}     // family -> type
+	helped := map[string]bool{}      // family -> HELP seen
+	samples := map[string][]string{} // family -> sample lines
+	seenSample := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimSuffix(doc, "\n"), "\n") {
+		switch {
+		case line == "":
+			t.Fatalf("line %d: blank line", ln+1)
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !promMetricName.MatchString(name) {
+				t.Fatalf("line %d: bad HELP line %q", ln+1, line)
+			}
+			if helped[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 || !promMetricName.MatchString(parts[0]) {
+				t.Fatalf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[1])
+			}
+			if _, dup := typed[parts[0]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, parts[0])
+			}
+			if seenSample[parts[0]] {
+				t.Fatalf("line %d: TYPE for %s after its samples", ln+1, parts[0])
+			}
+			typed[parts[0]] = parts[1]
+		case strings.HasPrefix(line, "#"):
+			// comment: fine
+		default:
+			m := promSample.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: unparseable sample %q", ln+1, line)
+			}
+			name, labels := m[1], m[3]
+			if labels != "" {
+				for _, pair := range strings.Split(labels, ",") {
+					lm := promLabelPair.FindStringSubmatch(pair)
+					if lm == nil {
+						t.Fatalf("line %d: bad label pair %q", ln+1, pair)
+					}
+					if !promLabelName.MatchString(lm[1]) {
+						t.Fatalf("line %d: illegal label name %q", ln+1, lm[1])
+					}
+				}
+			}
+			if v := m[4]; v != "NaN" && v != "+Inf" && v != "-Inf" {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					t.Fatalf("line %d: bad sample value %q", ln+1, v)
+				}
+			}
+			// Resolve the family: histogram/summary samples use suffixed
+			// names.
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name {
+					if ty := typed[base]; ty == "histogram" || ty == "summary" {
+						family = base
+						break
+					}
+				}
+			}
+			if _, ok := typed[family]; !ok {
+				t.Fatalf("line %d: sample %q without a preceding TYPE", ln+1, name)
+			}
+			seenSample[family] = true
+			samples[family] = append(samples[family], line)
+		}
+	}
+	for fam := range typed {
+		if !helped[fam] {
+			t.Fatalf("family %s has TYPE but no HELP", fam)
+		}
+		if len(samples[fam]) == 0 {
+			t.Fatalf("family %s has no samples", fam)
+		}
+	}
+	return samples
+}
+
+// TestWritePrometheusExpositionFormat pins the acceptance criterion: the
+// -prom output passes a strict exposition-format validation, every registry
+// name sanitizes to a legal metric name, and histogram buckets stay
+// cumulative and consistent.
+func TestWritePrometheusExpositionFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().Snapshot().WritePrometheus(&buf, "mictrend"); err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePromExposition(t, buf.String())
+
+	for _, fam := range []string{
+		"mictrend_em_months_fitted_total",
+		"mictrend_scan_fits_total",
+		"mictrend_pipeline_failures_detect_total",
+		"mictrend_faultpoint_trips",
+		"mictrend_em_iterations_per_month",
+		"mictrend_time_stage_model_seconds",
+	} {
+		if len(samples[fam]) == 0 {
+			t.Errorf("family %s missing from exposition:\n%s", fam, buf.String())
+		}
+	}
+
+	// Histogram consistency: bucket counts are cumulative, the +Inf bucket
+	// equals _count, and _sum matches the observations.
+	var lastCum, infCount, count int64
+	var sum float64
+	sawInf := false
+	for _, line := range samples["mictrend_em_iterations_per_month"] {
+		switch {
+		case strings.Contains(line, "_bucket{"):
+			var c int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &c); err != nil {
+				t.Fatal(err)
+			}
+			if c < lastCum {
+				t.Fatalf("bucket counts not cumulative: %q after %d", line, lastCum)
+			}
+			lastCum = c
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf, infCount = true, c
+			}
+		case strings.Contains(line, "_sum "):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &sum)
+		case strings.Contains(line, "_count "):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &count)
+		}
+	}
+	if !sawInf {
+		t.Fatal("histogram lacks a +Inf bucket")
+	}
+	if infCount != count || count != 6 {
+		t.Fatalf("+Inf bucket %d, _count %d, want both 6", infCount, count)
+	}
+	if sum != 124 {
+		t.Fatalf("_sum = %v, want 124", sum)
+	}
+
+	// Determinism: two expositions of the same deterministic snapshot are
+	// byte-identical.
+	var buf2 bytes.Buffer
+	if err := promTestRegistry().Snapshot().WritePrometheus(&buf2, "mictrend"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+// TestPromNameSanitization pins the name mapping for the characters the
+// registry actually uses plus the pathological ones.
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"em/months_fitted": "em_months_fitted",
+		"time/stage/model": "time_stage_model",
+		"9lives":           "_9lives",
+		"a-b.c d":          "a_b_c_d",
+		"ok_name:sub":      "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !promMetricName.MatchString(promName(in)) {
+			t.Errorf("promName(%q) = %q is not a legal metric name", in, promName(in))
+		}
+	}
+}
+
+// TestPrometheusHandler pins the HTTP bridge: content type and a valid body,
+// including for a nil registry.
+func TestPrometheusHandler(t *testing.T) {
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	promTestRegistry().PrometheusHandler("mictrend").ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	validatePromExposition(t, rec.Body.String())
+
+	var nilReg *Registry
+	rec = httptest.NewRecorder()
+	nilReg.PrometheusHandler("mictrend").ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 && !strings.HasSuffix(rec.Body.String(), "\n") {
+		t.Fatalf("nil registry exposition malformed: %q", rec.Body.String())
+	}
+}
+
+// TestPublishExpvar pins the /debug/vars bridge: the published variable
+// renders the live snapshot as valid JSON.
+func TestPublishExpvar(t *testing.T) {
+	r := promTestRegistry()
+	const name = "mictrend_test_publish_expvar"
+	r.PublishExpvar(name)
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value is not a JSON snapshot: %v", err)
+	}
+	if snap.Counters["em/months_fitted"] != 12 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+	// Live: later updates show up on the next read.
+	r.Counter("em/months_fitted").Add(1)
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["em/months_fitted"] != 13 {
+		t.Fatalf("expvar snapshot is not live: %v", snap.Counters["em/months_fitted"])
+	}
+}
+
+// TestPromFloat pins the special-value rendering.
+func TestPromFloat(t *testing.T) {
+	if promFloat(math.Inf(1)) != "+Inf" || promFloat(math.Inf(-1)) != "-Inf" || promFloat(math.NaN()) != "NaN" {
+		t.Fatal("special float rendering broken")
+	}
+	if promFloat(1.5) != "1.5" || promFloat(0) != "0" {
+		t.Fatalf("float rendering: %q %q", promFloat(1.5), promFloat(0))
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"math"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"mictrend/internal/faultpoint"
 	"mictrend/internal/kalman"
+	"mictrend/internal/obs"
 	"mictrend/internal/optimize"
 	"mictrend/internal/stat"
 )
@@ -96,6 +98,13 @@ type FitOptions struct {
 	// evaluations, starts, restarts, failures) for this fit. It never
 	// changes the fit's numerics.
 	Stats *FitStats
+	// Trace, when non-nil, receives one "ssm/fit" span per FitConfigOptions
+	// call, carrying the fitted configuration and start count (or the
+	// failure) in its detail. A nil Trace is free: the disabled path is one
+	// pointer check — no clock reads, no allocations — preserving the
+	// kernel-level zero-alloc contract. The observer must be goroutine-safe
+	// when fits run concurrently.
+	Trace obs.SpanObserver
 }
 
 // DefaultWarmStep is the absolute initial simplex edge for warm starts:
@@ -186,6 +195,44 @@ func FitConfigWorkspace(y []float64, cfg Config, ws *kalman.Workspace) (*Fit, er
 // reproduces FitConfigWorkspace exactly (same starts, same order, same
 // simplex step, bitwise-identical estimates).
 func FitConfigOptions(y []float64, cfg Config, ws *kalman.Workspace, opts FitOptions) (*Fit, error) {
+	if opts.Trace == nil {
+		return fitConfig(y, cfg, ws, opts)
+	}
+	began := time.Now()
+	fit, err := fitConfig(y, cfg, ws, opts)
+	sp := obs.SpanEvent{
+		Cat: "ssm", Name: "ssm/fit", TID: obs.LaneSSM,
+		Start: began, Duration: time.Since(began), Month: -1,
+		Detail: fitDetail(cfg, fit),
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	opts.Trace(sp)
+	return fit, err
+}
+
+// fitDetail renders the span detail for a fit of cfg: the intervention
+// months, the model flavor, and (for completed fits) the start count.
+func fitDetail(cfg Config, fit *Fit) string {
+	d := "cp=none"
+	if ivs := cfg.Interventions(); len(ivs) > 0 {
+		d = "cp=" + strconv.Itoa(ivs[0].Month)
+		for _, iv := range ivs[1:] {
+			d += "," + strconv.Itoa(iv.Month)
+		}
+	}
+	if cfg.Seasonal {
+		d += " seasonal"
+	}
+	if fit != nil {
+		d += " attempts=" + strconv.Itoa(fit.Attempts)
+	}
+	return d
+}
+
+// fitConfig is the uninstrumented fit core behind FitConfigOptions.
+func fitConfig(y []float64, cfg Config, ws *kalman.Workspace, opts FitOptions) (*Fit, error) {
 	cfg = cfg.withDefaults()
 	minLen := cfg.stateDim() + cfg.numVariances() + 2
 	if len(y) < minLen {

@@ -1,0 +1,53 @@
+package ssm
+
+import (
+	"testing"
+
+	"mictrend/internal/obs"
+)
+
+// TestFitSpan pins the per-fit span contract: one ssm/fit span per
+// FitConfigOptions call on the SSM lane, detail carrying the configuration
+// and start count, error carried on failed fits — and bitwise-identical
+// numerics to the untraced fit.
+func TestFitSpan(t *testing.T) {
+	y := synthSeries(30, 0, 12, 0.8, 0.3, 3)
+	plain, err := FitConfig(y, Config{ChangePoint: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []obs.SpanEvent
+	traced, err := FitConfigOptions(y, Config{ChangePoint: 12}, nil, FitOptions{
+		Trace: func(sp obs.SpanEvent) { spans = append(spans, sp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.AIC != plain.AIC || traced.LogLik != plain.LogLik {
+		t.Fatal("tracing changed the fit")
+	}
+	if len(spans) != 1 {
+		t.Fatalf("%d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "ssm/fit" || sp.Cat != "ssm" || sp.TID != obs.LaneSSM {
+		t.Fatalf("span mislabelled: %+v", sp)
+	}
+	if sp.Detail != "cp=12 attempts=1" {
+		t.Fatalf("detail = %q, want \"cp=12 attempts=1\"", sp.Detail)
+	}
+	if sp.Err != "" || sp.Duration <= 0 {
+		t.Fatalf("span err=%q dur=%v", sp.Err, sp.Duration)
+	}
+
+	// A failing fit still emits its span, carrying the error.
+	spans = nil
+	if _, err := FitConfigOptions(y[:2], Config{}, nil, FitOptions{
+		Trace: func(sp obs.SpanEvent) { spans = append(spans, sp) },
+	}); err == nil {
+		t.Fatal("short series should fail")
+	}
+	if len(spans) != 1 || spans[0].Err == "" {
+		t.Fatalf("failed fit spans = %+v, want one span with error", spans)
+	}
+}

@@ -1,0 +1,139 @@
+// Decision provenance export: when Options.Explain is set, Analyze records
+// why each change point was (or was not) selected — the full AIC ladder per
+// series, the selected model's parameters, and each month's EM convergence —
+// and WriteExplain serializes those records as reviewable JSON artifacts
+// alongside a run manifest.
+package trend
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mictrend/internal/changepoint"
+	"mictrend/internal/mic"
+)
+
+// MonthProvenance records one month's EM fit: the convergence trajectory
+// (one log-likelihood per iteration when tracing was on) and, for degraded
+// months, the fallback event that replaced the fit with the cooccurrence
+// model.
+type MonthProvenance struct {
+	Month       int       `json:"month"`
+	Iterations  int       `json:"iterations"`
+	LogLik      float64   `json:"loglik"`
+	LogLikTrace []float64 `json:"loglik_trace,omitempty"`
+	Fallback    bool      `json:"fallback,omitempty"`
+	Err         string    `json:"error,omitempty"`
+	Panicked    bool      `json:"panicked,omitempty"`
+}
+
+// SeriesProvenance records one series' detection decision: the scan's full
+// AIC ladder and selected parameters (Scan), or — for degraded series — the
+// failure message and stage cross-linking the matching Analysis.Failures
+// entry. A failed scan may carry a partial ladder alongside its failure.
+type SeriesProvenance struct {
+	Kind         string                  `json:"kind"`
+	Disease      mic.DiseaseID           `json:"disease,omitempty"`
+	Medicine     mic.MedicineID          `json:"medicine,omitempty"`
+	Key          string                  `json:"key"`
+	Scan         *changepoint.Provenance `json:"scan,omitempty"`
+	Failure      string                  `json:"failure,omitempty"`
+	FailureStage string                  `json:"failure_stage,omitempty"`
+}
+
+// Manifest summarizes one run for the explain artifacts: the options that
+// shaped it, the corpus dimensions, and the outcome counts. BuildManifest
+// fills everything derivable from the analysis; Version, Seed, Records, and
+// Interrupted are the caller's (they describe the invocation, not the
+// result).
+type Manifest struct {
+	Version        string  `json:"version,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+	Method         string  `json:"method"`
+	Seasonal       bool    `json:"seasonal"`
+	MinSeriesTotal float64 `json:"min_series_total"`
+	MinMonthlyFreq int     `json:"min_monthly_freq"`
+	Records        int     `json:"records,omitempty"`
+	Months         int     `json:"months"`
+	Series         int     `json:"series"`
+	Detections     int     `json:"detections"`
+	Failures       int     `json:"failures"`
+	Interrupted    bool    `json:"interrupted,omitempty"`
+}
+
+// BuildManifest derives a run's manifest from its options and analysis.
+// Series counts every considered series (including degraded ones) when the
+// run collected provenance, surviving detections otherwise.
+func BuildManifest(opts Options, a *Analysis) Manifest {
+	opts = opts.withDefaults()
+	man := Manifest{
+		Method:         opts.Method.String(),
+		Seasonal:       opts.Seasonal,
+		MinSeriesTotal: opts.MinSeriesTotal,
+		MinMonthlyFreq: opts.MinMonthlyFreq,
+		Months:         len(a.Models),
+		Failures:       len(a.Failures),
+	}
+	for _, dets := range [][]Detection{a.Diseases, a.Medicines, a.Prescriptions} {
+		man.Series += len(dets)
+		for _, d := range dets {
+			if d.Result.Detected() {
+				man.Detections++
+			}
+		}
+	}
+	if len(a.SeriesProvenance) > man.Series {
+		man.Series = len(a.SeriesProvenance)
+	}
+	return man
+}
+
+// WriteExplain writes the run's provenance artifacts under dir:
+// manifest.json, months.json (one MonthProvenance per month), and
+// series/<key>.json (one SeriesProvenance per considered series, with ":"
+// and "/" in keys mapped to "_"). Run Analyze with Options.Explain first;
+// an analysis without provenance still writes its manifest and an empty
+// months.json, so an interrupted run flushes whatever it has.
+func WriteExplain(dir string, a *Analysis, man Manifest) error {
+	if err := os.MkdirAll(filepath.Join(dir, "series"), 0o755); err != nil {
+		return fmt.Errorf("trend: explain dir: %w", err)
+	}
+	if err := writeJSON(filepath.Join(dir, "manifest.json"), man); err != nil {
+		return err
+	}
+	months := a.MonthProvenance
+	if months == nil {
+		months = []MonthProvenance{}
+	}
+	if err := writeJSON(filepath.Join(dir, "months.json"), months); err != nil {
+		return err
+	}
+	for i := range a.SeriesProvenance {
+		sp := &a.SeriesProvenance[i]
+		path := filepath.Join(dir, "series", sanitizeKey(sp.Key)+".json")
+		if err := writeJSON(path, sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trend: encoding %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	return nil
+}
+
+// sanitizeKey maps a series key to a filesystem-safe artifact name.
+func sanitizeKey(key string) string {
+	return strings.NewReplacer(":", "_", "/", "_").Replace(key)
+}

@@ -1,0 +1,291 @@
+package trend
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mictrend/internal/changepoint"
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/obs"
+)
+
+// TestAnalyzeExplainProvenance pins the Explain contract: provenance covers
+// every month and every considered series, mirrors the published results,
+// and collecting it changes nothing.
+func TestAnalyzeExplainProvenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	env := faultCorpus(t)
+	faultpoint.Reset()
+	plain, err := Analyze(context.Background(), env.dataset(), env.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := env.opts
+	opts.Explain = true
+	explained, err := Analyze(context.Background(), env.dataset(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(detectionsByKey(plain), detectionsByKey(explained)) {
+		t.Fatal("collecting provenance changed the detections")
+	}
+	if plain.MonthProvenance != nil || plain.SeriesProvenance != nil {
+		t.Fatal("provenance allocated without Explain")
+	}
+
+	if len(explained.MonthProvenance) != env.dataset().T() {
+		t.Fatalf("month provenance covers %d months, want %d", len(explained.MonthProvenance), env.dataset().T())
+	}
+	for i, mp := range explained.MonthProvenance {
+		if mp.Month != i || mp.Fallback || mp.Err != "" {
+			t.Fatalf("month %d provenance = %+v", i, mp)
+		}
+		if len(mp.LogLikTrace) != mp.Iterations {
+			t.Fatalf("month %d convergence trace has %d entries, want %d iterations", i, len(mp.LogLikTrace), mp.Iterations)
+		}
+		if mp.LogLikTrace[len(mp.LogLikTrace)-1] != mp.LogLik {
+			t.Fatalf("month %d trace does not end at its final log-likelihood", i)
+		}
+	}
+
+	dets := detectionsByKey(explained)
+	if len(explained.SeriesProvenance) != len(dets) {
+		t.Fatalf("series provenance covers %d series, want %d", len(explained.SeriesProvenance), len(dets))
+	}
+	for _, sp := range explained.SeriesProvenance {
+		det, ok := dets[sp.Key]
+		if !ok {
+			t.Fatalf("provenance for unknown series %s", sp.Key)
+		}
+		if sp.Failure != "" || sp.FailureStage != "" {
+			t.Fatalf("clean run recorded series failure: %+v", sp)
+		}
+		scan := sp.Scan
+		if scan == nil || scan.Method != changepoint.SearchBinary.String() {
+			t.Fatalf("series %s scan provenance = %+v", sp.Key, scan)
+		}
+		if scan.ChangePoint != det.Result.ChangePoint || scan.AIC != det.Result.AIC {
+			t.Fatalf("series %s provenance outcome differs from its detection", sp.Key)
+		}
+		if len(scan.Candidates) == 0 || len(scan.Candidates) != scan.Fits {
+			t.Fatalf("series %s ladder has %d rungs, want %d fits", sp.Key, len(scan.Candidates), scan.Fits)
+		}
+		if len(scan.Params) == 0 {
+			t.Fatalf("series %s provenance lacks selected model params", sp.Key)
+		}
+	}
+}
+
+// TestExplainLinksFailures injects a detection failure and checks the
+// degraded series' provenance cross-links the Failures entry.
+func TestExplainLinksFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	env := faultCorpus(t)
+	faultpoint.Reset()
+	clean, err := Analyze(context.Background(), env.dataset(), env.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := pickVictim(clean)
+	defer faultpoint.Reset()
+	faultpoint.Enable("trend/detect", faultpoint.Spec{
+		Match: func(detail string) bool { return detail == victim },
+	})
+	opts := env.opts
+	opts.Explain = true
+	faulty, err := Analyze(context.Background(), env.dataset(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *SeriesProvenance
+	for i := range faulty.SeriesProvenance {
+		if faulty.SeriesProvenance[i].Key == victim {
+			hit = &faulty.SeriesProvenance[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no provenance entry for degraded series %s", victim)
+	}
+	if hit.FailureStage != StageDetect.String() || hit.Failure == "" {
+		t.Fatalf("degraded provenance = %+v, want detect-stage failure link", hit)
+	}
+	if len(faulty.Failures) != 1 || faulty.Failures[0].Err != hit.Failure {
+		t.Fatalf("provenance failure %q does not match Failures %+v", hit.Failure, faulty.Failures)
+	}
+}
+
+// TestAnalyzeTraceSpans pins the pipeline span contract: stage spans bracket
+// every stage, month and series spans arrive in serial order with
+// worker-invariant content, degraded series carry their failure stage, and
+// the collected trace serializes to valid Trace Event JSON.
+func TestAnalyzeTraceSpans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	env := faultCorpus(t)
+	faultpoint.Reset()
+	clean, err := Analyze(context.Background(), env.dataset(), env.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := pickVictim(clean)
+	defer faultpoint.Reset()
+	faultpoint.Enable("trend/detect", faultpoint.Spec{
+		Match: func(detail string) bool { return detail == victim },
+	})
+
+	// signature drops the timing fields, keeping only deterministic content.
+	type signature struct {
+		Cat, Name, Series, Detail, Err string
+		TID                            int64
+		Month                          int
+	}
+	var want []signature
+	for _, workers := range []int{1, 4} {
+		tracer := obs.NewTracer()
+		opts := env.opts
+		opts.Workers = workers
+		opts.Trace = tracer.Observe
+		a, err := Analyze(context.Background(), env.dataset(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := tracer.Spans()
+		var got []signature
+		counts := map[string]int{}
+		for _, sp := range spans {
+			got = append(got, signature{sp.Cat, sp.Name, sp.Series, sp.Detail, sp.Err, sp.TID, sp.Month})
+			counts[sp.Name]++
+		}
+		if counts["stage/model"] != 1 || counts["stage/reproduce"] != 1 || counts["stage/detect"] != 1 {
+			t.Fatalf("workers %d: stage spans = %v", workers, counts)
+		}
+		if counts["em/month"] != env.dataset().T() {
+			t.Fatalf("workers %d: %d em/month spans, want %d", workers, counts["em/month"], env.dataset().T())
+		}
+		series := len(detectionsByKey(a)) + 1 // every job incl. the degraded one
+		if counts["detect/series"] != series {
+			t.Fatalf("workers %d: %d detect/series spans, want %d", workers, counts["detect/series"], series)
+		}
+		degraded := 0
+		for _, sp := range spans {
+			if sp.Name != "detect/series" {
+				continue
+			}
+			if sp.Series == victim {
+				degraded++
+				if sp.Err == "" || sp.Detail != "stage="+StageDetect.String() {
+					t.Fatalf("workers %d: degraded span = %+v, want failure stage", workers, sp)
+				}
+			} else if !strings.HasPrefix(sp.Detail, "cp=") {
+				t.Fatalf("workers %d: series span detail = %q", workers, sp.Detail)
+			}
+		}
+		if degraded != 1 {
+			t.Fatalf("workers %d: %d degraded spans, want 1", workers, degraded)
+		}
+		if want == nil {
+			want = got
+		} else if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers %d: span content differs from workers 1", workers)
+		}
+
+		var buf bytes.Buffer
+		if err := tracer.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("workers %d: trace is not valid JSON: %v", workers, err)
+		}
+		if len(doc.TraceEvents) <= len(spans) {
+			t.Fatalf("workers %d: %d trace events for %d spans, want spans plus metadata", workers, len(doc.TraceEvents), len(spans))
+		}
+	}
+}
+
+// TestWriteExplain round-trips the provenance artifacts through disk.
+func TestWriteExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	env := faultCorpus(t)
+	faultpoint.Reset()
+	opts := env.opts
+	opts.Explain = true
+	a, err := Analyze(context.Background(), env.dataset(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := BuildManifest(opts, a)
+	man.Version = "test"
+	man.Seed = 11
+	dir := t.TempDir()
+	if err := WriteExplain(dir, a, man); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMan Manifest
+	if err := json.Unmarshal(raw, &gotMan); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotMan, man) {
+		t.Fatalf("manifest round-trip: got %+v, want %+v", gotMan, man)
+	}
+	if gotMan.Months != env.dataset().T() || gotMan.Series != len(a.SeriesProvenance) || gotMan.Method != "binary" {
+		t.Fatalf("manifest content wrong: %+v", gotMan)
+	}
+
+	raw, err = os.ReadFile(filepath.Join(dir, "months.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var months []MonthProvenance
+	if err := json.Unmarshal(raw, &months); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(months, a.MonthProvenance) {
+		t.Fatal("months.json does not round-trip MonthProvenance")
+	}
+
+	entries, err := os.ReadDir(filepath.Join(dir, "series"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(a.SeriesProvenance) {
+		t.Fatalf("%d series artifacts, want %d", len(entries), len(a.SeriesProvenance))
+	}
+	for _, e := range entries {
+		if strings.ContainsAny(e.Name(), ":/") {
+			t.Fatalf("artifact name %q not sanitized", e.Name())
+		}
+	}
+	sp := a.SeriesProvenance[0]
+	raw, err = os.ReadFile(filepath.Join(dir, "series", sanitizeKey(sp.Key)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotSP SeriesProvenance
+	if err := json.Unmarshal(raw, &gotSP); err != nil {
+		t.Fatal(err)
+	}
+	if gotSP.Key != sp.Key || gotSP.Scan == nil || gotSP.Scan.ChangePoint != sp.Scan.ChangePoint {
+		t.Fatalf("series artifact round-trip: %+v", gotSP)
+	}
+}

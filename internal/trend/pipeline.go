@@ -117,6 +117,24 @@ type Options struct {
 	// regardless of worker counts; only its timings vary. Nil costs nothing
 	// on the fit path.
 	Metrics *obs.Registry
+	// Trace, when non-nil, receives the run's timed spans: one stage span per
+	// pipeline stage, one em/month span per month, one detect/series span per
+	// series (degraded series carry their failure stage), and the exact
+	// scans' shard/refit spans. Wire obs.NewTracer().Observe here and write
+	// the collected spans with Tracer.WriteTrace. Span content is
+	// deterministic for a given input — only timestamps vary — and per-unit
+	// spans arrive in serial order. Deliveries are panic-isolated like
+	// Observer's (a panicking sink is muted and recorded as a StageObserver
+	// failure) but are NOT stopped by cancellation, so an interrupted run
+	// still flushes a valid partial trace. Nil costs nothing.
+	Trace obs.SpanObserver
+	// Explain collects decision provenance: Analysis.MonthProvenance records
+	// each month's EM convergence (per-iteration log-likelihoods, fallback
+	// events) and Analysis.SeriesProvenance each series' full AIC ladder and
+	// selected model parameters (see changepoint.Provenance). Provenance
+	// never changes any result; export it with WriteExplain. Off (the
+	// default) the pipeline allocates none of it.
+	Explain bool
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -247,6 +265,13 @@ type Analysis struct {
 	Failures []Failure
 	// TotalFits counts model fits across all searches (Table V's cost).
 	TotalFits int
+	// MonthProvenance and SeriesProvenance hold the run's decision
+	// provenance — one entry per month and per considered series — when
+	// Options.Explain is set, nil otherwise. SeriesProvenance lists the
+	// detection jobs in job order, then validation-rejected series. Export
+	// them with WriteExplain.
+	MonthProvenance  []MonthProvenance
+	SeriesProvenance []SeriesProvenance
 }
 
 // pipelineInstruments carries Analyze's observability wiring: the guarded,
@@ -257,6 +282,7 @@ type Analysis struct {
 type pipelineInstruments struct {
 	deliver obs.Observer
 	metrics *obs.Registry
+	trace   obs.SpanObserver
 	exact   bool // scan-cost counters only make sense for the exact scans
 
 	mu        sync.Mutex
@@ -265,7 +291,7 @@ type pipelineInstruments struct {
 }
 
 func newPipelineInstruments(ctx context.Context, opts Options) *pipelineInstruments {
-	if opts.Observer == nil && opts.Metrics == nil {
+	if opts.Observer == nil && opts.Metrics == nil && opts.Trace == nil {
 		return nil
 	}
 	ins := &pipelineInstruments{
@@ -289,7 +315,25 @@ func newPipelineInstruments(ctx context.Context, opts Options) *pipelineInstrume
 			guarded(e)
 		}
 	}
+	// Spans are guarded like events but NOT ctx-gated: a cancelled run keeps
+	// collecting the wind-down spans so the flushed trace stays coherent.
+	ins.trace = obs.GuardSpans(opts.Trace, func(r any) {
+		ins.mu.Lock()
+		ins.obsFails = append(ins.obsFails, Failure{
+			Stage: StageObserver, Month: -1,
+			Err: fmt.Sprintf("trace observer panicked: %v", r), Panicked: true,
+		})
+		ins.mu.Unlock()
+	})
 	return ins
+}
+
+// span emits one span through the guarded trace sink; nil-safe.
+func (ins *pipelineInstruments) span(sp obs.SpanEvent) {
+	if ins == nil || ins.trace == nil {
+		return
+	}
+	ins.trace(sp)
 }
 
 // stage opens one pipeline stage (emitting StageStart) and returns its
@@ -306,6 +350,16 @@ func (ins *pipelineInstruments) stage(name string, total int) func(done int, err
 	return func(done int, err error) {
 		d := time.Since(t0)
 		ins.metrics.Timer("time/stage/" + name).Observe(d)
+		if ins.trace != nil {
+			sp := obs.SpanEvent{
+				Cat: "stage", Name: "stage/" + name, TID: obs.LaneStage,
+				Start: t0, Duration: d, Month: -1,
+			}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			ins.trace(sp)
+		}
 		if ins.deliver != nil {
 			e := obs.Event{
 				Kind: obs.StageEnd, Stage: name, Month: -1,
@@ -322,9 +376,26 @@ func (ins *pipelineInstruments) stage(name string, total int) func(done int, err
 // seriesDone accounts one finished detection job. detectAll invokes it
 // through a sequencer in job-index order, so the registry merges and the
 // SeriesDone stream are deterministic for any worker split.
-func (ins *pipelineInstruments) seriesDone(job Detection, res changepoint.Result, failErr string, cancelled bool, stats *ssm.FitStats, dur time.Duration, idx, total int) {
+func (ins *pipelineInstruments) seriesDone(job Detection, res changepoint.Result, failErr string, cancelled bool, stats *ssm.FitStats, began time.Time, dur time.Duration, idx, total int) {
 	if ins == nil || cancelled {
 		return
+	}
+	if ins.trace != nil {
+		sp := obs.SpanEvent{
+			Cat: "detect", Name: "detect/series", TID: obs.LaneDetect,
+			Start: began, Duration: dur, Month: -1, Series: seriesKey(job),
+		}
+		switch {
+		case failErr != "":
+			// Degraded series: the span carries the failure stage and message.
+			sp.Err = failErr
+			sp.Detail = "stage=" + StageDetect.String()
+		case res.Detected():
+			sp.Detail = "cp=" + strconv.Itoa(res.ChangePoint)
+		default:
+			sp.Detail = "cp=none"
+		}
+		ins.trace(sp)
 	}
 	if m := ins.metrics; m != nil {
 		if stats != nil {
@@ -389,6 +460,9 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	if opts.Explain {
+		opts.EM.TraceConvergence = true
+	}
 	ins := newPipelineInstruments(ctx, opts)
 	if ins != nil {
 		if opts.EM.Observer == nil {
@@ -396,6 +470,9 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 		}
 		if opts.EM.Metrics == nil {
 			opts.EM.Metrics = ins.metrics
+		}
+		if opts.EM.Trace == nil {
+			opts.EM.Trace = ins.trace
 		}
 	}
 	filtered := mic.FilterDataset(ds, mic.FilterOptions{MinMonthlyFreq: opts.MinMonthlyFreq})
@@ -415,6 +492,24 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 	if ins != nil && len(monthFails) > 0 {
 		ins.metrics.Counter("em/fallbacks").Add(int64(len(monthFails)))
 	}
+	if opts.Explain {
+		analysis.MonthProvenance = make([]MonthProvenance, len(models))
+		for i, m := range models {
+			mp := MonthProvenance{Month: i}
+			if m != nil {
+				mp.Iterations = m.Iterations
+				mp.LogLik = m.LogLik
+				mp.LogLikTrace = m.LogLikTrace
+			}
+			analysis.MonthProvenance[i] = mp
+		}
+		for _, mf := range monthFails {
+			mp := &analysis.MonthProvenance[mf.Month]
+			mp.Fallback = true
+			mp.Err = mf.Err.Error()
+			mp.Panicked = mf.Panicked
+		}
+	}
 	endRepro := ins.stage("reproduce", -1)
 	series, err := medmodel.Reproduce(filtered, models)
 	if err != nil {
@@ -428,11 +523,31 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 	jobs, valFails := validateJobs(collectJobs(series))
 	endRepro(len(jobs), nil)
 	analysis.Failures = append(analysis.Failures, valFails...)
+	for _, f := range valFails {
+		// Zero-duration span per rejected series so degraded series appear in
+		// the trace with their failure stage even though they never ran.
+		ins.span(obs.SpanEvent{
+			Cat: "detect", Name: "detect/series", TID: obs.LaneDetect,
+			Start: time.Now(), Month: -1,
+			Series: seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine}),
+			Detail: "stage=" + StageValidate.String(), Err: f.Err,
+		})
+	}
 	endDetect := ins.stage("detect", len(jobs))
-	results, detFails, totalFits, derr := detectAll(ctx, jobs, opts, ins)
+	results, detFails, seriesProvs, totalFits, derr := detectAll(ctx, jobs, opts, ins)
 	endDetect(len(results), derr)
 	analysis.Failures = append(analysis.Failures, detFails...)
 	analysis.TotalFits = totalFits
+	if opts.Explain {
+		analysis.SeriesProvenance = seriesProvs
+		for _, f := range valFails {
+			analysis.SeriesProvenance = append(analysis.SeriesProvenance, SeriesProvenance{
+				Kind: f.Kind.String(), Disease: f.Disease, Medicine: f.Medicine,
+				Key:     seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine}),
+				Failure: f.Err, FailureStage: StageValidate.String(),
+			})
+		}
+	}
 	ins.finish(analysis)
 	sortFailures(analysis.Failures)
 	for _, det := range results {
@@ -548,14 +663,20 @@ func collectJobs(series *medmodel.SeriesSet) []Detection {
 // itself is worker-count-invariant, so detections are deterministic under
 // any Workers/ScanWorkers split and byte-identical for the surviving series
 // whether or not other series failed.
-func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelineInstruments) ([]Detection, []Failure, int, error) {
+func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelineInstruments) ([]Detection, []Failure, []SeriesProvenance, int, error) {
 	type outcome struct {
 		i         int
 		det       Detection
 		fail      *Failure
 		cancelled bool
 		stats     *ssm.FitStats
+		prov      *changepoint.Provenance
+		began     time.Time
 		dur       time.Duration
+	}
+	var trace obs.SpanObserver
+	if ins != nil {
+		trace = ins.trace
 	}
 	budget := newWorkerBudget(opts.Workers)
 	out := make(chan outcome)
@@ -582,11 +703,11 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 					if ins.metrics != nil {
 						o.stats = &ssm.FitStats{}
 					}
-					t0 := time.Now()
-					o.det, o.fail, o.cancelled = runDetection(ctx, jobs[i], opts, budget, o.stats)
-					o.dur = time.Since(t0)
+					o.began = time.Now()
+					o.det, o.fail, o.cancelled, o.prov = runDetection(ctx, jobs[i], opts, budget, o.stats, trace)
+					o.dur = time.Since(o.began)
 				} else {
-					o.det, o.fail, o.cancelled = runDetection(ctx, jobs[i], opts, budget, nil)
+					o.det, o.fail, o.cancelled, o.prov = runDetection(ctx, jobs[i], opts, budget, nil, nil)
 				}
 				out <- o
 			}(i)
@@ -595,6 +716,12 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 
 	dets := make([]Detection, len(jobs))
 	done := make([]bool, len(jobs))
+	var scanProvs []*changepoint.Provenance
+	var failAt []*Failure
+	if opts.Explain {
+		scanProvs = make([]*changepoint.Provenance, len(jobs))
+		failAt = make([]*Failure, len(jobs))
+	}
 	var failures []Failure
 	totalFits := 0
 	var seq *obs.Sequencer
@@ -611,6 +738,10 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 			done[o.i] = true
 			totalFits += o.det.Result.Fits
 		}
+		if opts.Explain && !o.cancelled {
+			scanProvs[o.i] = o.prov
+			failAt[o.i] = o.fail
+		}
 		if seq != nil {
 			o := o
 			seq.Done(o.i, func() {
@@ -618,7 +749,7 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 				if o.fail != nil {
 					failErr = o.fail.Err
 				}
-				ins.seriesDone(jobs[o.i], o.det.Result, failErr, o.cancelled, o.stats, o.dur, o.i, len(jobs))
+				ins.seriesDone(jobs[o.i], o.det.Result, failErr, o.cancelled, o.stats, o.began, o.dur, o.i, len(jobs))
 			})
 		}
 	}
@@ -628,7 +759,28 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 			results = append(results, dets[i])
 		}
 	}
-	return results, failures, totalFits, ctx.Err()
+	// Assemble the per-series provenance in job order. Cancelled jobs (no
+	// outcome, or an unprocessed one) get no entry; failed jobs keep their
+	// partial ladder alongside the failure link.
+	var provs []SeriesProvenance
+	if opts.Explain {
+		for i, job := range jobs {
+			f := failAt[i]
+			if !done[i] && f == nil {
+				continue
+			}
+			sp := SeriesProvenance{
+				Kind: job.Kind.String(), Disease: job.Disease, Medicine: job.Medicine,
+				Key: seriesKey(job), Scan: scanProvs[i],
+			}
+			if f != nil {
+				sp.Failure = f.Err
+				sp.FailureStage = f.Stage.String()
+			}
+			provs = append(provs, sp)
+		}
+	}
+	return results, failures, provs, totalFits, ctx.Err()
 }
 
 // runDetection searches one series with panic isolation: a crash anywhere in
@@ -636,8 +788,10 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 // re-panics shard crashes on this goroutine, so the recover here covers
 // them too). The cancelled return distinguishes a context abort (not a
 // series failure) from a genuine one. budget supplies the scan's level-two
-// extra workers; nil runs the scan serially.
-func runDetection(ctx context.Context, job Detection, opts Options, budget *workerBudget, stats *ssm.FitStats) (det Detection, fail *Failure, cancelled bool) {
+// extra workers; nil runs the scan serially. trace receives the scan's
+// shard/refit spans; prov is the series' decision provenance (non-nil only
+// under Options.Explain, and kept — possibly partial — on failure).
+func runDetection(ctx context.Context, job Detection, opts Options, budget *workerBudget, stats *ssm.FitStats, trace obs.SpanObserver) (det Detection, fail *Failure, cancelled bool, prov *changepoint.Provenance) {
 	det = job
 	defer func() {
 		if r := recover(); r != nil {
@@ -649,10 +803,15 @@ func runDetection(ctx context.Context, job Detection, opts Options, budget *work
 			cancelled = false
 		}
 	}()
-	if err := faultpoint.Inject("trend/detect", seriesKey(job)); err != nil {
-		return det, detectFailure(job, err), false
+	if opts.Explain {
+		prov = &changepoint.Provenance{}
 	}
-	dopts := changepoint.DetectOptions{Seasonal: opts.Seasonal, Stats: stats}
+	if err := faultpoint.Inject("trend/detect", seriesKey(job)); err != nil {
+		return det, detectFailure(job, err), false, prov
+	}
+	dopts := changepoint.DetectOptions{
+		Seasonal: opts.Seasonal, Stats: stats, Provenance: prov, Trace: trace,
+	}
 	if opts.Method == MethodBinary {
 		dopts.Method = changepoint.SearchBinary
 	} else {
@@ -676,12 +835,12 @@ func runDetection(ctx context.Context, job Detection, opts Options, budget *work
 	res, err := changepoint.Detect(ctx, det.Series, dopts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return det, nil, true
+			return det, nil, true, prov
 		}
-		return det, detectFailure(job, err), false
+		return det, detectFailure(job, err), false, prov
 	}
 	det.Result = res
-	return det, nil, false
+	return det, nil, false, prov
 }
 
 // detectFailure builds the StageDetect failure record for a series,

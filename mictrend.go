@@ -57,7 +57,22 @@
 // Event delivery is serialized, panic-isolated (a panicking Observer is
 // muted and recorded as a StageObserver failure), and deterministic in
 // order; the snapshot's counter/gauge/histogram sections are identical for
-// any worker configuration.
+// any worker configuration. The registry also exposes its snapshot in
+// Prometheus text format (Metrics.PrometheusHandler, Snapshot's
+// WritePrometheus) and over expvar (Metrics.PublishExpvar).
+//
+// Deeper inspection is options-first too: a Tracer collects timed spans of
+// every stage, month fit, series detection, and scan shard as a
+// Perfetto-loadable Chrome trace, and Explain records why each change point
+// was (or was not) selected:
+//
+//	tracer := mictrend.NewTracer()
+//	opts.Trace = tracer.Observe
+//	opts.Explain = true
+//	analysis, _ = mictrend.AnalyzeTrendsContext(ctx, corpus, opts)
+//	_ = tracer.WriteTrace(traceFile)                       // chrome://tracing
+//	_ = mictrend.WriteExplain("explain", analysis,         // JSON artifacts
+//		mictrend.BuildExplainManifest(opts, analysis))
 //
 // # Single-series change point detection
 //
@@ -111,6 +126,71 @@ type (
 	// change point search; wire one through DetectOptions.Stats.
 	ScanStats = ssm.FitStats
 )
+
+// Span tracing and decision provenance types.
+type (
+	// SpanEvent is one timed, categorized span of pipeline work.
+	SpanEvent = obs.SpanEvent
+	// SpanObserver receives spans; wire one through AnalysisOptions.Trace or
+	// DetectOptions.Trace (usually a Tracer's Observe method). Span content
+	// is deterministic for a given input; only timestamps vary.
+	SpanObserver = obs.SpanObserver
+	// Tracer collects spans and serializes them as Chrome Trace Event JSON
+	// (WriteTrace), loadable in Perfetto or chrome://tracing.
+	Tracer = obs.Tracer
+	// ScanProvenance is one change point search's full decision record: the
+	// AIC ladder over every evaluated candidate (with warm/cold/refit or
+	// bisection-probe paths), the bisection trail for the binary search, and
+	// the selected model's parameters.
+	ScanProvenance = changepoint.Provenance
+	// CandidateEval is one rung of a ScanProvenance AIC ladder.
+	CandidateEval = changepoint.CandidateEval
+	// BinaryStep is one bisection interval of the binary search's trail.
+	BinaryStep = changepoint.BinaryStep
+	// MonthProvenance records one month's EM convergence (per-iteration
+	// log-likelihoods, fallback events) when AnalysisOptions.Explain is set.
+	MonthProvenance = trend.MonthProvenance
+	// SeriesProvenance records one series' detection decision — its
+	// ScanProvenance or its failure link — when AnalysisOptions.Explain is
+	// set.
+	SeriesProvenance = trend.SeriesProvenance
+	// ExplainManifest summarizes a run for the WriteExplain artifacts.
+	ExplainManifest = trend.Manifest
+)
+
+// Trace lanes: the tid each span family renders under in a trace viewer.
+const (
+	LaneStage  = obs.LaneStage
+	LaneEM     = obs.LaneEM
+	LaneDetect = obs.LaneDetect
+	LaneScan   = obs.LaneScan
+	LaneSSM    = obs.LaneSSM
+)
+
+// NewTracer returns an empty span collector; pass its Observe method as
+// AnalysisOptions.Trace and serialize with WriteTrace after the run.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// GuardSpans wraps a span observer with panic isolation: the first panic
+// mutes the observer for good (onPanic, if non-nil, is told). The pipeline
+// already guards AnalysisOptions.Trace; use this when invoking an untrusted
+// observer directly.
+func GuardSpans(cb SpanObserver, onPanic func(r any)) SpanObserver {
+	return obs.GuardSpans(cb, onPanic)
+}
+
+// BuildExplainManifest derives a run's manifest from its options and
+// analysis; fill Version/Seed/Records/Interrupted before WriteExplain.
+func BuildExplainManifest(opts AnalysisOptions, a *Analysis) ExplainManifest {
+	return trend.BuildManifest(opts, a)
+}
+
+// WriteExplain writes a run's decision-provenance artifacts (manifest.json,
+// months.json, series/<key>.json) under dir. Run the analysis with
+// AnalysisOptions.Explain set first.
+func WriteExplain(dir string, a *Analysis, man ExplainManifest) error {
+	return trend.WriteExplain(dir, a, man)
+}
 
 // Progress event kinds.
 const (

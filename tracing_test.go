@@ -1,0 +1,118 @@
+package mictrend
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPITracingAndExplain drives the observability surface through
+// the public facade only: span tracing to Chrome Trace JSON, decision
+// provenance to explain artifacts, and the Prometheus exposition bridge.
+func TestPublicAPITracingAndExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end facade test is heavy")
+	}
+	corpus, _, err := GenerateCorpus(GeneratorConfig{
+		Seed:            21,
+		Months:          24,
+		RecordsPerMonth: 400,
+		BulkDiseases:    5,
+		BulkMedicines:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := NewTracer()
+	metrics := NewMetrics()
+	opts := DefaultAnalysisOptions()
+	opts.Seasonal = false
+	opts.Method = MethodBinary
+	opts.MinSeriesTotal = 300
+	opts.Trace = tracer.Observe
+	opts.Explain = true
+	opts.Metrics = metrics
+	analysis, err := AnalyzeTrends(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace holds stage/month/series spans and serializes as valid
+	// Trace Event JSON.
+	if tracer.Len() == 0 {
+		t.Fatal("no spans collected")
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"stage/model", "stage/detect", "em/month", "detect/series"} {
+		if !names[want] {
+			t.Fatalf("trace lacks %q spans (have %v)", want, names)
+		}
+	}
+
+	// Provenance covers the run and exports through the facade.
+	if len(analysis.MonthProvenance) != corpus.T() || len(analysis.SeriesProvenance) == 0 {
+		t.Fatalf("provenance: %d months, %d series", len(analysis.MonthProvenance), len(analysis.SeriesProvenance))
+	}
+	man := BuildExplainManifest(opts, analysis)
+	man.Version = "facade-test"
+	dir := t.TempDir()
+	if err := WriteExplain(dir, analysis, man); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "series"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(analysis.SeriesProvenance) {
+		t.Fatalf("%d series artifacts, want %d", len(entries), len(analysis.SeriesProvenance))
+	}
+
+	// The metrics registry exposes the run in Prometheus text format.
+	var prom bytes.Buffer
+	if err := metrics.Snapshot().WritePrometheus(&prom, "mictrend"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE mictrend_em_months_fitted_total counter",
+		"mictrend_scan_series_total",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("prometheus exposition lacks %q", want)
+		}
+	}
+
+	// A panicking span sink is muted, not fatal: GuardSpans through the
+	// facade.
+	panics := 0
+	guarded := GuardSpans(func(SpanEvent) { panic("boom") }, func(any) { panics++ })
+	guarded(SpanEvent{})
+	guarded(SpanEvent{})
+	if panics != 1 {
+		t.Fatalf("guard recorded %d panics, want 1", panics)
+	}
+}
