@@ -78,6 +78,31 @@ func TestInstrumentationAllocFree(t *testing.T) {
 		t.Errorf("LogLikFilter with workspace allocates %.0f/op, want 0", n)
 	}
 
+	// The steady-state fast path must be equally free: once the covariance
+	// recursion converges (a long non-seasonal no-intervention model), the
+	// precomputed-gain steps may not allocate either.
+	long := syntheticBreakSeries(120, 200) // break beyond the horizon: a plain random walk
+	sfit, err := ssm.FitConfig(long, ssm.Config{Seasonal: false, ChangePoint: ssm.NoChangePoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, sscaled := sfit.Model, sfit.Scaled
+	sws := kalman.NewWorkspace()
+	res, err := sm.LogLikFilterOpts(sscaled, sws, kalman.LogLikOptions{SteadyTol: ssm.DefaultSteadyTol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadySteps == 0 {
+		t.Fatal("steady-state path never engaged on the long non-seasonal model")
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := sm.LogLikFilterOpts(sscaled, sws, kalman.LogLikOptions{SteadyTol: ssm.DefaultSteadyTol}); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state LogLikFilterOpts allocates %.0f/op, want 0", n)
+	}
+
 	// Enabling FitStats must cost at most a constant few allocations per
 	// whole fit (the deferred flush), never per likelihood evaluation.
 	base := testing.AllocsPerRun(10, func() {
@@ -137,5 +162,18 @@ func TestAllocGuardRails(t *testing.T) {
 	}
 	if n := scan(8); n > 24500 { // measured baseline: 23195
 		t.Errorf("warm exact scan (8 workers): %.0f allocs, budget 24500", n)
+	}
+
+	// One prefix-checkpointed exact scan of the same series. The scan fits an
+	// order of magnitude fewer models, and its checkpoint resumes reuse the
+	// scanner's buffers, so its allocation budget sits far below the warm
+	// scan's.
+	prefixAllocs := testing.AllocsPerRun(1, func() {
+		if _, err := changepoint.DetectExactPrefix(y, true, changepoint.PrefixOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if prefixAllocs > 12000 { // measured baseline: 5872
+		t.Errorf("prefix exact scan: %.0f allocs, budget 12000", prefixAllocs)
 	}
 }

@@ -240,9 +240,12 @@ func BenchmarkGenerateCorpus(b *testing.B) {
 // BenchmarkKalmanLogLik measures one likelihood evaluation of the seasonal
 // structural model on a 43-month series — the unit the Nelder-Mead objective
 // pays hundreds of times per fit. The workspace sub-benchmark is the
-// allocation-free fast path (steady state: 0 allocs/op); the filter
-// sub-benchmark runs the same model through the full Filter, the path the
-// likelihood search used before the workspace kernel existed.
+// allocation-free workspace kernel (0 allocs/op once its buffers exist); the
+// filter sub-benchmark runs the same model through the full Filter, the path
+// the likelihood search used before the workspace kernel existed; the steady
+// sub-benchmark runs a long non-seasonal model with the steady-state switch
+// enabled, reporting the step at which the covariance recursion converged
+// and the precomputed-gain fast path took over.
 func BenchmarkKalmanLogLik(b *testing.B) {
 	y := syntheticBreakSeries(43, 20)
 	fit, err := ssm.FitConfig(y, ssm.Config{Seasonal: true, ChangePoint: 20})
@@ -271,6 +274,31 @@ func BenchmarkKalmanLogLik(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+	b.Run("steady", func(b *testing.B) {
+		long := syntheticBreakSeries(120, 200) // no break inside the horizon
+		sfit, err := ssm.FitConfig(long, ssm.Config{Seasonal: false, ChangePoint: ssm.NoChangePoint})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm, sscaled := sfit.Model, sfit.Scaled
+		ws := kalman.NewWorkspace()
+		opts := kalman.LogLikOptions{SteadyTol: ssm.DefaultSteadyTol}
+		res, err := sm.LogLikFilterOpts(sscaled, ws, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SteadySteps == 0 {
+			b.Fatal("steady-state path never engaged")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sm.LogLikFilterOpts(sscaled, ws, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(sscaled)-res.SteadySteps), "entry_step")
 	})
 }
 
@@ -337,6 +365,28 @@ func BenchmarkExactScanParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := changepoint.DetectExactParallel(y, true, changepoint.ParallelOptions{
 			Workers: 8, WarmStart: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fits = res.Fits
+	}
+	b.ReportMetric(float64(fits), "fits")
+}
+
+// BenchmarkExactScanPrefix measures the prefix-checkpointed exact scan at one
+// worker on the BenchmarkExactScan series: shared-parameter AIC ladders
+// scored by checkpoint resumes screen the candidate set down to a handful of
+// contender fits, with selection byte-identical to BenchmarkExactScan's. The
+// fits metric is the scan's whole fit budget per series.
+func BenchmarkExactScanPrefix(b *testing.B) {
+	y := syntheticBreakSeries(43, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fits int
+	for i := 0; i < b.N; i++ {
+		res, err := changepoint.DetectExactPrefix(y, true, changepoint.PrefixOptions{
+			Workers: 1,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -24,6 +24,12 @@ const (
 	// warm-started scan: identical selection to SearchExact (the refinement
 	// pass compares contenders at serial AICs), different Fits accounting.
 	SearchExactParallel
+	// SearchExactPrefix is Algorithm 1 on the prefix-checkpointed evaluator:
+	// shared-parameter AIC ladders scored by checkpoint resumes replace the
+	// fit-per-candidate sweep, with warm contender fits and the cold
+	// refinement pass arbitrating the final selection at serial AICs. Same
+	// selection contract as SearchExact, O(1)+O(contenders) fits.
+	SearchExactPrefix
 )
 
 // String names the method.
@@ -33,6 +39,8 @@ func (m SearchMethod) String() string {
 		return "binary"
 	case SearchExactParallel:
 		return "exact-parallel"
+	case SearchExactPrefix:
+		return "exact-prefix"
 	default:
 		return "exact"
 	}
@@ -118,6 +126,11 @@ func Detect(ctx context.Context, series []float64, opts DetectOptions) (Result, 
 			Provenance: opts.Provenance, Trace: obs.GuardSpans(opts.Trace, nil),
 		}, func() FitEvaluator {
 			return SSMFitEvaluatorStats(series, opts.Seasonal, opts.Stats)
+		})
+	case SearchExactPrefix:
+		res, err = ExactPrefix(ctx, series, opts.Seasonal, PrefixOptions{
+			Workers: opts.Workers, Stats: opts.Stats,
+			Provenance: opts.Provenance, Trace: obs.GuardSpans(opts.Trace, nil),
 		})
 	default:
 		res, err = exact(len(series), ContextAIC(ctx, SSMEvaluatorStats(series, opts.Seasonal, opts.Stats)), opts.Provenance)

@@ -22,6 +22,10 @@ const (
 	// PathProbe marks a binary-search evaluation (cold fit, visited in
 	// bisection order rather than serially).
 	PathProbe = "probe"
+	// PathPrefix marks a candidate the prefix-checkpointed scan screened out
+	// without fitting: AIC holds its best shared-parameter ladder score, an
+	// upper bound on the AIC a fit would have produced.
+	PathPrefix = "prefix"
 )
 
 // CandidateEval is one rung of the AIC ladder: a candidate change point

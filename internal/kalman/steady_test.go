@@ -1,0 +1,228 @@
+package kalman
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mictrend/internal/linalg"
+)
+
+// steadyTestTol is the switch tolerance used across these tests; agreement
+// bounds below are calibrated against it.
+const steadyTestTol = 1e-6
+
+// levelInterventionModel builds the nonseasonal candidate model of the scan —
+// local level plus a slope-shift λ activating at cp — whose covariance
+// converges within a handful of steps, unlike the seasonal block.
+func levelInterventionModel(cp int, h, q float64) *Model {
+	tm := linalg.NewMatrix(2, 2)
+	tm.Set(0, 0, 1)
+	tm.Set(1, 1, 1)
+	r := linalg.NewMatrixFrom(2, 1, []float64{1, 0})
+	qm := linalg.NewMatrixFrom(1, 1, []float64{q})
+	p1 := linalg.NewMatrix(2, 2)
+	p1.Set(0, 0, DiffuseVariance)
+	p1.Set(1, 1, DiffuseVariance)
+	zBuf := []float64{1, 0}
+	z := func(t int) []float64 {
+		if t < cp {
+			zBuf[1] = 0
+		} else {
+			zBuf[1] = float64(t - cp + 1)
+		}
+		return zBuf
+	}
+	skip := cp
+	if skip < 1 {
+		skip = 1
+	}
+	return &Model{
+		T: tm, R: r, Q: qm, H: h, Z: z,
+		A1: make([]float64, 2), P1: p1,
+		DiffuseCount: 1,
+		SkipLik:      []int{skip},
+	}
+}
+
+// TestSteadyStateMatchesFullLikelihood is the property test for the fast
+// path: across random stable parameter draws — local-level and seasonal
+// structural models — the steady-state likelihood must agree with the exact
+// full-covariance recursion within a tolerance-scaled bound, and the path
+// must actually engage on a healthy fraction of draws.
+func TestSteadyStateMatchesFullLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 43))
+	const draws = 40
+	engaged := 0
+	for i := 0; i < draws; i++ {
+		h := 0.5 + 1.5*rng.Float64()
+		q := math.Exp(rng.Float64()*4 - 3) // q/h in ~[0.05, e]
+		var m *Model
+		n := 300
+		name := "local-level"
+		if i%2 == 1 {
+			// Seasonal structural model with the intervention never active:
+			// its z row is constant, the case the prefix scan's warm fits hit.
+			m = structuralModel(12, n+1, h, q, 0.1*q)
+			name = "seasonal"
+		} else {
+			m = localLevelModel(h, q)
+		}
+		y := testSeries(n, uint64(100+i))
+
+		exact, err := m.LogLikFilter(y, nil)
+		if err != nil {
+			t.Fatalf("draw %d (%s): exact: %v", i, name, err)
+		}
+		fast, err := m.LogLikFilterOpts(y, nil, LogLikOptions{SteadyTol: steadyTestTol})
+		if err != nil {
+			t.Fatalf("draw %d (%s): steady: %v", i, name, err)
+		}
+		if fast.SteadySteps > 0 {
+			engaged++
+			if fast.SteadyEntry < m.DiffuseCount {
+				t.Errorf("draw %d (%s): steady engaged at %d, inside the diffuse burn-in %d",
+					i, name, fast.SteadyEntry, m.DiffuseCount)
+			}
+		}
+		// Each steady step perturbs its likelihood term by O(tol); the sum
+		// stays orders of magnitude inside this bound.
+		bound := 1e-4 * math.Max(1, math.Abs(exact.LogLik))
+		if diff := math.Abs(fast.LogLik - exact.LogLik); diff > bound {
+			t.Errorf("draw %d (%s, h=%.3f q=%.3f): steady loglik %v != exact %v (diff %g, steady steps %d)",
+				i, name, h, q, fast.LogLik, exact.LogLik, diff, fast.SteadySteps)
+		}
+		if fast.LikCount != exact.LikCount {
+			t.Errorf("draw %d (%s): LikCount %d != %d", i, name, fast.LikCount, exact.LikCount)
+		}
+	}
+	if engaged < draws/2 {
+		t.Fatalf("steady path engaged on %d/%d draws; the property test is not exercising it", engaged, draws)
+	}
+}
+
+// TestSteadyStateDisarmsAtIntervention checks the z-row guard: once the
+// intervention regressor activates the observation row changes every step,
+// so every steady step must predate the change point and the tail runs the
+// exact recursion.
+func TestSteadyStateDisarmsAtIntervention(t *testing.T) {
+	const cp = 35
+	m := levelInterventionModel(cp, 1, 0.5)
+	y := testSeries(70, 19)
+	exact, err := m.LogLikFilter(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.LogLikFilterOpts(y, nil, LogLikOptions{SteadyTol: steadyTestTol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.SteadySteps == 0 {
+		t.Fatal("steady path never engaged before the change point")
+	}
+	if fast.SteadyEntry+fast.SteadySteps > cp {
+		t.Fatalf("steady steps [%d, %d) cross the change point %d",
+			fast.SteadyEntry, fast.SteadyEntry+fast.SteadySteps, cp)
+	}
+	if diff := math.Abs(fast.LogLik - exact.LogLik); diff > 1e-4*math.Max(1, math.Abs(exact.LogLik)) {
+		t.Fatalf("steady loglik %v != exact %v (diff %g)", fast.LogLik, exact.LogLik, diff)
+	}
+}
+
+// TestSteadyStateMissingObsDisarms checks a missing observation drops the
+// fast path back to the exact recursion (covariance moves again) and the run
+// still agrees with the exact filter.
+func TestSteadyStateMissingObsDisarms(t *testing.T) {
+	m := localLevelModel(1, 0.5)
+	y := testSeries(200, 29)
+	for _, i := range []int{80, 81, 140} {
+		y[i] = math.NaN()
+	}
+	exact, err := m.LogLikFilter(y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.LogLikFilterOpts(y, nil, LogLikOptions{SteadyTol: steadyTestTol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.SteadySteps == 0 {
+		t.Fatal("steady path never engaged")
+	}
+	if fast.LikCount != exact.LikCount {
+		t.Fatalf("LikCount %d != %d", fast.LikCount, exact.LikCount)
+	}
+	if diff := math.Abs(fast.LogLik - exact.LogLik); diff > 1e-4*math.Max(1, math.Abs(exact.LogLik)) {
+		t.Fatalf("steady loglik %v != exact %v (diff %g)", fast.LogLik, exact.LogLik, diff)
+	}
+	for _, i := range []int{80, 81, 140} {
+		if !math.IsNaN(fast.V[i]) {
+			t.Fatalf("V[%d] = %v, want NaN for a missing observation", i, fast.V[i])
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the acceptance criterion: the steady-state
+// fast path allocates nothing after its buffers warm up.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	m := levelInterventionModel(300, 1, 0.5) // intervention never active
+	y := testSeries(250, 31)
+	ws := NewWorkspace()
+	opts := LogLikOptions{SteadyTol: steadyTestTol}
+	warm, err := m.LogLikFilterOpts(y, ws, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SteadySteps == 0 {
+		t.Fatal("steady path never engaged; the alloc guard would not cover it")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := m.LogLikFilterOpts(y, ws, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state fast path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestLogLikFilterOptsOnStep checks the checkpoint hook fires once per step
+// with the post-update state, on both the exact and the steady path.
+func TestLogLikFilterOptsOnStep(t *testing.T) {
+	m := localLevelModel(1, 0.5)
+	y := testSeries(120, 37)
+	for _, tol := range []float64{0, steadyTestTol} {
+		calls := 0
+		var lastA float64
+		var lastP *linalg.Matrix
+		res, err := m.LogLikFilterOpts(y, nil, LogLikOptions{
+			SteadyTol: tol,
+			OnStep: func(step int, a []float64, p *linalg.Matrix) {
+				if step != calls {
+					t.Fatalf("tol=%g: OnStep(%d) after %d calls, want ascending steps", tol, step, calls)
+				}
+				calls++
+				lastA = a[0]
+				lastP = p
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != len(y) {
+			t.Fatalf("tol=%g: OnStep fired %d times, want %d", tol, calls, len(y))
+		}
+		if tol > 0 && res.SteadySteps == 0 {
+			t.Fatal("steady path never engaged")
+		}
+		// The final callback state is the one-step-ahead prediction the
+		// smoother/forecaster would start from; for the local level it must
+		// track the series scale.
+		if math.Abs(lastA-y[len(y)-1]) > 10 {
+			t.Fatalf("tol=%g: final predicted level %v far from series end %v", tol, lastA, y[len(y)-1])
+		}
+		if lastP == nil || lastP.Rows() != 1 {
+			t.Fatalf("tol=%g: OnStep covariance missing", tol)
+		}
+	}
+}

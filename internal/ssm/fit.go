@@ -37,6 +37,13 @@ type FitStats struct {
 	Restarts atomic.Int64
 	// FitFailures counts fits where every start failed (OptimizationError).
 	FitFailures atomic.Int64
+	// SteadyHits counts likelihood evaluations in which the Kalman filter
+	// engaged the steady-state fast path for at least one step (requires
+	// FitOptions.SteadyTol > 0).
+	SteadyHits atomic.Int64
+	// PrefixResumes counts candidate scores resumed from a prefix checkpoint
+	// by the prefix-checkpointed change point scan.
+	PrefixResumes atomic.Int64
 }
 
 // Merge folds src's counts into s (either may be nil; both no-op).
@@ -49,6 +56,8 @@ func (s *FitStats) Merge(src *FitStats) {
 	s.Starts.Add(src.Starts.Load())
 	s.Restarts.Add(src.Restarts.Load())
 	s.FitFailures.Add(src.FitFailures.Load())
+	s.SteadyHits.Add(src.SteadyHits.Load())
+	s.PrefixResumes.Add(src.PrefixResumes.Load())
 }
 
 // ErrSeriesTooShort is returned when a series is shorter than the model can
@@ -105,6 +114,14 @@ type FitOptions struct {
 	// kernel-level zero-alloc contract. The observer must be goroutine-safe
 	// when fits run concurrently.
 	Trace obs.SpanObserver
+	// SteadyTol, when positive, lets every likelihood evaluation of this fit
+	// take the Kalman filter's steady-state fast path
+	// (kalman.LogLikOptions.SteadyTol). The profile likelihood then carries
+	// an O(SteadyTol) approximation per steady step, so this belongs on
+	// warm scan-tolerance fits whose selections a cold refinement pass
+	// re-arbitrates — never on cold fits, whose results are pinned
+	// bit-for-bit. Zero keeps the exact recursion.
+	SteadyTol float64
 }
 
 // DefaultWarmStep is the absolute initial simplex edge for warm starts:
@@ -125,6 +142,13 @@ const (
 // coldStep is the historical relative initial simplex edge of the cold
 // starts.
 const coldStep = 1.0
+
+// DefaultSteadyTol is the steady-state switch tolerance for warm
+// scan-tolerance fits: the per-step likelihood perturbation it admits
+// (O(1e-5) relative on the covariance, ~1e-4 in AIC over a series) sits far
+// below the scan's refinement margin, so a steady-path warm fit can never
+// flip a selection the cold refinement pass would not re-examine.
+const DefaultSteadyTol = 1e-5
 
 // Fit is a maximum-likelihood-fitted structural model.
 type Fit struct {
@@ -261,7 +285,7 @@ func fitConfig(y []float64, cfg Config, ws *kalman.Workspace, opts FitOptions) (
 	if cfg.Seasonal {
 		nq = 2
 	}
-	var evals, attempts int
+	var evals, attempts, steadyHits int
 	if s := opts.Stats; s != nil {
 		defer func() {
 			s.LikEvals.Add(int64(evals))
@@ -269,11 +293,15 @@ func fitConfig(y []float64, cfg Config, ws *kalman.Workspace, opts FitOptions) (
 			if attempts > 1 {
 				s.Restarts.Add(int64(attempts - 1))
 			}
+			s.SteadyHits.Add(int64(steadyHits))
 		}()
 	}
 	objective := func(params []float64) float64 {
 		evals++
-		ll, _, err := concentratedLogLik(scaled, cfg, searchModel, params, ws)
+		ll, _, steady, err := concentratedLogLikTol(scaled, cfg, searchModel, params, ws, opts.SteadyTol)
+		if steady > 0 {
+			steadyHits++
+		}
 		if err != nil {
 			return math.Inf(1)
 		}
@@ -322,7 +350,10 @@ func fitConfig(y []float64, cfg Config, ws *kalman.Workspace, opts FitOptions) (
 		return nil, &OptimizationError{Attempts: attempts}
 	}
 	evals++
-	logLik, sigma2, err := concentratedLogLik(scaled, cfg, searchModel, best.X, ws)
+	logLik, sigma2, steady, err := concentratedLogLikTol(scaled, cfg, searchModel, best.X, ws, opts.SteadyTol)
+	if steady > 0 {
+		steadyHits++
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -432,24 +463,28 @@ func startPoints(nq int) [][]float64 {
 // to the relative variances — and filtered through the allocation-free
 // likelihood kernel with ws as scratch.
 func concentratedLogLik(scaled []float64, cfg Config, m *kalman.Model, params []float64, ws *kalman.Workspace) (logLik, sigma2 float64, err error) {
-	for _, p := range params {
-		// Relative log-variances beyond e^±20 add nothing but conditioning
-		// trouble on unit-scaled series.
-		if p < -20 || p > 20 || math.IsNaN(p) {
-			return 0, 0, errors.New("ssm: parameter out of range")
-		}
+	logLik, sigma2, _, err = concentratedLogLikTol(scaled, cfg, m, params, ws, 0)
+	return logLik, sigma2, err
+}
+
+// concentratedLogLikTol is concentratedLogLik with an optional steady-state
+// filter tolerance (0 = exact); steadySteps reports how many filter steps the
+// fast path handled.
+func concentratedLogLikTol(scaled []float64, cfg Config, m *kalman.Model, params []float64, ws *kalman.Workspace, steadyTol float64) (logLik, sigma2 float64, steadySteps int, err error) {
+	if err := checkParams(params); err != nil {
+		return 0, 0, 0, err
 	}
 	m.H = 1
 	m.Q.Set(0, 0, math.Exp(params[0]))
 	if cfg.Seasonal {
 		m.Q.Set(1, 1, math.Exp(params[1]))
 	}
-	fr, err := m.LogLikFilter(scaled, ws)
+	fr, err := m.LogLikFilterOpts(scaled, ws, kalman.LogLikOptions{SteadyTol: steadyTol})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if fr.LikCount == 0 {
-		return 0, 0, errors.New("ssm: no likelihood contributions")
+		return 0, 0, 0, errors.New("ssm: no likelihood contributions")
 	}
 	var sumLogF, sumV2F float64
 	for t := range fr.V {
@@ -459,7 +494,28 @@ func concentratedLogLik(scaled []float64, cfg Config, m *kalman.Model, params []
 		sumLogF += math.Log(fr.F[t])
 		sumV2F += fr.V[t] * fr.V[t] / fr.F[t]
 	}
-	n := float64(fr.LikCount)
+	logLik, sigma2 = concentrateFromSums(sumLogF, sumV2F, fr.LikCount)
+	return logLik, sigma2, fr.SteadySteps, nil
+}
+
+// checkParams validates optimizer coordinates: relative log-variances beyond
+// e^±20 add nothing but conditioning trouble on unit-scaled series.
+func checkParams(params []float64) error {
+	for _, p := range params {
+		if p < -20 || p > 20 || math.IsNaN(p) {
+			return errors.New("ssm: parameter out of range")
+		}
+	}
+	return nil
+}
+
+// concentrateFromSums turns the filter's accumulated log-variance and scaled
+// squared-innovation sums into the profile log-likelihood and the implied
+// observation variance. It is the single implementation of the concentration
+// formula, shared by the full-series evaluation and the prefix-checkpointed
+// candidate scorer so the two agree bitwise on identical sums.
+func concentrateFromSums(sumLogF, sumV2F float64, likCount int) (logLik, sigma2 float64) {
+	n := float64(likCount)
 	sigma2 = sumV2F / n
 	// Floor the concentrated variance: a deterministic (perfectly fitted)
 	// series would otherwise send the profile likelihood to +∞ and the
@@ -471,7 +527,7 @@ func concentratedLogLik(scaled []float64, cfg Config, m *kalman.Model, params []
 		sigma2 = sigmaFloor
 	}
 	logLik = -0.5*n*math.Log(2*math.Pi) - 0.5*sumLogF - 0.5*n*(math.Log(sigma2)+1)
-	return logLik, sigma2, nil
+	return logLik, sigma2
 }
 
 // AICAt is the change point search primitive: it fits the full model

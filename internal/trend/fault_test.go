@@ -130,6 +130,61 @@ func TestInjectedFailureDegradesOneSeries(t *testing.T) {
 	}
 }
 
+// TestPrefixResumePanicDegradesOneSeries pins the checkpoint-resume blast
+// radius: a panic inside one prefix-ladder resume of the exact scan degrades
+// only the series being scanned — the run completes, exactly that series is
+// recorded as a StageDetect panic, and every other detection is
+// byte-identical to the fault-free run.
+func TestPrefixResumePanicDegradesOneSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test is heavy")
+	}
+	env := faultCorpus(t)
+	env.opts.Method = MethodExact
+	env.opts.Workers = 1
+	faultpoint.Reset()
+	clean, err := Analyze(context.Background(), env.dataset(), env.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Failures) != 0 {
+		t.Fatalf("fault-free run recorded failures: %v", clean.Failures)
+	}
+
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	// The site's detail is the candidate month, not the series key, so a
+	// one-shot budget picks the victim: the first series to run a ladder
+	// (deterministic under Workers=1).
+	faultpoint.Enable("changepoint/prefix-resume", faultpoint.Spec{Panic: true, Count: 1})
+	faulty, err := Analyze(context.Background(), env.dataset(), env.opts)
+	if err != nil {
+		t.Fatalf("injected resume panic aborted Analyze: %v", err)
+	}
+	if len(faulty.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the injected one", faulty.Failures)
+	}
+	f := faulty.Failures[0]
+	if f.Stage != StageDetect || !f.Panicked {
+		t.Fatalf("failure = %+v, want a StageDetect panic", f)
+	}
+	victim := seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine})
+
+	cleanDets := detectionsByKey(clean)
+	faultyDets := detectionsByKey(faulty)
+	if _, ok := faultyDets[victim]; ok {
+		t.Fatal("panicked series still has a detection")
+	}
+	if len(faultyDets) != len(cleanDets)-1 {
+		t.Fatalf("faulty run has %d detections, want %d", len(faultyDets), len(cleanDets)-1)
+	}
+	for key, det := range faultyDets {
+		if !reflect.DeepEqual(det, cleanDets[key]) {
+			t.Fatalf("detection %s differs from fault-free run", key)
+		}
+	}
+}
+
 // TestAnalyzeDegradesOnEMMonthFailure injects an EM failure into one month
 // and checks Analyze substitutes the fallback model and completes.
 func TestAnalyzeDegradesOnEMMonthFailure(t *testing.T) {

@@ -403,6 +403,8 @@ func (ins *pipelineInstruments) seriesDone(job Detection, res changepoint.Result
 			m.Counter("ssm/starts").Add(stats.Starts.Load())
 			m.Counter("ssm/restarts").Add(stats.Restarts.Load())
 			m.Counter("ssm/fit_failures").Add(stats.FitFailures.Load())
+			m.Counter("kalman/steady_hits").Add(stats.SteadyHits.Load())
+			m.Counter("scan/prefix_resumes").Add(stats.PrefixResumes.Load())
 		}
 		m.Counter("scan/series").Inc()
 		if failErr == "" {
@@ -816,10 +818,10 @@ func runDetection(ctx context.Context, job Detection, opts Options, budget *work
 		dopts.Method = changepoint.SearchBinary
 	} else {
 		// Level two of the worker budget: claim idle tokens (beyond this
-		// series' own) for the scan's shard workers, returning them as soon
-		// as the scan finishes. The scan's result does not depend on how
-		// many we get.
-		dopts.Method = changepoint.SearchExactParallel
+		// series' own) for the scan's contender workers, returning them as
+		// soon as the scan finishes. The scan's result does not depend on
+		// how many we get.
+		dopts.Method = changepoint.SearchExactPrefix
 		dopts.Workers = 1
 		if budget != nil {
 			target := opts.ScanWorkers

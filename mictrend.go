@@ -410,6 +410,12 @@ const (
 	// warm-started scan; it selects the same change point as SearchExact for
 	// any worker count.
 	SearchExactParallel = changepoint.SearchExactParallel
+	// SearchExactPrefix is Algorithm 1 on the prefix-checkpointed evaluator:
+	// shared-parameter AIC ladders scored by checkpoint resumes screen the
+	// candidates down to a handful of real fits. Selection is byte-identical
+	// to SearchExact for any worker count; the pipeline's exact method uses
+	// it by default.
+	SearchExactPrefix = changepoint.SearchExactPrefix
 )
 
 // DetectChangePoint runs the selected change point search on one series. It

@@ -85,6 +85,17 @@ func TestDetectChangePointEquivalence(t *testing.T) {
 			t.Fatalf("parallel/%d selected %d, exact selected %d",
 				workers, parNew.ChangePoint, exactNew.ChangePoint)
 		}
+
+		// The prefix-checkpointed scan must reproduce the serial selection
+		// and AICs byte for byte at any worker count.
+		prefNew, err := DetectChangePoint(ctx, y, DetectOptions{Method: SearchExactPrefix, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prefNew.ChangePoint != exactNew.ChangePoint || prefNew.AIC != exactNew.AIC ||
+			prefNew.NoChangeAIC != exactNew.NoChangeAIC {
+			t.Fatalf("prefix/%d: %+v != exact %+v", workers, prefNew, exactNew)
+		}
 	}
 }
 
@@ -306,6 +317,7 @@ func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
 	for _, name := range []string{
 		"em/months_fitted", "em/iterations", "scan/series", "scan/fits",
 		"scan/candidates", "ssm/lik_evals", "ssm/starts",
+		"kalman/steady_hits", "scan/prefix_resumes",
 	} {
 		if base.Counters[name] <= 0 {
 			t.Errorf("counter %q is %d, want > 0", name, base.Counters[name])
