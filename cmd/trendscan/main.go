@@ -17,9 +17,12 @@
 //	trendscan -generate -trace out.json              (write a Perfetto-loadable span trace)
 //	trendscan -generate -explain explain/            (write decision-provenance JSON artifacts)
 //	trendscan -generate -prom localhost:9100         (serve Prometheus text metrics at /metrics)
+//	trendscan -generate -checkpoint ckpt/            (persist per-month fits; reruns reuse them)
 //
-// An interrupted run (SIGINT) still flushes its partial trace, metrics, and
-// explain artifacts before exiting.
+// Every exit path — success, interrupt, analysis error, post-analysis I/O
+// failure, -max-failures breach — flushes the same artifacts (partial trace,
+// metrics, explain provenance, checkpoint store) before the process exits,
+// and exit codes are consistent: 0 success, 1 error, 2 usage, 130 interrupt.
 package main
 
 import (
@@ -39,16 +42,92 @@ import (
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
 	"mictrend/internal/obs"
+	"mictrend/internal/serve"
 	"mictrend/internal/trend"
 )
 
 // version stamps the explain manifest so archived artifacts identify the
 // binary that produced them.
-const version = "trendscan/0.5"
+const version = "trendscan/0.6"
+
+// Exit codes, shared by every path through run.
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitUsage     = 2
+	exitInterrupt = 130 // conventional SIGINT status
+)
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trendscan: ")
+	os.Exit(run())
+}
+
+// flusher funnels every exit path through one artifact flush: whatever the
+// run accumulated — span trace, metrics JSON, explain provenance — is
+// written exactly once, and the checkpoint store is closed, no matter which
+// branch ends the process. log.Fatal is banned in run() for this reason: it
+// would exit around the flush.
+type flusher struct {
+	tracer      *obs.Tracer
+	tracePath   string
+	metricsPath string
+	metrics     *obs.Registry
+	explainDir  string
+	manifest    func(*trend.Analysis, bool) trend.Manifest
+	store       *serve.Store
+	done        bool
+}
+
+// flush writes all pending artifacts. Safe to call more than once; only the
+// first call writes.
+func (fl *flusher) flush(analysis *trend.Analysis, interrupted bool) {
+	if fl.done {
+		return
+	}
+	fl.done = true
+	if fl.tracer != nil {
+		if err := writeTrace(fl.tracePath, fl.tracer); err != nil {
+			log.Printf("warning: %v", err)
+		} else {
+			fmt.Printf("wrote trace (%d spans) to %s\n", fl.tracer.Len(), fl.tracePath)
+		}
+	}
+	if fl.metricsPath != "" {
+		if err := writeMetrics(fl.metricsPath, fl.metrics); err != nil {
+			log.Printf("warning: %v", err)
+		}
+	}
+	if fl.explainDir != "" && analysis != nil {
+		man := fl.manifest(analysis, interrupted)
+		if err := trend.WriteExplain(fl.explainDir, analysis, man); err != nil {
+			log.Printf("warning: %v", err)
+		} else {
+			fmt.Printf("wrote explain artifacts (%d series) to %s\n", len(analysis.SeriesProvenance), fl.explainDir)
+		}
+	}
+	if fl.store != nil {
+		// Every flush path is an orderly close — even an interrupted run
+		// leaves only fully committed months behind — so the next open
+		// reports a clean shutdown rather than a crash recovery.
+		if err := fl.store.MarkCleanShutdown(int64(len(fl.store.Months()))); err != nil {
+			log.Printf("warning: marking checkpoint store clean: %v", err)
+		}
+		if err := fl.store.Close(); err != nil {
+			log.Printf("warning: closing checkpoint store: %v", err)
+		}
+	}
+}
+
+// fail flushes and logs the error; run returns its result as the exit code.
+func (fl *flusher) fail(analysis *trend.Analysis, err error) int {
+	fl.flush(analysis, false)
+	log.Print(err)
+	return exitError
+}
+
+func run() int {
 	var (
 		in          = flag.String("in", "", "input corpus (.jsonl or .jsonl.gz)")
 		generate    = flag.Bool("generate", false, "generate a synthetic corpus instead of reading one")
@@ -71,6 +150,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "write the run's spans as Chrome Trace Event JSON to this file (load in Perfetto or chrome://tracing)")
 		explainDir  = flag.String("explain", "", "write decision-provenance artifacts (run manifest, per-month EM traces, per-series AIC ladders) under this directory")
 		promAddr    = flag.String("prom", "", "serve Prometheus text metrics on this address at /metrics (the -pprof mux serves it too)")
+		ckptDir     = flag.String("checkpoint", "", "durable per-month checkpoint directory: fits are persisted there and reused on reruns over the same corpus")
 	)
 	flag.Parse()
 
@@ -116,10 +196,11 @@ func main() {
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return exitError
 	}
 
 	opts := trend.DefaultOptions()
@@ -133,48 +214,41 @@ func main() {
 	case "binary":
 		opts.Method = trend.MethodBinary
 	default:
-		log.Fatalf("unknown method %q (want exact or binary)", *method)
+		log.Printf("unknown method %q (want exact or binary)", *method)
+		return exitUsage
 	}
 	opts.Metrics = metrics
 	if *progress {
 		opts.Observer = func(e obs.Event) { log.Print(e) }
 	}
-	var tracer *obs.Tracer
+	fl := &flusher{metricsPath: *metricsPath, metrics: metrics, explainDir: *explainDir}
+	defer fl.flush(nil, false) // backstop for panics and early returns
 	if *tracePath != "" {
-		tracer = obs.NewTracer()
-		opts.Trace = tracer.Observe
+		fl.tracer = obs.NewTracer()
+		fl.tracePath = *tracePath
+		opts.Trace = fl.tracer.Observe
 	}
 	opts.Explain = *explainDir != ""
-
-	// flushTelemetry writes whatever observability the run accumulated —
-	// trace, metrics JSON, explain artifacts — and runs on every exit path,
-	// so an interrupted run still hands over its partial telemetry.
-	flushTelemetry := func(analysis *trend.Analysis, interrupted bool) {
-		if tracer != nil {
-			if err := writeTrace(*tracePath, tracer); err != nil {
-				log.Printf("warning: %v", err)
-			} else {
-				fmt.Printf("wrote trace (%d spans) to %s\n", tracer.Len(), *tracePath)
-			}
+	fl.manifest = func(analysis *trend.Analysis, interrupted bool) trend.Manifest {
+		man := trend.BuildManifest(opts, analysis)
+		man.Version = version
+		man.Records = ds.NumRecords()
+		man.Interrupted = interrupted
+		if *generate {
+			man.Seed = *seed
 		}
-		if *metricsPath != "" {
-			if err := writeMetrics(*metricsPath, metrics); err != nil {
-				log.Printf("warning: %v", err)
-			}
+		return man
+	}
+	if *ckptDir != "" {
+		store, report, err := serve.Open(*ckptDir, metrics)
+		if err != nil {
+			log.Print(err)
+			return exitError
 		}
-		if *explainDir != "" && analysis != nil {
-			man := trend.BuildManifest(opts, analysis)
-			man.Version = version
-			man.Records = ds.NumRecords()
-			man.Interrupted = interrupted
-			if *generate {
-				man.Seed = *seed
-			}
-			if err := trend.WriteExplain(*explainDir, analysis, man); err != nil {
-				log.Printf("warning: %v", err)
-			} else {
-				fmt.Printf("wrote explain artifacts (%d series) to %s\n", len(analysis.SeriesProvenance), *explainDir)
-			}
+		fl.store = store
+		opts.Checkpoint = store
+		if report.Recovered() {
+			log.Printf("checkpoint store %s: %s", *ckptDir, report)
 		}
 	}
 
@@ -184,28 +258,20 @@ func main() {
 	switch {
 	case errors.Is(err, context.Canceled):
 		if analysis == nil {
-			flushTelemetry(nil, true)
-			log.Fatal("interrupted before any results were available")
+			fl.flush(nil, true)
+			log.Print("interrupted before any results were available")
+			return exitInterrupt
 		}
 		log.Print("warning: interrupted — reporting partial results")
 		interrupted = true
 	case err != nil:
-		flushTelemetry(analysis, false)
-		log.Fatal(err)
+		return fl.fail(analysis, err)
 	}
 	causes := trend.ClassifyChanges(analysis, 2)
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := analysis.Series.WriteCSV(f, ds.Diseases, ds.Medicines); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
+		if err := writeCSV(*csvPath, analysis, ds); err != nil {
+			return fl.fail(analysis, err)
 		}
 		fmt.Printf("wrote reproduced series to %s\n", *csvPath)
 	}
@@ -236,7 +302,6 @@ func main() {
 
 	fmt.Printf("\ntotal model fits: %d\n", analysis.TotalFits)
 	printStageSummary(metrics)
-	flushTelemetry(analysis, interrupted)
 	counts := map[trend.Cause]int{}
 	for _, c := range causes {
 		counts[c]++
@@ -272,12 +337,27 @@ func main() {
 			fmt.Printf("  %s\n", f)
 		}
 		if *maxFailures >= 0 && n > *maxFailures {
-			log.Fatalf("%d failures exceed -max-failures=%d", n, *maxFailures)
+			return fl.fail(analysis, fmt.Errorf("%d failures exceed -max-failures=%d", n, *maxFailures))
 		}
 	}
+	fl.flush(analysis, interrupted)
 	if interrupted {
-		os.Exit(130) // conventional SIGINT status: the report above is partial
+		return exitInterrupt // the report above is partial
 	}
+	return exitOK
+}
+
+// writeCSV dumps the reproduced prescription series for external plotting.
+func writeCSV(path string, analysis *trend.Analysis, ds *mic.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.Series.WriteCSV(f, ds.Diseases, ds.Medicines); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printStageSummary renders the per-stage wall-clock table from the

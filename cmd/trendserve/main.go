@@ -1,0 +1,157 @@
+// Command trendserve runs the crash-safe incremental trend analysis service:
+// months of MIC records are POSTed in one at a time, each fold re-runs the
+// checkpointed pipeline (reusing every committed month's fitted model from
+// the durable store), and queries always see the last complete Analysis.
+//
+// Usage:
+//
+//	trendserve -dir /var/lib/trendserve [-addr :8080]
+//
+// Ingest a month (the body is a one-month corpus in the JSONL codec):
+//
+//	curl -X POST --data-binary @month0.jsonl 'localhost:8080/v1/ingest?month=0'
+//
+// Query:
+//
+//	curl localhost:8080/v1/epoch
+//	curl 'localhost:8080/v1/detections?detected=true'
+//	curl 'localhost:8080/v1/series?key=prescription:3/7'
+//	curl localhost:8080/v1/failures
+//	curl localhost:8080/v1/recovery
+//	curl localhost:8080/metrics
+//
+// Kill -9 the process at any moment and restart it: the store recovers the
+// committed months (truncating any torn write-ahead-log tail), re-runs the
+// analysis without refitting a single committed month, and /readyz goes
+// green with byte-identical query results. SIGTERM instead drains: queued
+// ingests finish folding, a clean-shutdown marker lands in the WAL, and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mictrend/internal/obs"
+	"mictrend/internal/serve"
+	"mictrend/internal/trend"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trendserve: ")
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		dir         = flag.String("dir", "", "checkpoint directory (required; created if missing)")
+		queue       = flag.Int("queue", 8, "ingest queue depth; requests beyond it are shed with 429")
+		workers     = flag.Int("workers", 0, "pipeline worker pool (0 = GOMAXPROCS)")
+		method      = flag.String("method", "binary", "change point search: exact or binary")
+		seasonal    = flag.Bool("seasonal", true, "include the 12-month seasonal component")
+		minTotal    = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
+		retries     = flag.Int("retries", 3, "attempts per fold before a transient failure becomes terminal")
+		timeout     = flag.Duration("request-timeout", 0, "server-side deadline applied to ingest requests without their own (0 = none)")
+		drainWindow = flag.Duration("drain", time.Minute, "maximum time to drain in-flight folds on SIGTERM")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := trend.DefaultOptions()
+	opts.Seasonal = *seasonal
+	opts.MinSeriesTotal = *minTotal
+	opts.Workers = *workers
+	switch *method {
+	case "exact":
+		opts.Method = trend.MethodExact
+	case "binary":
+		opts.Method = trend.MethodBinary
+	default:
+		log.Fatalf("unknown method %q (want exact or binary)", *method)
+	}
+
+	metrics := obs.NewRegistry()
+	metrics.PublishExpvar("mictrend")
+	retry := serve.DefaultRetryPolicy()
+	retry.Attempts = *retries
+
+	core, report, err := serve.NewCore(serve.CoreOptions{
+		Dir:        *dir,
+		Trend:      opts,
+		QueueDepth: *queue,
+		Retry:      retry,
+		Metrics:    metrics,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("store %s: %s", *dir, report)
+	for _, d := range report.Dropped {
+		log.Printf("warning: dropped month %d: %s", d.Month, d.Reason)
+	}
+
+	handler := serve.NewHandler(core, serve.HandlerOptions{})
+	if *timeout > 0 {
+		handler = withDeadline(handler, *timeout)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	// SIGTERM/SIGINT triggers the graceful path: stop accepting connections,
+	// let in-flight requests finish, drain the fold queue, flush the final
+	// checkpoint state, exit 0. A second signal aborts immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Listen before serving so the resolved address is known even with
+	// ":0" (ephemeral port) — scripts and the CI smoke parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		core.Close()
+		log.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", ln.Addr())
+		errCh <- srv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errCh:
+		core.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills hard
+	log.Print("shutting down: draining in-flight folds…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("warning: http shutdown: %v", err)
+	}
+	if err := core.Close(); err != nil {
+		log.Fatalf("drain failed: %v", err)
+	}
+	log.Print("drained cleanly")
+}
+
+// withDeadline bounds every request — and therefore the fold each ingest
+// waits on — by a server-side deadline when the client set none.
+func withDeadline(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); !ok {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+)
+
+// TestCrashRecoverySmoke is the end-to-end kill-and-recover drill run in CI:
+// build the real binary, ingest two months over HTTP, SIGKILL the process at
+// a committed point, restart it on the same directory, and require /readyz
+// plus byte-identical /v1/detections. A final SIGTERM pins the graceful
+// drain path (exit 0, clean-shutdown marker honored on the next open).
+func TestCrashRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the trendserve binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "trendserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	src, _, err := micgen.Generate(micgen.Config{
+		Seed:            7,
+		Months:          2,
+		RecordsPerMonth: 120,
+		BulkDiseases:    4,
+		BulkMedicines:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(tmp, "store")
+
+	// First life: ingest both months, capture the served results.
+	srv1 := startServer(t, bin, dir)
+	for i := range src.Months {
+		postMonth(t, srv1.base, src, i)
+	}
+	if n := epochMonths(t, srv1.base); n != 2 {
+		t.Fatalf("epoch before kill serves %d months, want 2", n)
+	}
+	preDetections := queryResults(t, srv1.base)
+
+	// Crash: no drain, no shutdown marker — exactly what a power cut leaves.
+	if err := srv1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.cmd.Wait()
+
+	// Second life: recover from the directory alone.
+	srv2 := startServer(t, bin, dir)
+	waitReadyz(t, srv2.base)
+	if cleanShutdown(t, srv2.base) {
+		t.Fatal("recovery after SIGKILL claims a clean shutdown")
+	}
+	if n := epochMonths(t, srv2.base); n != 2 {
+		t.Fatalf("epoch after recovery serves %d months, want 2", n)
+	}
+	postDetections := queryResults(t, srv2.base)
+	if !bytes.Equal(preDetections, postDetections) {
+		t.Fatalf("results diverged across the crash:\npre:  %s\npost: %s",
+			preDetections, postDetections)
+	}
+
+	// Graceful exit: SIGTERM drains and the process leaves with code 0.
+	if err := srv2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM drain exited nonzero: %v", err)
+	}
+
+	// Third life: the drained store must report the clean-shutdown marker.
+	srv3 := startServer(t, bin, dir)
+	waitReadyz(t, srv3.base)
+	if !cleanShutdown(t, srv3.base) {
+		t.Fatal("recovery after SIGTERM drain is not clean")
+	}
+	srv3.cmd.Process.Kill()
+	srv3.cmd.Wait()
+}
+
+type server struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// queryResults collects the served analysis content that must be identical
+// across a crash: the detections and failures payloads, stripped of the
+// epoch sequence number (which legitimately restarts with the process).
+func queryResults(t *testing.T, base string) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, path := range []string{"/v1/detections", "/v1/failures"} {
+		var body struct {
+			Detections json.RawMessage `json:"detections"`
+			Failures   json.RawMessage `json:"failures"`
+		}
+		if err := json.Unmarshal(mustGet(t, base+path), &body); err != nil {
+			t.Fatal(err)
+		}
+		out.Write(body.Detections)
+		out.Write(body.Failures)
+	}
+	return out.Bytes()
+}
+
+func epochMonths(t *testing.T, base string) int {
+	t.Helper()
+	var e struct {
+		Months int `json:"months"`
+	}
+	if err := json.Unmarshal(mustGet(t, base+"/v1/epoch"), &e); err != nil {
+		t.Fatal(err)
+	}
+	return e.Months
+}
+
+func cleanShutdown(t *testing.T, base string) bool {
+	t.Helper()
+	var r struct {
+		CleanShutdown bool `json:"clean_shutdown"`
+	}
+	if err := json.Unmarshal(mustGet(t, base+"/v1/recovery"), &r); err != nil {
+		t.Fatal(err)
+	}
+	return r.CleanShutdown
+}
+
+// startServer launches the binary on an ephemeral port and parses the
+// resolved address from its "listening on" log line.
+func startServer(t *testing.T, bin, dir string) *server {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-dir", dir,
+		"-addr", "127.0.0.1:0",
+		"-seasonal=false",
+		"-min-total", "20",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- line[i+len("listening on "):]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &server{cmd: cmd, base: "http://" + addr}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never logged its listen address")
+		return nil
+	}
+}
+
+// postMonth sends month i of src as a standalone one-month ingest body.
+func postMonth(t *testing.T, base string, src *mic.Dataset, i int) {
+	t.Helper()
+	out := mic.NewDataset()
+	for _, code := range src.Diseases.Codes() {
+		out.Diseases.Intern(code)
+	}
+	for _, code := range src.Medicines.Codes() {
+		out.Medicines.Intern(code)
+	}
+	out.Hospitals = append(out.Hospitals, src.Hospitals...)
+	m := src.Months[i]
+	clone := &mic.Monthly{Month: 0, Records: make([]mic.Record, len(m.Records))}
+	for j := range m.Records {
+		clone.Records[j] = m.Records[j].Clone()
+	}
+	out.Months = append(out.Months, clone)
+
+	var buf bytes.Buffer
+	if err := mic.Write(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/v1/ingest?month=%d", base, i), "application/jsonl", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest month %d: %d %s", i, resp.StatusCode, body)
+	}
+}
+
+func waitReadyz(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("/readyz never went green")
+}
+
+func mustGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}

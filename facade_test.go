@@ -2,6 +2,9 @@ package mictrend
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -126,5 +129,107 @@ func TestPublicAPIConstants(t *testing.T) {
 	}
 	if CauseMedicine.String() != "medicine-derived" {
 		t.Fatal("cause aliases broken")
+	}
+}
+
+// TestPublicAPIServing drives the crash-safe serving surface through the
+// facade only: a durable checkpoint store resuming a batch analysis, and a
+// serving core folding months into immutable epoch snapshots.
+func TestPublicAPIServing(t *testing.T) {
+	corpus, _, err := GenerateCorpus(GeneratorConfig{
+		Seed:            7,
+		Months:          2,
+		RecordsPerMonth: 120,
+		BulkDiseases:    4,
+		BulkMedicines:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultAnalysisOptions()
+	opts.Seasonal = false
+	opts.Method = MethodBinary
+	opts.MinSeriesTotal = 20
+
+	// Resumable batch analysis: the second run over the same corpus reloads
+	// every committed month from the store and must be byte-identical.
+	dir := t.TempDir()
+	store, _, err := OpenCheckpointStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = store
+	first, err := AnalyzeTrendsContext(context.Background(), corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, report, err := OpenCheckpointStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Months) != corpus.T() {
+		t.Fatalf("recovered %d checkpointed months, want %d", len(report.Months), corpus.T())
+	}
+	opts.Checkpoint = store2
+	second, err := AnalyzeTrendsContext(context.Background(), corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("checkpoint-resumed analysis differs from the original")
+	}
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hash guarding a MonthCheckpoint is deterministic and nonzero.
+	if h := HashCheckpointMonth(corpus.Months[0], opts.EM); h == 0 ||
+		h != HashCheckpointMonth(corpus.Months[0], opts.EM) {
+		t.Fatal("HashCheckpointMonth is not a stable fingerprint")
+	}
+
+	// Serving core: fold one month, read it back from the epoch snapshot.
+	serveOpts := opts
+	serveOpts.Checkpoint = nil
+	core, _, err := NewServingCore(ServingOptions{Dir: t.TempDir(), Trend: serveOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.Close()
+
+	month := NewDataset()
+	for _, code := range corpus.Diseases.Codes() {
+		month.Diseases.Intern(code)
+	}
+	for _, code := range corpus.Medicines.Codes() {
+		month.Medicines.Intern(code)
+	}
+	month.Hospitals = append(month.Hospitals, corpus.Hospitals...)
+	src := corpus.Months[0]
+	clone := &Monthly{Month: 0, Records: make([]Record, len(src.Records))}
+	for i := range src.Records {
+		clone.Records[i] = src.Records[i].Clone()
+	}
+	month.Months = append(month.Months, clone)
+
+	if _, _, err := core.Ingest(context.Background(), month, 0); err != nil {
+		t.Fatal(err)
+	}
+	var epoch *ServingEpoch = core.Epoch()
+	if epoch == nil || epoch.Months != 1 {
+		t.Fatalf("epoch after one ingest: %+v", epoch)
+	}
+	// Replaying a committed month is idempotent; skipping ahead conflicts.
+	if _, _, err := core.Ingest(context.Background(), month, 0); err != nil {
+		t.Fatalf("idempotent replay: %v", err)
+	}
+	if _, _, err := core.Ingest(context.Background(), month, 5); !errors.Is(err, ErrServeMonthConflict) {
+		t.Fatalf("gap ingest = %v, want ErrServeMonthConflict", err)
+	}
+	if err := core.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

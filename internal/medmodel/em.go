@@ -51,7 +51,18 @@ type FitOptions struct {
 	// export. Off (the default) the fit loop stores only the final value and
 	// allocates no trace.
 	TraceConvergence bool
+	// InitialPrior seeds the smoothed chain's first month (PriorWeight > 0
+	// only): FitAll centers month 0's Dirichlet prior at this model instead
+	// of starting the chain cold. A checkpoint-resumed analysis passes the
+	// last reused posterior here so the continued chain is bit-identical to
+	// one that never stopped. Ignored when PriorWeight is zero.
+	InitialPrior *Model
 }
+
+// WithDefaults returns the options with the EM loop defaults filled in, the
+// exact values Fit and FitAll use; exposed so checkpoint fingerprints hash
+// the effective configuration rather than the zero values.
+func (o FitOptions) WithDefaults() FitOptions { return o.withDefaults() }
 
 func (o FitOptions) withDefaults() FitOptions {
 	if o.MaxIter <= 0 {
@@ -548,7 +559,7 @@ func fitAllSmoothed(ctx context.Context, d *mic.Dataset, opts FitOptions) ([]*Mo
 	errs := make([]error, len(d.Months))
 	panicked := make([]bool, len(d.Months))
 	ins := newFitAllInstruments(opts, len(d.Months))
-	var prev *Model
+	prev := opts.InitialPrior
 	for i, month := range d.Months {
 		if err := ctx.Err(); err != nil {
 			return models, monthErrors(errs, panicked), err

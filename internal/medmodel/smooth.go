@@ -3,6 +3,7 @@ package medmodel
 import (
 	"context"
 	"math"
+	"sort"
 
 	"mictrend/internal/mic"
 )
@@ -14,11 +15,46 @@ import (
 // month's fitted distribution with concentration PriorWeight, which
 // stabilizes sparse months without constraining months with plenty of data.
 
+// thetaEntry is one (disease, θ_rd) pair of a record's topic mixture held in
+// ascending-disease order, so every float accumulation over a record's θ runs
+// in a fixed order. Iterating the Theta map directly would sum in Go's
+// randomized map order, and float addition is not associative — two fits of
+// the same month could then differ in the last bits, which breaks the
+// byte-identical checkpoint-resume contract.
+type thetaEntry struct {
+	d  mic.DiseaseID
+	th float64
+}
+
+func sortedTheta(r *mic.Record) []thetaEntry {
+	theta := Theta(r)
+	out := make([]thetaEntry, 0, len(theta))
+	for d, th := range theta {
+		out = append(out, thetaEntry{d: d, th: th})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].d < out[b].d })
+	return out
+}
+
+// sortedRowKeys returns a φ row's medicine ids in ascending order.
+func sortedRowKeys(row map[mic.MedicineID]float64) []mic.MedicineID {
+	meds := make([]mic.MedicineID, 0, len(row))
+	for med := range row {
+		meds = append(meds, med)
+	}
+	sort.Slice(meds, func(a, b int) bool { return meds[a] < meds[b] })
+	return meds
+}
+
 // FitSmoothed fits one month with a Dirichlet prior centered at prior's φ.
 // priorWeight is the pseudo-count mass added per disease (0 disables the
 // prior and reduces to Fit). The prior also extends the support: a pair
 // absent from this month's cooccurrences but present in the prior keeps
 // probability mass, so rare pairs do not flicker in and out month to month.
+//
+// Results are deterministic: every accumulation runs in sorted key order, so
+// refitting the same month against the same prior is bit-identical — the
+// property the crash-recovery tests assert for the smoothed chain.
 func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior *Model, priorWeight float64) (*Model, error) {
 	if prior == nil || priorWeight <= 0 {
 		return Fit(month, vocabMedicines, opts)
@@ -33,6 +69,22 @@ func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior 
 	phi := cooccurrencePhi(recs)
 	blendPrior(phi, prior.Phi, priorWeight)
 
+	// Fix the iteration orders once: per-record θ ascending by disease, and
+	// the prior's rows and entries ascending by id.
+	thetas := make([][]thetaEntry, len(recs))
+	for i, r := range recs {
+		thetas[i] = sortedTheta(r)
+	}
+	priorDiseases := make([]mic.DiseaseID, 0, len(prior.Phi))
+	for d := range prior.Phi {
+		priorDiseases = append(priorDiseases, d)
+	}
+	sort.Slice(priorDiseases, func(a, b int) bool { return priorDiseases[a] < priorDiseases[b] })
+	priorMeds := make([][]mic.MedicineID, len(priorDiseases))
+	for i, d := range priorDiseases {
+		priorMeds[i] = sortedRowKeys(prior.Phi[d])
+	}
+
 	model := &Model{
 		Eta: EstimateEta(month),
 		Phi: phi,
@@ -43,46 +95,47 @@ func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior 
 		next := make(map[mic.DiseaseID]map[mic.MedicineID]float64, len(phi))
 		rowSums := make(map[mic.DiseaseID]float64, len(phi))
 		// E/M accumulation as in Fit…
-		for _, r := range recs {
-			theta := Theta(r)
+		for ri, r := range recs {
+			theta := thetas[ri]
 			for _, med := range r.Medicines {
 				var denom float64
-				for d, th := range theta {
-					if row, ok := phi[d]; ok {
-						denom += th * row[med]
+				for _, e := range theta {
+					if row, ok := phi[e.d]; ok {
+						denom += e.th * row[med]
 					}
 				}
 				if denom <= 0 {
 					continue
 				}
-				for d, th := range theta {
-					row, ok := phi[d]
+				for _, e := range theta {
+					row, ok := phi[e.d]
 					if !ok {
 						continue
 					}
-					q := th * row[med] / denom
+					q := e.th * row[med] / denom
 					if q == 0 {
 						continue
 					}
-					nrow, ok := next[d]
+					nrow, ok := next[e.d]
 					if !ok {
 						nrow = make(map[mic.MedicineID]float64)
-						next[d] = nrow
+						next[e.d] = nrow
 					}
 					nrow[med] += q
-					rowSums[d] += q
+					rowSums[e.d] += q
 				}
 			}
 		}
 		// …plus the MAP step: add priorWeight·φ_prev as pseudo-counts.
-		for d, prow := range prior.Phi {
+		for i, d := range priorDiseases {
+			prow := prior.Phi[d]
 			nrow, ok := next[d]
 			if !ok {
 				nrow = make(map[mic.MedicineID]float64)
 				next[d] = nrow
 			}
-			for med, p := range prow {
-				add := priorWeight * p
+			for _, med := range priorMeds[i] {
+				add := priorWeight * prow[med]
 				nrow[med] += add
 				rowSums[d] += add
 			}
@@ -101,7 +154,7 @@ func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior 
 		model.Phi = phi
 		model.Iterations = iter + 1
 
-		ll := logLikelihood(recs, phi)
+		ll := logLikelihoodSorted(recs, thetas, phi)
 		model.LogLik = ll
 		if opts.TraceConvergence {
 			model.LogLikTrace = append(model.LogLikTrace, ll)
@@ -121,6 +174,29 @@ func FitSmoothed(month *mic.Monthly, vocabMedicines int, opts FitOptions, prior 
 		prevLL = ll
 	}
 	return model, nil
+}
+
+// logLikelihoodSorted is logLikelihood with the per-record θ already fixed in
+// sorted order, keeping the convergence checks (and thus the stopping
+// iteration) deterministic.
+func logLikelihoodSorted(recs []*mic.Record, thetas [][]thetaEntry, phi map[mic.DiseaseID]map[mic.MedicineID]float64) float64 {
+	var ll float64
+	for ri, r := range recs {
+		theta := thetas[ri]
+		for _, med := range r.Medicines {
+			var p float64
+			for _, e := range theta {
+				if row, ok := phi[e.d]; ok {
+					p += e.th * row[med]
+				}
+			}
+			if p <= 0 {
+				p = math.SmallestNonzeroFloat64
+			}
+			ll += math.Log(p)
+		}
+	}
+	return ll
 }
 
 // FitAllSmoothed fits one model per month, chaining each month's prior to
@@ -150,23 +226,31 @@ func FitAllSmoothed(ctx context.Context, d *mic.Dataset, opts FitOptions, priorW
 	return models, nil
 }
 
-// blendPrior mixes prior rows into phi so the EM support covers both.
+// blendPrior mixes prior rows into phi so the EM support covers both. Both
+// the pseudo-count additions and the renormalizing sum run in ascending key
+// order so the blend is bit-deterministic.
 func blendPrior(phi, prior map[mic.DiseaseID]map[mic.MedicineID]float64, weight float64) {
 	// Normalize the blend as (counts-model): current rows are distributions;
 	// treat the prior as weight pseudo-observations against 1 unit of the
 	// cooccurrence distribution, then re-normalize.
-	for d, prow := range prior {
+	diseases := make([]mic.DiseaseID, 0, len(prior))
+	for d := range prior {
+		diseases = append(diseases, d)
+	}
+	sort.Slice(diseases, func(a, b int) bool { return diseases[a] < diseases[b] })
+	for _, d := range diseases {
+		prow := prior[d]
 		row, ok := phi[d]
 		if !ok {
 			row = make(map[mic.MedicineID]float64)
 			phi[d] = row
 		}
-		for med, p := range prow {
-			row[med] += weight * p
+		for _, med := range sortedRowKeys(prow) {
+			row[med] += weight * prow[med]
 		}
 		var sum float64
-		for _, v := range row {
-			sum += v
+		for _, med := range sortedRowKeys(row) {
+			sum += row[med]
 		}
 		if sum > 0 {
 			for med := range row {

@@ -1,0 +1,372 @@
+// Package serve is the crash-safe incremental serving substrate: a durable
+// on-disk checkpoint store for per-month pipeline state (store.go), an
+// epoch-snapshot scheme giving concurrent readers the last complete Analysis
+// while the next month folds in (core.go), retry/backoff classification for
+// transient stage failures (retry.go), and the HTTP surface cmd/trendserve
+// mounts (http.go).
+//
+// Durability protocol, in one paragraph: every month's state (raw records,
+// vocabulary snapshot, fitted model or recorded degradation) is encoded into
+// one self-checksummed file written as write-tmp → fsync → rename, and only
+// then referenced by an appended, CRC-framed record in a small manifest WAL
+// (also fsynced). A month is committed iff its WAL record and its file both
+// verify; recovery truncates a torn WAL tail, drops months whose files fail
+// their checksum, and reports everything it discarded in a structured
+// RecoveryReport. Re-analysis from committed months is deterministic, so a
+// process killed at any point between stage boundaries recovers to an
+// Analysis byte-identical to one that never crashed.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/trend"
+)
+
+// ErrCorrupt marks a checkpoint artifact that failed structural or checksum
+// verification; recovery converts it into a dropped-month report entry.
+var ErrCorrupt = errors.New("serve: corrupt checkpoint")
+
+// monthState is the full durable state of one committed month.
+type monthState struct {
+	Month    int
+	DataHash uint64
+
+	// HasRecords: the raw (unfiltered) month plus the vocabulary/hospital
+	// snapshot at commit time, enough to rebuild the serving dataset with no
+	// external corpus. Batch checkpoints (trendscan -checkpoint) omit it —
+	// their corpus is already on disk.
+	HasRecords bool
+	Records    *mic.Monthly
+	Diseases   []string
+	Medicines  []string
+	Hospitals  []mic.Hospital
+
+	// Model/Failure mirror trend.MonthCheckpoint: exactly one is set once
+	// the month's model stage has run.
+	Model   *medmodel.Model
+	Failure *trend.Failure
+}
+
+const (
+	monthMagic = "MTC1"
+
+	flagRecords = 1 << 0
+	flagModel   = 1 << 1
+	flagFailed  = 1 << 2
+)
+
+// enc is a little-endian append-only encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) uv(v uint64)   { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.uv(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// dec is the matching sticky-error decoder: after the first failure every
+// accessor returns zero values, and err() reports what went wrong.
+type dec struct {
+	b   []byte
+	off int
+	bad error
+}
+
+func (d *dec) fail(what string) {
+	if d.bad == nil {
+		d.bad = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *dec) err() error { return d.bad }
+
+func (d *dec) u32() uint32 {
+	if d.bad != nil || d.off+4 > len(d.b) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.bad != nil || d.off+8 > len(d.b) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) uv() uint64 {
+	if d.bad != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// length reads a uvarint count and sanity-bounds it by the bytes remaining,
+// so a corrupt length cannot drive a giant allocation.
+func (d *dec) length(what string) int {
+	n := d.uv()
+	if d.bad == nil && n > uint64(len(d.b)-d.off) {
+		d.bad = fmt.Errorf("%w: %s count %d exceeds remaining %d bytes", ErrCorrupt, what, n, len(d.b)-d.off)
+	}
+	if d.bad != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) str() string {
+	n := d.length("string")
+	if d.bad != nil || d.off+n > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) bool() bool {
+	if d.bad != nil || d.off >= len(d.b) {
+		d.fail("bool")
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+// encodeMonth serializes a month state (checksum excluded; the store frames
+// and checksums the payload).
+func encodeMonth(st *monthState) []byte {
+	e := &enc{b: make([]byte, 0, 1024)}
+	e.b = append(e.b, monthMagic...)
+	var flags uint32
+	if st.HasRecords {
+		flags |= flagRecords
+	}
+	if st.Model != nil {
+		flags |= flagModel
+	}
+	if st.Failure != nil {
+		flags |= flagFailed
+	}
+	e.u32(flags)
+	e.u32(uint32(st.Month))
+	e.u64(st.DataHash)
+	if st.HasRecords {
+		encodeStrings(e, st.Diseases)
+		encodeStrings(e, st.Medicines)
+		e.uv(uint64(len(st.Hospitals)))
+		for _, h := range st.Hospitals {
+			e.str(h.Code)
+			e.str(h.City)
+			e.uv(uint64(h.Beds))
+		}
+		e.uv(uint64(len(st.Records.Records)))
+		for i := range st.Records.Records {
+			r := &st.Records.Records[i]
+			e.u32(uint32(r.Hospital))
+			e.u32(uint32(r.Patient))
+			e.uv(uint64(len(r.Diseases)))
+			for _, dc := range r.Diseases {
+				e.uv(uint64(uint32(dc.Disease)))
+				e.uv(uint64(dc.Count))
+			}
+			e.uv(uint64(len(r.Medicines)))
+			for _, m := range r.Medicines {
+				e.uv(uint64(uint32(m)))
+			}
+		}
+	}
+	if st.Failure != nil {
+		e.str(st.Failure.Err)
+		e.bool(st.Failure.Panicked)
+	}
+	if st.Model != nil {
+		encodeModel(e, st.Model)
+	}
+	return e.b
+}
+
+func encodeStrings(e *enc, ss []string) {
+	e.uv(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+// encodeModel writes the fitted model with exact float64 bit patterns, map
+// keys in sorted order so the encoding is canonical: the same model always
+// produces the same bytes, and a decoded model reproduces the same series
+// bit for bit.
+func encodeModel(e *enc, m *medmodel.Model) {
+	e.uv(uint64(m.M))
+	e.f64(m.LogLik)
+	e.uv(uint64(m.Iterations))
+	e.uv(uint64(len(m.LogLikTrace)))
+	for _, v := range m.LogLikTrace {
+		e.f64(v)
+	}
+	eta := make([]mic.DiseaseID, 0, len(m.Eta))
+	for d := range m.Eta {
+		eta = append(eta, d)
+	}
+	sortDiseaseIDs(eta)
+	e.uv(uint64(len(eta)))
+	for _, d := range eta {
+		e.uv(uint64(uint32(d)))
+		e.f64(m.Eta[d])
+	}
+	rows := make([]mic.DiseaseID, 0, len(m.Phi))
+	for d := range m.Phi {
+		rows = append(rows, d)
+	}
+	sortDiseaseIDs(rows)
+	e.uv(uint64(len(rows)))
+	for _, d := range rows {
+		row := m.Phi[d]
+		meds := make([]mic.MedicineID, 0, len(row))
+		for med := range row {
+			meds = append(meds, med)
+		}
+		sortMedicineIDs(meds)
+		e.uv(uint64(uint32(d)))
+		e.uv(uint64(len(meds)))
+		for _, med := range meds {
+			e.uv(uint64(uint32(med)))
+			e.f64(row[med])
+		}
+	}
+}
+
+// decodeMonth parses an encoded month state payload.
+func decodeMonth(b []byte) (*monthState, error) {
+	if len(b) < len(monthMagic) || string(b[:len(monthMagic)]) != monthMagic {
+		return nil, fmt.Errorf("%w: bad month magic", ErrCorrupt)
+	}
+	d := &dec{b: b, off: len(monthMagic)}
+	flags := d.u32()
+	st := &monthState{Month: int(d.u32()), DataHash: d.u64()}
+	if flags&flagRecords != 0 {
+		st.HasRecords = true
+		st.Diseases = decodeStrings(d)
+		st.Medicines = decodeStrings(d)
+		nh := d.length("hospitals")
+		for i := 0; i < nh && d.err() == nil; i++ {
+			st.Hospitals = append(st.Hospitals, mic.Hospital{
+				Code: d.str(), City: d.str(), Beds: int(d.uv()),
+			})
+		}
+		st.Records = &mic.Monthly{Month: st.Month}
+		nr := d.length("records")
+		for i := 0; i < nr && d.err() == nil; i++ {
+			r := mic.Record{
+				Hospital: mic.HospitalID(int32(d.u32())),
+				Patient:  int32(d.u32()),
+			}
+			nd := d.length("diseases")
+			for j := 0; j < nd && d.err() == nil; j++ {
+				r.Diseases = append(r.Diseases, mic.DiseaseCount{
+					Disease: mic.DiseaseID(int32(uint32(d.uv()))),
+					Count:   int(d.uv()),
+				})
+			}
+			nm := d.length("medicines")
+			for j := 0; j < nm && d.err() == nil; j++ {
+				r.Medicines = append(r.Medicines, mic.MedicineID(int32(uint32(d.uv()))))
+			}
+			st.Records.Records = append(st.Records.Records, r)
+		}
+	}
+	if flags&flagFailed != 0 {
+		st.Failure = &trend.Failure{
+			Stage: trend.StageModel, Month: st.Month,
+			Err: d.str(), Panicked: d.bool(),
+		}
+	}
+	if flags&flagModel != 0 {
+		st.Model = decodeModel(d)
+	}
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after month payload", ErrCorrupt, len(b)-d.off)
+	}
+	return st, nil
+}
+
+func decodeStrings(d *dec) []string {
+	n := d.length("strings")
+	var out []string
+	for i := 0; i < n && d.err() == nil; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+func decodeModel(d *dec) *medmodel.Model {
+	m := &medmodel.Model{M: int(d.uv()), LogLik: d.f64(), Iterations: int(d.uv())}
+	nt := d.length("loglik trace")
+	for i := 0; i < nt && d.err() == nil; i++ {
+		m.LogLikTrace = append(m.LogLikTrace, d.f64())
+	}
+	ne := d.length("eta")
+	m.Eta = make(map[mic.DiseaseID]float64, ne)
+	for i := 0; i < ne && d.err() == nil; i++ {
+		id := mic.DiseaseID(int32(uint32(d.uv())))
+		m.Eta[id] = d.f64()
+	}
+	nr := d.length("phi rows")
+	m.Phi = make(map[mic.DiseaseID]map[mic.MedicineID]float64, nr)
+	for i := 0; i < nr && d.err() == nil; i++ {
+		id := mic.DiseaseID(int32(uint32(d.uv())))
+		nm := d.length("phi row")
+		row := make(map[mic.MedicineID]float64, nm)
+		for j := 0; j < nm && d.err() == nil; j++ {
+			med := mic.MedicineID(int32(uint32(d.uv())))
+			row[med] = d.f64()
+		}
+		m.Phi[id] = row
+	}
+	return m
+}
+
+func sortDiseaseIDs(ids []mic.DiseaseID) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}
+
+func sortMedicineIDs(ids []mic.MedicineID) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}

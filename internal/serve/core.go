@@ -1,0 +1,480 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/mic"
+	"mictrend/internal/obs"
+	"mictrend/internal/trend"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrOverloaded means the bounded ingest queue is full; the caller should
+	// back off and retry (429 + Retry-After).
+	ErrOverloaded = errors.New("serve: ingest queue full")
+	// ErrClosing means the core is draining for shutdown and accepts no new
+	// work (503).
+	ErrClosing = errors.New("serve: shutting down")
+	// ErrMonthConflict means the request named a month index that does not
+	// match the fold position — a gap, or a replay whose data differs from
+	// what that month already committed (409).
+	ErrMonthConflict = errors.New("serve: month conflict")
+	// ErrPoisoned means a fold crashed (panicked) mid-commit: the store
+	// handle can no longer be trusted (a torn WAL frame may sit under the
+	// append position), so the core refuses all further work. Restart the
+	// process — recovery rolls the store back to its last consistent prefix.
+	ErrPoisoned = errors.New("serve: core poisoned by a crashed fold; restart to recover")
+)
+
+// Epoch is one immutable published snapshot: the Analysis over the first
+// Months months of the corpus, visible to every reader until the next month
+// finishes folding in and the core swaps the pointer. Readers never see a
+// partially folded month — they hold whichever Epoch was current when they
+// asked, fields and all.
+type Epoch struct {
+	// Seq increments with every publication; 1 is the recovery (or empty)
+	// epoch published at startup.
+	Seq int64
+	// Months is how many months the Analysis covers (0 for the empty epoch).
+	Months int
+	// Analysis is the complete pipeline output; nil only in the empty epoch
+	// of a store with no committed months.
+	Analysis *trend.Analysis
+	// DiseaseCodes and MedicineCodes snapshot the vocabularies at publish
+	// time, in id order, so readers can render codes without touching the
+	// fold goroutine's live (growing) vocab.
+	DiseaseCodes  []string
+	MedicineCodes []string
+}
+
+// CoreOptions configures NewCore.
+type CoreOptions struct {
+	// Dir is the checkpoint directory (required).
+	Dir string
+	// Trend configures the analysis pipeline. Its Checkpoint field is
+	// overwritten with the core's store; Metrics defaults to the core's
+	// registry when unset.
+	Trend trend.Options
+	// QueueDepth bounds the ingest queue; ingests beyond it are shed with
+	// ErrOverloaded. Default 8.
+	QueueDepth int
+	// Retry schedules re-attempts of transiently failed folds. Zero value
+	// means DefaultRetryPolicy.
+	Retry RetryPolicy
+	// Metrics receives the serving counters (serve/recoveries, serve/retries,
+	// serve/shed_total) and the serve/epoch gauge; nil allocates a private
+	// registry.
+	Metrics *obs.Registry
+}
+
+// Core is the crash-safe incremental serving engine: a single fold goroutine
+// owns the dataset and drains a bounded queue of ingested months, running
+// the checkpointed pipeline once per month and publishing each completed
+// Analysis as a new Epoch. Concurrent readers use Epoch()'s copy-on-write
+// snapshot; ingest is synchronous (the caller waits for its month's fold,
+// bounded by its context's deadline).
+type Core struct {
+	store   *Store
+	report  *RecoveryReport
+	opts    CoreOptions
+	metrics *obs.Registry
+
+	epoch    atomic.Pointer[Epoch]
+	queue    chan *foldTask
+	done     chan struct{}
+	poisoned atomic.Bool
+
+	mu      sync.Mutex
+	closing bool
+
+	ds *mic.Dataset // owned by the fold goroutine after NewCore returns
+}
+
+type foldTask struct {
+	month *mic.Dataset // one-month dataset to merge and fold
+	want  int          // asserted month index, -1 for "next"
+	ctx   context.Context
+	reply chan foldResult
+}
+
+type foldResult struct {
+	month int
+	epoch int64
+	err   error
+}
+
+// NewCore opens (and repairs) the store under opts.Dir, rebuilds the corpus
+// from the committed contiguous prefix, starts the fold loop, and schedules
+// the recovery analysis as the loop's first unit of work. It returns before
+// that analysis finishes; Ready() flips once the first epoch publishes, and
+// the returned RecoveryReport says what restoration found.
+func NewCore(opts CoreOptions) (*Core, *RecoveryReport, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 8
+	}
+	if opts.Retry.Attempts == 0 {
+		opts.Retry = DefaultRetryPolicy()
+	}
+	store, rep, err := Open(opts.Dir, opts.Metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, unservable := store.RebuildDataset()
+	for _, u := range unservable {
+		rep.Dropped = append(rep.Dropped, DroppedMonth{Month: u.Month, Reason: "unservable: " + u.Reason})
+	}
+	opts.Trend.Checkpoint = store
+	if opts.Trend.Metrics == nil {
+		opts.Trend.Metrics = opts.Metrics
+	}
+	c := &Core{
+		store:   store,
+		report:  rep,
+		opts:    opts,
+		metrics: opts.Metrics,
+		queue:   make(chan *foldTask, opts.QueueDepth),
+		done:    make(chan struct{}),
+		ds:      ds,
+	}
+	go c.foldLoop()
+	return c, rep, nil
+}
+
+// Epoch returns the current published snapshot (nil until the recovery
+// analysis publishes the first one).
+func (c *Core) Epoch() *Epoch { return c.epoch.Load() }
+
+// Ready reports whether the first epoch has been published — the /readyz
+// condition.
+func (c *Core) Ready() bool { return c.epoch.Load() != nil }
+
+// Report returns the recovery report from startup.
+func (c *Core) Report() *RecoveryReport { return c.report }
+
+// Months returns the number of folded months in the current epoch (0 before
+// the first publication).
+func (c *Core) Months() int {
+	if e := c.epoch.Load(); e != nil {
+		return e.Months
+	}
+	return 0
+}
+
+// Ingest merges one month of records — a single-month dataset, typically
+// parsed from the JSONL codec — into the corpus, folds it through the
+// checkpointed pipeline, and returns the month index it landed at along
+// with the epoch that now includes it. want ≥ 0 asserts the month index:
+// a mismatched assertion fails with ErrMonthConflict, except a replay of an
+// already-committed month with identical records, which succeeds idempotently
+// (at-least-once ingest). The call blocks until the fold completes; ctx's
+// deadline bounds both the queue wait and the fold itself. When the queue is
+// full the ingest is shed immediately with ErrOverloaded.
+func (c *Core) Ingest(ctx context.Context, month *mic.Dataset, want int) (int, int64, error) {
+	if month.T() != 1 {
+		return 0, 0, fmt.Errorf("serve: ingest needs exactly one month, got %d", month.T())
+	}
+	if c.poisoned.Load() {
+		return 0, 0, ErrPoisoned
+	}
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return 0, 0, ErrClosing
+	}
+	task := &foldTask{month: month, want: want, ctx: ctx, reply: make(chan foldResult, 1)}
+	select {
+	case c.queue <- task:
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+		c.metrics.Counter("serve/shed_total").Inc()
+		return 0, 0, ErrOverloaded
+	}
+	select {
+	case res := <-task.reply:
+		return res.month, res.epoch, res.err
+	case <-ctx.Done():
+		// The fold may still complete and publish; the caller just stopped
+		// waiting. At-least-once semantics let it re-assert the month later.
+		return 0, 0, ctx.Err()
+	}
+}
+
+// Close drains gracefully: no new ingests are accepted, every task already
+// queued folds to completion, a final clean-shutdown marker lands in the
+// WAL, and the store closes. Safe to call more than once.
+func (c *Core) Close() error {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closing = true
+	c.mu.Unlock()
+	close(c.queue)
+	<-c.done
+	var err error
+	if c.poisoned.Load() {
+		// No clean-shutdown marker: a torn frame may sit under the WAL's
+		// append position, and writing after it would corrupt the log. The
+		// next Open truncates and recovers instead.
+		err = ErrPoisoned
+	} else {
+		var seq int64
+		if e := c.epoch.Load(); e != nil {
+			seq = e.Seq
+		}
+		err = c.store.MarkCleanShutdown(seq)
+	}
+	if cerr := c.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// foldLoop is the single goroutine that owns c.ds: it publishes the recovery
+// epoch, then folds queued months one at a time until Close drains it.
+func (c *Core) foldLoop() {
+	defer close(c.done)
+	c.recoverEpoch()
+	for task := range c.queue {
+		task.reply <- c.safeFold(task)
+	}
+}
+
+// recoverEpoch runs the startup recovery analysis with the same panic
+// containment as safeFold: a crash while re-analyzing the restored corpus
+// poisons the core (readyz stays red, every ingest refused) instead of
+// killing the process with the WAL handle open.
+func (c *Core) recoverEpoch() {
+	defer func() {
+		if r := recover(); r != nil {
+			c.poisoned.Store(true)
+			c.metrics.Counter("serve/recovery_analysis_failures").Inc()
+		}
+	}()
+	c.publishRecoveryEpoch()
+}
+
+// safeFold contains a fold panic: the real process would crash here (and
+// recovery would repair the store at the next start); in-process we poison
+// the core instead, which refuses all further work and skips the
+// clean-shutdown marker, leaving the directory exactly as a SIGKILL would.
+// This is also what makes every injected crash site testable without
+// spawning processes.
+func (c *Core) safeFold(task *foldTask) (res foldResult) {
+	if c.poisoned.Load() {
+		return foldResult{err: ErrPoisoned}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.poisoned.Store(true)
+			res = foldResult{err: fmt.Errorf("%w: %v", ErrPoisoned, r)}
+		}
+	}()
+	return c.fold(task)
+}
+
+// publishRecoveryEpoch analyzes the recovered corpus (reusing every
+// committed model via the checkpointer) and publishes epoch 1. An empty
+// store publishes an empty epoch immediately; a recovered corpus whose
+// analysis fails terminally leaves the core unready — the operator sees
+// /readyz stay red and the failure in the log.
+func (c *Core) publishRecoveryEpoch() {
+	if c.ds.T() == 0 {
+		c.publish(&Epoch{Months: 0})
+		return
+	}
+	analysis, err := c.analyze(context.Background())
+	if err != nil {
+		// Keep serving nothing rather than something wrong. The next
+		// successful ingest will re-run the full analysis and publish.
+		c.metrics.Counter("serve/recovery_analysis_failures").Inc()
+		return
+	}
+	c.publish(&Epoch{Months: c.ds.T(), Analysis: analysis})
+}
+
+func (c *Core) publish(e *Epoch) {
+	var seq int64 = 1
+	if cur := c.epoch.Load(); cur != nil {
+		seq = cur.Seq + 1
+	}
+	e.Seq = seq
+	e.DiseaseCodes = c.ds.Diseases.Codes()
+	e.MedicineCodes = c.ds.Medicines.Codes()
+	c.epoch.Store(e)
+	c.metrics.Gauge("serve/epoch").Set(seq)
+	c.metrics.Gauge("serve/months").Set(int64(e.Months))
+}
+
+// fold merges one ingested month into the corpus and re-runs the
+// checkpointed analysis. Every month already committed is reloaded from the
+// store, so the incremental cost is one month's fit plus detection. On
+// terminal failure the merge is unwound and the previous epoch remains
+// current — a failed fold is invisible to readers.
+func (c *Core) fold(task *foldTask) foldResult {
+	next := c.ds.T()
+	if task.want >= 0 && task.want != next {
+		if task.want < next {
+			return c.replay(task)
+		}
+		return foldResult{err: fmt.Errorf("%w: asserted month %d, next is %d", ErrMonthConflict, task.want, next)}
+	}
+
+	monthly := c.mergeMonth(task.month, next)
+	c.store.StageMonth(next, monthly, c.ds.Diseases.Codes(), c.ds.Medicines.Codes(), c.ds.Hospitals)
+
+	// The request's deadline — not its cancellation — bounds the fold: a
+	// client that gives up must not abort a fit that is about to commit
+	// durable state (the reply just goes unread).
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if dl, ok := task.ctx.Deadline(); ok {
+		ctx, cancel = context.WithDeadline(ctx, dl)
+	}
+	defer cancel()
+
+	var analysis *trend.Analysis
+	_, err := c.opts.Retry.Do(ctx, func() error {
+		if err := faultpoint.Inject("serve/fold", monthFile(next)); err != nil {
+			return MarkTransient(err) // injected infra faults model retryable I/O
+		}
+		var aerr error
+		analysis, aerr = c.analyze(ctx)
+		return aerr
+	}, func(_ int, _ error) {
+		c.metrics.Counter("serve/retries").Inc()
+	})
+	if err != nil {
+		// Unwind: drop the appended month so the dataset matches the last
+		// epoch again. Interned vocabulary entries stay — they are harmless
+		// supersets — but the staged records must not leak into a later save.
+		c.ds.Months = c.ds.Months[:next]
+		c.store.Unstage(next)
+		return foldResult{err: err}
+	}
+	e := &Epoch{Months: c.ds.T(), Analysis: analysis}
+	c.publish(e)
+	return foldResult{month: next, epoch: e.Seq}
+}
+
+// replay handles an asserted month that is already committed: identical
+// records succeed idempotently with the current epoch, different records
+// conflict.
+func (c *Core) replay(task *foldTask) foldResult {
+	existing := c.ds.Months[task.want]
+	incoming := c.remapMonth(task.month, task.want)
+	if !monthliesEqual(existing, incoming) {
+		return foldResult{err: fmt.Errorf("%w: month %d already committed with different records", ErrMonthConflict, task.want)}
+	}
+	e := c.epoch.Load()
+	var seq int64
+	if e != nil {
+		seq = e.Seq
+	}
+	return foldResult{month: task.want, epoch: seq}
+}
+
+// mergeMonth interns the incoming month's vocabulary and hospitals into the
+// corpus, remaps its records, and appends it as month index at.
+func (c *Core) mergeMonth(in *mic.Dataset, at int) *mic.Monthly {
+	monthly := c.remapMonth(in, at)
+	c.ds.Months = append(c.ds.Months, monthly)
+	return monthly
+}
+
+// remapMonth translates the single month of in into the serving corpus's id
+// space, interning any new disease/medicine codes and appending any new
+// hospitals (matched by code).
+func (c *Core) remapMonth(in *mic.Dataset, at int) *mic.Monthly {
+	dmap := make([]mic.DiseaseID, in.Diseases.Len())
+	for i := range dmap {
+		dmap[i] = mic.DiseaseID(c.ds.Diseases.Intern(in.Diseases.Code(int32(i))))
+	}
+	mmap := make([]mic.MedicineID, in.Medicines.Len())
+	for i := range mmap {
+		mmap[i] = mic.MedicineID(c.ds.Medicines.Intern(in.Medicines.Code(int32(i))))
+	}
+	hmap := make([]mic.HospitalID, len(in.Hospitals))
+	byCode := make(map[string]mic.HospitalID, len(c.ds.Hospitals))
+	for i, h := range c.ds.Hospitals {
+		byCode[h.Code] = mic.HospitalID(i)
+	}
+	for i, h := range in.Hospitals {
+		id, ok := byCode[h.Code]
+		if !ok {
+			id = c.ds.AddHospital(h)
+			byCode[h.Code] = id
+		}
+		hmap[i] = id
+	}
+	src := in.Months[0]
+	out := &mic.Monthly{Month: at, Records: make([]mic.Record, len(src.Records))}
+	for i := range src.Records {
+		r := &src.Records[i]
+		nr := mic.Record{Patient: r.Patient}
+		if int(r.Hospital) < len(hmap) {
+			nr.Hospital = hmap[r.Hospital]
+		}
+		nr.Diseases = make([]mic.DiseaseCount, len(r.Diseases))
+		for j, dc := range r.Diseases {
+			nr.Diseases[j] = mic.DiseaseCount{Disease: dmap[dc.Disease], Count: dc.Count}
+		}
+		nr.Medicines = make([]mic.MedicineID, len(r.Medicines))
+		for j, m := range r.Medicines {
+			nr.Medicines[j] = mmap[m]
+		}
+		out.Records[i] = nr
+	}
+	return out
+}
+
+// analyze runs the checkpointed pipeline over the whole corpus, wrapping
+// infrastructure errors (checkpoint commits, injected faults) as transient
+// so the retry policy covers them; pipeline-semantic errors (empty corpus,
+// context expiry) stay terminal.
+func (c *Core) analyze(ctx context.Context) (*trend.Analysis, error) {
+	analysis, err := trend.Analyze(ctx, c.ds, c.opts.Trend)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, mic.ErrEmptyDataset) {
+			return nil, err
+		}
+		return nil, MarkTransient(err)
+	}
+	return analysis, nil
+}
+
+func monthliesEqual(a, b *mic.Monthly) bool {
+	if len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		ra, rb := &a.Records[i], &b.Records[i]
+		if ra.Hospital != rb.Hospital || ra.Patient != rb.Patient ||
+			len(ra.Diseases) != len(rb.Diseases) || len(ra.Medicines) != len(rb.Medicines) {
+			return false
+		}
+		for j := range ra.Diseases {
+			if ra.Diseases[j] != rb.Diseases[j] {
+				return false
+			}
+		}
+		for j := range ra.Medicines {
+			if ra.Medicines[j] != rb.Medicines[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

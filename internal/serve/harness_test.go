@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/obs"
+	"mictrend/internal/trend"
+)
+
+// genServeCorpus returns a small deterministic corpus for serving tests.
+func genServeCorpus(t *testing.T, months int) *mic.Dataset {
+	t.Helper()
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed:            7,
+		Months:          months,
+		RecordsPerMonth: 120,
+		BulkDiseases:    4,
+		BulkMedicines:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// monthSlice packages month i of src as a standalone one-month dataset — the
+// shape HTTP ingest delivers: its own vocabulary (src's codes, so the remap
+// into the serving corpus is the identity), the hospital table, and cloned
+// records.
+func monthSlice(t *testing.T, src *mic.Dataset, i int) *mic.Dataset {
+	t.Helper()
+	out := mic.NewDataset()
+	for _, code := range src.Diseases.Codes() {
+		out.Diseases.Intern(code)
+	}
+	for _, code := range src.Medicines.Codes() {
+		out.Medicines.Intern(code)
+	}
+	out.Hospitals = append(out.Hospitals, src.Hospitals...)
+	m := src.Months[i]
+	clone := &mic.Monthly{Month: 0, Records: make([]mic.Record, len(m.Records))}
+	for j := range m.Records {
+		clone.Records[j] = m.Records[j].Clone()
+	}
+	out.Months = append(out.Months, clone)
+	return out
+}
+
+// servingTrendOptions is the pipeline configuration every serving test uses,
+// kept cheap: binary search, no seasonal model, a high series floor.
+func servingTrendOptions() trend.Options {
+	opts := trend.DefaultOptions()
+	opts.Method = trend.MethodBinary
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 20
+	opts.Workers = 2
+	return opts
+}
+
+func newTestCore(t *testing.T, dir string) (*Core, *RecoveryReport, *obs.Registry) {
+	t.Helper()
+	metrics := obs.NewRegistry()
+	c, rep, err := NewCore(CoreOptions{Dir: dir, Trend: servingTrendOptions(), Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, rep, metrics
+}
+
+// waitReady polls until the core publishes its first epoch.
+func waitReady(t *testing.T, c *Core) *Epoch {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if e := c.Epoch(); e != nil {
+			return e
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("core never published its first epoch")
+	return nil
+}
+
+// ingestRange folds months [from, to) of src into the core, asserting each
+// month index.
+func ingestRange(t *testing.T, c *Core, src *mic.Dataset, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if _, _, err := c.Ingest(context.Background(), monthSlice(t, src, i), i); err != nil {
+			t.Fatalf("ingest month %d: %v", i, err)
+		}
+	}
+}
+
+// controlAnalysis runs the plain, uncheckpointed pipeline over the first n
+// months of src — the byte-identity reference every serving path must match.
+func controlAnalysis(t *testing.T, src *mic.Dataset, n int) *trend.Analysis {
+	t.Helper()
+	sub := &mic.Dataset{Diseases: src.Diseases, Medicines: src.Medicines, Hospitals: src.Hospitals}
+	sub.Months = append(sub.Months, src.Months[:n]...)
+	a, err := trend.Analyze(context.Background(), sub, servingTrendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

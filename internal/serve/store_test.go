@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/obs"
+	"mictrend/internal/trend"
+)
+
+// openStore opens the store with a private registry, failing the test on
+// error.
+func openStore(t *testing.T, dir string) (*Store, *RecoveryReport) {
+	t.Helper()
+	s, rep, err := Open(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rep
+}
+
+// commitMonth stages month i of src and commits it with a freshly fitted
+// model, the exact sequence the serving core performs.
+func commitMonth(t *testing.T, s *Store, src *mic.Dataset, i int) {
+	t.Helper()
+	model, err := medmodel.Fit(src.Months[i], src.Medicines.Len(), medmodel.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StageMonth(i, src.Months[i], src.Diseases.Codes(), src.Medicines.Codes(), src.Hospitals)
+	cp := trend.MonthCheckpoint{
+		Month:    i,
+		DataHash: trend.HashMonth(src.Months[i], medmodel.FitOptions{}),
+		Model:    model,
+	}
+	if err := s.SaveMonth(cp); err != nil {
+		t.Fatalf("SaveMonth(%d): %v", i, err)
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	src := genServeCorpus(t, 3)
+	dir := t.TempDir()
+	s, rep := openStore(t, dir)
+	if rep.Recovered() {
+		t.Fatalf("fresh dir reported recovery: %v", rep)
+	}
+	for i := 0; i < 3; i++ {
+		commitMonth(t, s, src, i)
+	}
+	for i := 0; i < 3; i++ {
+		cp, ok, err := s.LoadMonth(i)
+		if err != nil || !ok {
+			t.Fatalf("LoadMonth(%d) = ok=%v err=%v", i, ok, err)
+		}
+		if cp.Model == nil || cp.DataHash == 0 {
+			t.Fatalf("month %d checkpoint incomplete: %+v", i, cp)
+		}
+	}
+	if _, ok, _ := s.LoadMonth(9); ok {
+		t.Fatal("LoadMonth invented a month")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything must verify and the dataset must rebuild in full.
+	s2, rep2 := openStore(t, dir)
+	defer s2.Close()
+	if !reflect.DeepEqual(rep2.Months, []int{0, 1, 2}) {
+		t.Fatalf("recovered months = %v, want [0 1 2]", rep2.Months)
+	}
+	if rep2.CleanShutdown {
+		t.Fatal("no shutdown marker was written, yet CleanShutdown is true")
+	}
+	if rep2.TruncatedBytes != 0 || len(rep2.Dropped) != 0 || rep2.Orphans != 0 {
+		t.Fatalf("clean store reported repairs: %v", rep2)
+	}
+	ds, unservable := s2.RebuildDataset()
+	if len(unservable) != 0 {
+		t.Fatalf("unservable months: %v", unservable)
+	}
+	if ds.T() != 3 {
+		t.Fatalf("rebuilt %d months, want 3", ds.T())
+	}
+	for i := 0; i < 3; i++ {
+		if !monthliesEqual(ds.Months[i], src.Months[i]) {
+			t.Fatalf("rebuilt month %d records differ from the originals", i)
+		}
+	}
+	if got, want := ds.Diseases.Codes(), src.Diseases.Codes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rebuilt disease vocab = %v, want %v", got, want)
+	}
+
+	// The reloaded models must be bit-identical to what was saved.
+	before, _, _ := s.LoadMonth(1)
+	after, ok, err := s2.LoadMonth(1)
+	if err != nil || !ok {
+		t.Fatalf("reopened LoadMonth(1): ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(before.Model, after.Model) {
+		t.Fatal("model changed across a store reopen")
+	}
+}
+
+func TestStoreCleanShutdownMarker(t *testing.T) {
+	src := genServeCorpus(t, 2)
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	commitMonth(t, s, src, 0)
+	if err := s.MarkCleanShutdown(7); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, rep := openStore(t, dir)
+	if !rep.CleanShutdown {
+		t.Fatal("shutdown marker not recognized")
+	}
+	if s2.LastEpoch() != 7 {
+		t.Fatalf("LastEpoch = %d, want 7", s2.LastEpoch())
+	}
+	// A commit after the marker makes the next start dirty again.
+	commitMonth(t, s2, src, 1)
+	s2.Close()
+	s3, rep3 := openStore(t, dir)
+	defer s3.Close()
+	if rep3.CleanShutdown {
+		t.Fatal("commit after shutdown marker still reads as clean")
+	}
+	if !reflect.DeepEqual(rep3.Months, []int{0, 1}) {
+		t.Fatalf("months = %v, want [0 1]", rep3.Months)
+	}
+}
+
+// TestStoreTornWALTail: a crash mid-append leaves a torn frame; Open must
+// truncate it, keep every complete record, and leave the WAL appendable.
+func TestStoreTornWALTail(t *testing.T) {
+	src := genServeCorpus(t, 3)
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	commitMonth(t, s, src, 0)
+	commitMonth(t, s, src, 1)
+	s.Close()
+
+	// Half a frame header: too short to even carry a length.
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x09, 0x00, 0x00, 0x00, 0xAB, 0xCD}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, rep := openStore(t, dir)
+	if rep.TruncatedBytes != int64(len(torn)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rep.TruncatedBytes, len(torn))
+	}
+	if !reflect.DeepEqual(rep.Months, []int{0, 1}) {
+		t.Fatalf("months after torn-tail repair = %v, want [0 1]", rep.Months)
+	}
+	// The repaired WAL must accept new commits at the truncated position.
+	commitMonth(t, s2, src, 2)
+	s2.Close()
+	s3, rep3 := openStore(t, dir)
+	defer s3.Close()
+	if rep3.TruncatedBytes != 0 {
+		t.Fatalf("second repair truncated %d more bytes", rep3.TruncatedBytes)
+	}
+	if !reflect.DeepEqual(rep3.Months, []int{0, 1, 2}) {
+		t.Fatalf("months = %v, want [0 1 2]", rep3.Months)
+	}
+}
+
+// TestStoreCorruptWALRecord: a frame whose CRC does not match is the end of
+// the trustworthy log — it and everything after it are discarded.
+func TestStoreCorruptWALRecord(t *testing.T) {
+	src := genServeCorpus(t, 2)
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	commitMonth(t, s, src, 0)
+	s.Close()
+
+	walPath := filepath.Join(dir, walName)
+	payload := []byte(`{"kind":"month","month":9}`)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable)+1) // wrong
+	frame = append(frame, payload...)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(frame)
+	f.Close()
+
+	s2, rep := openStore(t, dir)
+	defer s2.Close()
+	if rep.TruncatedBytes != int64(len(frame)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rep.TruncatedBytes, len(frame))
+	}
+	if !reflect.DeepEqual(rep.Months, []int{0}) {
+		t.Fatalf("months = %v, want [0]", rep.Months)
+	}
+}
+
+// TestStoreCorruptMonthFileDropped: a month file that fails its CRC is
+// dropped with a reason, and every other month survives.
+func TestStoreCorruptMonthFileDropped(t *testing.T) {
+	src := genServeCorpus(t, 2)
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	commitMonth(t, s, src, 0)
+	commitMonth(t, s, src, 1)
+	s.Close()
+
+	path := filepath.Join(dir, monthFile(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := openStore(t, dir)
+	defer s2.Close()
+	if !reflect.DeepEqual(rep.Months, []int{0}) {
+		t.Fatalf("months = %v, want [0]", rep.Months)
+	}
+	if len(rep.Dropped) != 1 || rep.Dropped[0].Month != 1 {
+		t.Fatalf("Dropped = %v, want month 1", rep.Dropped)
+	}
+	if !strings.Contains(rep.Dropped[0].Reason, "CRC") {
+		t.Fatalf("drop reason %q does not name the CRC mismatch", rep.Dropped[0].Reason)
+	}
+	if !rep.Recovered() {
+		t.Fatal("a repaired store must report Recovered")
+	}
+}
+
+// TestStoreOrphanSweep: temp files and unreferenced month files are crash
+// debris and are removed; unrelated files are left alone.
+func TestStoreOrphanSweep(t *testing.T) {
+	src := genServeCorpus(t, 1)
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	commitMonth(t, s, src, 0)
+	s.Close()
+
+	for _, name := range []string{".tmp-" + monthFile(3), monthFile(7)} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("debris"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := openStore(t, dir)
+	defer s2.Close()
+	if rep.Orphans != 2 {
+		t.Fatalf("Orphans = %d, want 2", rep.Orphans)
+	}
+	for _, name := range []string{".tmp-" + monthFile(3), monthFile(7)} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatal("unrelated file was swept away")
+	}
+	if !reflect.DeepEqual(rep.Months, []int{0}) {
+		t.Fatalf("months = %v, want [0]", rep.Months)
+	}
+}
+
+// TestStoreCrashBetweenRenameAndWAL: the commit point is the WAL append. A
+// crash after the month file lands but before its WAL record means the month
+// was never committed — recovery deletes the file.
+func TestStoreCrashBetweenRenameAndWAL(t *testing.T) {
+	src := genServeCorpus(t, 2)
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	commitMonth(t, s, src, 0)
+
+	faultpoint.Enable("serve/crash-pre-wal", faultpoint.Spec{Panic: true})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("crash-pre-wal fault did not fire")
+			}
+		}()
+		commitMonth(t, s, src, 1)
+	}()
+	faultpoint.Reset()
+	s.Close()
+
+	// The month file exists on disk but the WAL never heard of it.
+	if _, err := os.Stat(filepath.Join(dir, monthFile(1))); err != nil {
+		t.Fatalf("month file missing before recovery: %v", err)
+	}
+	s2, rep := openStore(t, dir)
+	defer s2.Close()
+	if !reflect.DeepEqual(rep.Months, []int{0}) {
+		t.Fatalf("months = %v, want [0]", rep.Months)
+	}
+	if rep.Orphans != 1 {
+		t.Fatalf("Orphans = %d, want 1", rep.Orphans)
+	}
+	if _, err := os.Stat(filepath.Join(dir, monthFile(1))); !os.IsNotExist(err) {
+		t.Fatal("uncommitted month file survived recovery")
+	}
+}
+
+// TestStoreModelOnlyCheckpointUnservable: batch (trendscan) checkpoints carry
+// no records section; the serving rebuild must report rather than serve them.
+func TestStoreModelOnlyCheckpointUnservable(t *testing.T) {
+	src := genServeCorpus(t, 1)
+	dir := t.TempDir()
+	s, _ := openStore(t, dir)
+	model, err := medmodel.Fit(src.Months[0], src.Medicines.Len(), medmodel.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No StageMonth: this is what the batch pipeline persists.
+	cp := trend.MonthCheckpoint{Month: 0, DataHash: 42, Model: model}
+	if err := s.SaveMonth(cp); err != nil {
+		t.Fatal(err)
+	}
+	ds, unservable := s.RebuildDataset()
+	if ds.T() != 0 {
+		t.Fatalf("rebuilt %d months from a model-only store, want 0", ds.T())
+	}
+	if len(unservable) != 1 || unservable[0].Month != 0 {
+		t.Fatalf("unservable = %v, want month 0", unservable)
+	}
+	// The checkpoint itself is still reusable by the batch pipeline.
+	got, ok, err := s.LoadMonth(0)
+	if err != nil || !ok || got.DataHash != 42 {
+		t.Fatalf("LoadMonth(0) = %+v ok=%v err=%v", got, ok, err)
+	}
+	s.Close()
+}

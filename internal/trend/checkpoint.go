@@ -1,0 +1,261 @@
+package trend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/obs"
+)
+
+// MonthCheckpoint is the per-month model-stage state the pipeline persists
+// through a Checkpointer and restores on a later run: the fitted medication
+// model of one (filtered) month, or the recorded degradation when the fit
+// failed. A checkpoint carries the DataHash of the month it was fitted on so
+// a store pointed at different data (or different fit options) is detected
+// and ignored rather than trusted.
+type MonthCheckpoint struct {
+	// Month is the 0-based month index within the analyzed dataset.
+	Month int
+	// DataHash fingerprints the filtered month's records and the fit options
+	// that shaped the model (see HashMonth). Analyze ignores a loaded
+	// checkpoint whose hash does not match the current data.
+	DataHash uint64
+	// Model is the fitted model; nil when the month's fit degraded, in which
+	// case Failure records why and the fallback model is rebuilt
+	// deterministically from the month's records at load time.
+	Model *medmodel.Model
+	// Failure is the StageModel failure of a degraded month (nil for a
+	// successful fit).
+	Failure *Failure
+}
+
+// Checkpointer persists per-month model-stage state so an interrupted
+// analysis — or an incremental serving run folding months in one at a time —
+// resumes without refitting the months already committed. Implementations
+// must make SaveMonth durable before returning (the serving store's
+// write-tmp-fsync-rename plus WAL protocol): Analyze treats a returned
+// checkpoint as truth and will not refit that month.
+//
+// Analyze calls LoadMonth once per month at the start of the model stage and
+// SaveMonth once per freshly fitted month after the stage completes. Both are
+// called from a single goroutine; implementations need not be
+// goroutine-safe for the pipeline's sake (the serving store locks anyway,
+// because it is also read concurrently by recovery inspection).
+type Checkpointer interface {
+	// LoadMonth returns the saved checkpoint for month. ok is false when the
+	// month has no checkpoint; a non-nil error means the store is damaged for
+	// this month (the pipeline refits rather than aborting).
+	LoadMonth(month int) (cp MonthCheckpoint, ok bool, err error)
+	// SaveMonth durably persists one month's state. An error aborts the
+	// analysis: a caller that asked for durable checkpoints must not proceed
+	// on a store that cannot commit.
+	SaveMonth(cp MonthCheckpoint) error
+}
+
+// HashMonth fingerprints one filtered month plus the fit options that shape
+// its model: the FNV-1a hash covers every record's hospital, patient,
+// disease bag, and medicine bag in order, and the EM knobs (MaxIter, Tol,
+// PriorWeight) whose change would produce a different model. The medicine
+// vocabulary size is deliberately excluded — it grows as later months intern
+// new codes and does not affect the fitted Φ — so an incremental store stays
+// valid as the corpus grows.
+func HashMonth(month *mic.Monthly, em medmodel.FitOptions) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	em = em.WithDefaults()
+	put(uint64(month.Month))
+	put(uint64(em.MaxIter))
+	put(math.Float64bits(em.Tol))
+	put(math.Float64bits(em.PriorWeight))
+	put(uint64(len(month.Records)))
+	for i := range month.Records {
+		r := &month.Records[i]
+		put(uint64(uint32(r.Hospital)))
+		put(uint64(uint32(r.Patient)))
+		put(uint64(len(r.Diseases)))
+		for _, dc := range r.Diseases {
+			put(uint64(uint32(dc.Disease)))
+			put(uint64(dc.Count))
+		}
+		put(uint64(len(r.Medicines)))
+		for _, m := range r.Medicines {
+			put(uint64(uint32(m)))
+		}
+	}
+	return h.Sum64()
+}
+
+// fitModels runs the model stage: medmodel.FitAll when no Checkpointer is
+// configured, and the checkpoint-aware variant otherwise, which loads every
+// month whose saved state matches the current data, fits only the rest, and
+// commits each fresh fit back to the store. The returned models and failures
+// are byte-identical to a run that fitted every month from scratch (fits are
+// deterministic, and the store round-trips float bits exactly).
+func fitModels(ctx context.Context, d *mic.Dataset, opts Options, ins *pipelineInstruments) ([]*medmodel.Model, []medmodel.MonthError, error) {
+	ckpt := opts.Checkpoint
+	if ckpt == nil {
+		return medmodel.FitAll(ctx, d, opts.EM)
+	}
+
+	models := make([]*medmodel.Model, d.T())
+	var fails []medmodel.MonthError
+	loaded := make([]bool, d.T())
+	hashes := make([]uint64, d.T())
+	reloaded := 0
+	for i, month := range d.Months {
+		hashes[i] = HashMonth(month, opts.EM)
+		if err := faultpoint.Inject("trend/ckpt-load", monthDetail(i)); err != nil {
+			continue // damaged entry: refit this month
+		}
+		cp, ok, err := ckpt.LoadMonth(i)
+		if err != nil || !ok || cp.DataHash != hashes[i] {
+			continue
+		}
+		loaded[i] = true
+		reloaded++
+		if cp.Model != nil {
+			models[i] = cp.Model
+			continue
+		}
+		ferr := errors.New("checkpointed model-stage failure")
+		if cp.Failure != nil && cp.Failure.Err != "" {
+			ferr = errors.New(cp.Failure.Err)
+		}
+		me := medmodel.MonthError{Month: i, Err: ferr}
+		if cp.Failure != nil {
+			me.Panicked = cp.Failure.Panicked
+		}
+		fails = append(fails, me)
+	}
+	// The smoothed chain (PriorWeight > 0) fits months serially, each prior
+	// centered at the previous posterior: a month's model is only reusable
+	// when every month before it was reused too. Clamp the loaded set to its
+	// contiguous prefix so the chain below re-derives everything after the
+	// first hole.
+	if opts.EM.PriorWeight > 0 {
+		prefix := 0
+		for prefix < len(loaded) && loaded[prefix] {
+			prefix++
+		}
+		for i := prefix; i < len(loaded); i++ {
+			if loaded[i] {
+				loaded[i] = false
+				reloaded--
+				models[i] = nil
+			}
+		}
+		fails = filterMonthErrors(fails, prefix)
+	}
+	if ins != nil && reloaded > 0 {
+		ins.metrics.Counter("trend/ckpt_months_reused").Add(int64(reloaded))
+	}
+
+	var needIdx []int
+	for i := range loaded {
+		if !loaded[i] {
+			needIdx = append(needIdx, i)
+		}
+	}
+	if len(needIdx) > 0 {
+		sub := &mic.Dataset{Diseases: d.Diseases, Medicines: d.Medicines, Hospitals: d.Hospitals}
+		for _, i := range needIdx {
+			sub.Months = append(sub.Months, d.Months[i])
+		}
+		em := opts.EM
+		if em.PriorWeight > 0 {
+			// Seed the resumed chain with the last reused posterior (the
+			// months before needIdx[0] all loaded, by the prefix clamp above).
+			for i := needIdx[0] - 1; i >= 0; i-- {
+				if models[i] != nil {
+					em.InitialPrior = models[i]
+					break
+				}
+			}
+		}
+		// Progress events and spans from the sub-batch carry positions within
+		// the batch; remap them to real month indices so a resumed run's
+		// stream reads like the original's (minus the reused months).
+		if inner := em.Observer; inner != nil {
+			em.Observer = func(e obs.Event) {
+				if e.Kind == obs.MonthFitted && e.Month >= 0 && e.Month < len(needIdx) {
+					e.Month = needIdx[e.Month]
+					e.Total = d.T()
+				}
+				inner(e)
+			}
+		}
+		if inner := em.Trace; inner != nil {
+			em.Trace = func(sp obs.SpanEvent) {
+				if sp.Month >= 0 && sp.Month < len(needIdx) {
+					sp.Month = needIdx[sp.Month]
+				}
+				inner(sp)
+			}
+		}
+		fitted, ffails, ferr := medmodel.FitAll(ctx, sub, em)
+		failedAt := make(map[int]medmodel.MonthError, len(ffails))
+		for _, mf := range ffails {
+			mf.Month = needIdx[mf.Month]
+			failedAt[mf.Month] = mf
+			fails = append(fails, mf)
+		}
+		for j, i := range needIdx {
+			models[i] = fitted[j]
+		}
+		if ferr != nil {
+			// Cancelled: nothing fitted after the cut is trustworthy, and the
+			// caller is abandoning the run — skip the save pass.
+			return models, sortMonthErrors(fails), ferr
+		}
+		for _, i := range needIdx {
+			cp := MonthCheckpoint{Month: i, DataHash: hashes[i], Model: models[i]}
+			if mf, ok := failedAt[i]; ok {
+				cp.Model = nil
+				cp.Failure = &Failure{
+					Stage: StageModel, Month: i, Err: mf.Err.Error(), Panicked: mf.Panicked,
+				}
+			}
+			if err := faultpoint.Inject("trend/ckpt-save", monthDetail(i)); err != nil {
+				return models, sortMonthErrors(fails), fmt.Errorf("trend: checkpointing month %d: %w", i, err)
+			}
+			if err := ckpt.SaveMonth(cp); err != nil {
+				return models, sortMonthErrors(fails), fmt.Errorf("trend: checkpointing month %d: %w", i, err)
+			}
+		}
+	}
+	return models, sortMonthErrors(fails), nil
+}
+
+// filterMonthErrors drops loaded-checkpoint failures at or past the smoothed
+// chain's reuse prefix (those months are being refitted).
+func filterMonthErrors(fails []medmodel.MonthError, prefix int) []medmodel.MonthError {
+	out := fails[:0]
+	for _, mf := range fails {
+		if mf.Month < prefix {
+			out = append(out, mf)
+		}
+	}
+	return out
+}
+
+// sortMonthErrors orders month failures ascending, matching FitAll's
+// contract after checkpoint-loaded and freshly fitted failures interleave.
+func sortMonthErrors(fails []medmodel.MonthError) []medmodel.MonthError {
+	sort.Slice(fails, func(a, b int) bool { return fails[a].Month < fails[b].Month })
+	return fails
+}
+
+func monthDetail(i int) string { return fmt.Sprintf("month-%d", i) }

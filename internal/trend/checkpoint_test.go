@@ -1,0 +1,281 @@
+package trend
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/medmodel"
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+	"mictrend/internal/obs"
+)
+
+// memCheckpointer is an in-memory Checkpointer for pipeline-level tests; the
+// durable implementation lives in internal/serve.
+type memCheckpointer struct {
+	months map[int]MonthCheckpoint
+	saves  int
+	loads  int
+	failAt int // month whose SaveMonth fails terminally (-1 = never)
+}
+
+func newMemCheckpointer() *memCheckpointer {
+	return &memCheckpointer{months: make(map[int]MonthCheckpoint), failAt: -1}
+}
+
+func (m *memCheckpointer) LoadMonth(month int) (MonthCheckpoint, bool, error) {
+	m.loads++
+	cp, ok := m.months[month]
+	return cp, ok, nil
+}
+
+func (m *memCheckpointer) SaveMonth(cp MonthCheckpoint) error {
+	if cp.Month == m.failAt {
+		return errors.New("store cannot commit")
+	}
+	m.saves++
+	m.months[cp.Month] = cp
+	return nil
+}
+
+func genTiny(t *testing.T) *mic.Dataset {
+	t.Helper()
+	ds, _, err := micgen.Generate(micgen.Config{
+		Seed:            11,
+		Months:          8,
+		RecordsPerMonth: 200,
+		BulkDiseases:    4,
+		BulkMedicines:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func ckptOptions() Options {
+	opts := DefaultOptions()
+	opts.Method = MethodBinary
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 100
+	opts.Workers = 2
+	return opts
+}
+
+// TestCheckpointResumeByteIdentical is the core resumability contract: a run
+// that reloads every month from a checkpointer produces an Analysis deeply
+// equal to the uncheckpointed run, fitting zero months itself.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	ds := genTiny(t)
+	opts := ckptOptions()
+
+	plain, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := newMemCheckpointer()
+	opts.Checkpoint = ckpt
+	first, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.saves != ds.T() {
+		t.Fatalf("first run saved %d months, want %d", ckpt.saves, ds.T())
+	}
+	if !reflect.DeepEqual(plain, first) {
+		t.Fatal("checkpointed run differs from plain run")
+	}
+
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	second, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.saves != ds.T() {
+		t.Fatalf("resumed run saved %d more months, want 0", ckpt.saves-ds.T())
+	}
+	if got := metrics.Counter("trend/ckpt_months_reused").Value(); got != int64(ds.T()) {
+		t.Fatalf("reused %d months, want %d", got, ds.T())
+	}
+	second.MonthProvenance = first.MonthProvenance // Metrics wiring aside, results must match
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("resumed run differs from first run")
+	}
+}
+
+// TestCheckpointPartialResume drops some saved months and verifies only the
+// holes are refitted, with identical results.
+func TestCheckpointPartialResume(t *testing.T) {
+	ds := genTiny(t)
+	opts := ckptOptions()
+
+	ckpt := newMemCheckpointer()
+	opts.Checkpoint = ckpt
+	first, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(ckpt.months, 2)
+	delete(ckpt.months, 5)
+	ckpt.saves = 0
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	second, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.saves != 2 {
+		t.Fatalf("refitted %d months, want 2", ckpt.saves)
+	}
+	if got := metrics.Counter("trend/ckpt_months_reused").Value(); got != int64(ds.T()-2) {
+		t.Fatalf("reused %d months, want %d", got, ds.T()-2)
+	}
+	if !reflect.DeepEqual(first.Models, second.Models) {
+		t.Fatal("models differ after partial resume")
+	}
+	if !reflect.DeepEqual(first.Prescriptions, second.Prescriptions) {
+		t.Fatal("detections differ after partial resume")
+	}
+}
+
+// TestCheckpointStaleHashIgnored: a store built under different fit options
+// must be ignored, not trusted.
+func TestCheckpointStaleHashIgnored(t *testing.T) {
+	ds := genTiny(t)
+	opts := ckptOptions()
+	ckpt := newMemCheckpointer()
+	opts.Checkpoint = ckpt
+	if _, err := Analyze(context.Background(), ds, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.EM.MaxIter = 3 // different fit options → different DataHash
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	ckpt.saves = 0
+	if _, err := Analyze(context.Background(), ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Counter("trend/ckpt_months_reused").Value(); got != 0 {
+		t.Fatalf("reused %d stale months, want 0", got)
+	}
+	if ckpt.saves != ds.T() {
+		t.Fatalf("re-saved %d months, want %d", ckpt.saves, ds.T())
+	}
+}
+
+// TestCheckpointSmoothedChainPrefix: with a cross-month prior chain, a hole
+// invalidates everything after it, and the resumed chain (seeded with the
+// last reused posterior) still reproduces the uncheckpointed fit exactly.
+func TestCheckpointSmoothedChainPrefix(t *testing.T) {
+	ds := genTiny(t)
+	opts := ckptOptions()
+	opts.EM.PriorWeight = 50
+
+	plain, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := newMemCheckpointer()
+	opts.Checkpoint = ckpt
+	if _, err := Analyze(context.Background(), ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Hole at month 3: months 3..7 must all refit (serial prior chain), and
+	// only 0..2 are reusable.
+	delete(ckpt.months, 3)
+	ckpt.saves = 0
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	resumed, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Counter("trend/ckpt_months_reused").Value(); got != 3 {
+		t.Fatalf("reused %d months, want 3 (prefix before the hole)", got)
+	}
+	if ckpt.saves != ds.T()-3 {
+		t.Fatalf("refitted %d months, want %d", ckpt.saves, ds.T()-3)
+	}
+	if !reflect.DeepEqual(plain.Models, resumed.Models) {
+		t.Fatal("smoothed chain resume diverged from the uncheckpointed fit")
+	}
+}
+
+// TestCheckpointSaveFailureAborts: durable means durable — a SaveMonth error
+// aborts the analysis instead of serving unpersisted results.
+func TestCheckpointSaveFailureAborts(t *testing.T) {
+	ds := genTiny(t)
+	opts := ckptOptions()
+	ckpt := newMemCheckpointer()
+	ckpt.failAt = 4
+	opts.Checkpoint = ckpt
+	if _, err := Analyze(context.Background(), ds, opts); err == nil {
+		t.Fatal("expected a checkpoint commit failure to abort the analysis")
+	}
+}
+
+// TestCheckpointLoadFaultRefits: an injected load fault makes the pipeline
+// refit the month rather than abort, and results stay identical.
+func TestCheckpointLoadFaultRefits(t *testing.T) {
+	ds := genTiny(t)
+	opts := ckptOptions()
+	ckpt := newMemCheckpointer()
+	opts.Checkpoint = ckpt
+	first, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.Enable("trend/ckpt-load", faultpoint.Spec{
+		Match: func(detail string) bool { return detail == "month-1" },
+	})
+	defer faultpoint.Reset()
+	metrics := obs.NewRegistry()
+	opts.Metrics = metrics
+	second, err := Analyze(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Counter("trend/ckpt_months_reused").Value(); got != int64(ds.T()-1) {
+		t.Fatalf("reused %d months, want %d", got, ds.T()-1)
+	}
+	if !reflect.DeepEqual(first.Models, second.Models) {
+		t.Fatal("models differ after a load fault refit")
+	}
+}
+
+// TestHashMonthSensitivity: the fingerprint must move with the data and the
+// fit options, and stay put for identical inputs.
+func TestHashMonthSensitivity(t *testing.T) {
+	ds := genTiny(t)
+	var em, em2 medmodel.FitOptions
+	base := HashMonth(ds.Months[0], em)
+	if HashMonth(ds.Months[0], em) != base {
+		t.Fatal("hash not deterministic")
+	}
+	em2.MaxIter = em.WithDefaults().MaxIter + 1
+	if HashMonth(ds.Months[0], em2) == base {
+		t.Fatal("hash ignores MaxIter")
+	}
+	if HashMonth(ds.Months[1], em) == base {
+		t.Fatal("hash ignores records")
+	}
+	clone := &mic.Monthly{Month: ds.Months[0].Month}
+	for _, r := range ds.Months[0].Records {
+		clone.Records = append(clone.Records, r.Clone())
+	}
+	if HashMonth(clone, em) != base {
+		t.Fatal("hash differs for cloned identical records")
+	}
+	clone.Records[0].Medicines = append(clone.Records[0].Medicines, 0)
+	if HashMonth(clone, em) == base {
+		t.Fatal("hash ignores a medicine bag change")
+	}
+}

@@ -135,6 +135,14 @@ type Options struct {
 	// never changes any result; export it with WriteExplain. Off (the
 	// default) the pipeline allocates none of it.
 	Explain bool
+	// Checkpoint, when non-nil, makes the model stage resumable: each month's
+	// fitted state is loaded from the checkpointer when its DataHash matches
+	// the current (filtered) month, and every freshly fitted month is saved
+	// back before detection starts. The resulting Analysis is byte-identical
+	// to an uncheckpointed run; only the fits skipped change. A SaveMonth
+	// failure aborts the analysis — durable means durable. Nil (the default)
+	// keeps the stage on its plain FitAll path.
+	Checkpoint Checkpointer
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -480,7 +488,7 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 	filtered := mic.FilterDataset(ds, mic.FilterOptions{MinMonthlyFreq: opts.MinMonthlyFreq})
 	analysis := &Analysis{}
 	endModel := ins.stage("model", len(filtered.Months))
-	models, monthFails, err := medmodel.FitAll(ctx, filtered, opts.EM)
+	models, monthFails, err := fitModels(ctx, filtered, opts, ins)
 	endModel(len(filtered.Months)-len(monthFails), err)
 	if err != nil {
 		return nil, fmt.Errorf("trend: fitting medication models: %w", err)

@@ -95,6 +95,7 @@ import (
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
 	"mictrend/internal/obs"
+	"mictrend/internal/serve"
 	"mictrend/internal/ssm"
 	"mictrend/internal/trend"
 )
@@ -555,6 +556,68 @@ func DetectedChangePoints(dets []Detection) []Detection {
 // question).
 func EmergingTrends(dets []Detection, seasonal bool, horizonMonths int) ([]Emerging, error) {
 	return trend.EmergingTrends(dets, seasonal, horizonMonths)
+}
+
+// --- crash-safe incremental serving ---
+
+// Serving and checkpointing types.
+type (
+	// Checkpointer persists per-month model-stage state so an interrupted or
+	// incremental analysis resumes without refitting committed months; wire
+	// one through AnalysisOptions.Checkpoint. CheckpointStore is the durable
+	// implementation.
+	Checkpointer = trend.Checkpointer
+	// MonthCheckpoint is one month's persisted model-stage state: the fitted
+	// model or its recorded degradation, guarded by a data hash.
+	MonthCheckpoint = trend.MonthCheckpoint
+	// CheckpointStore is the durable on-disk Checkpointer: each month commits
+	// via write-tmp-fsync-rename plus a CRC-framed manifest WAL, and recovery
+	// rolls a crashed store back to its last consistent prefix.
+	CheckpointStore = serve.Store
+	// RecoveryReport is the structured account of what opening a
+	// CheckpointStore found, repaired, and discarded.
+	RecoveryReport = serve.RecoveryReport
+	// ServingCore is the crash-safe incremental serving engine: ingested
+	// months fold through the checkpointed pipeline one at a time, and every
+	// completed Analysis publishes as an immutable Epoch snapshot.
+	ServingCore = serve.Core
+	// ServingOptions configures NewServingCore.
+	ServingOptions = serve.CoreOptions
+	// ServingEpoch is one immutable published snapshot: readers always see
+	// the last complete Analysis, never a partially folded month.
+	ServingEpoch = serve.Epoch
+	// ServeRetryPolicy is the bounded, jittered exponential backoff schedule
+	// applied to transiently failed folds.
+	ServeRetryPolicy = serve.RetryPolicy
+)
+
+// Serving sentinel errors, mapped onto HTTP semantics by the serving handler
+// (429, 503, 409).
+var (
+	ErrServeOverloaded    = serve.ErrOverloaded
+	ErrServeClosing       = serve.ErrClosing
+	ErrServeMonthConflict = serve.ErrMonthConflict
+)
+
+// OpenCheckpointStore opens (creating or crash-recovering) a durable
+// checkpoint directory; assign the store to AnalysisOptions.Checkpoint to
+// make repeated analyses over the same corpus resume instead of refit. The
+// report says what recovery restored or discarded. metrics may be nil.
+func OpenCheckpointStore(dir string, metrics *Metrics) (*CheckpointStore, *RecoveryReport, error) {
+	return serve.Open(dir, metrics)
+}
+
+// NewServingCore opens the store under opts.Dir, recovers the committed
+// corpus, and starts the fold loop; ServingCore.Ready flips once the first
+// epoch publishes. Close drains gracefully.
+func NewServingCore(opts ServingOptions) (*ServingCore, *RecoveryReport, error) {
+	return serve.NewCore(opts)
+}
+
+// HashCheckpointMonth fingerprints one filtered month plus the fit options
+// that shape its model — the guard MonthCheckpoint.DataHash carries.
+func HashCheckpointMonth(month *Monthly, em EMOptions) uint64 {
+	return trend.HashMonth(month, em)
 }
 
 // TopDiseasesForMedicine ranks the diseases a medicine is prescribed for
