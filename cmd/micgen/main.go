@@ -1,12 +1,14 @@
 // Command micgen generates a synthetic Medical Insurance Claim corpus with
 // the structural phenomena of the paper's Mie-prefecture dataset (seasonal
 // epidemics, new-medicine releases, generic substitution, indication
-// expansions, hospital-class prescribing gaps) and writes it as JSONL
-// (gzip-compressed when the path ends in .gz).
+// expansions, hospital-class prescribing gaps) and streams it month-at-a-time
+// into the selected storage backend — JSONL (gzip-compressed when the path
+// ends in .gz) or the MICC1 columnar format — so a population-scale corpus
+// never materializes in RAM.
 //
 // Usage:
 //
-//	micgen -out corpus.jsonl.gz [-seed 7] [-months 43] [-records 2000]
+//	micgen -out corpus.micc [-format auto|jsonl|columnar] [-seed 7] [-months 43] [-records 2000]
 package main
 
 import (
@@ -23,7 +25,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("micgen: ")
 	var (
-		out      = flag.String("out", "", "output path (.jsonl or .jsonl.gz); required")
+		out      = flag.String("out", "", "output path (.jsonl, .jsonl.gz, or .micc); required")
+		format   = flag.String("format", "auto", "output format: auto (by extension), jsonl, or columnar")
 		seed     = flag.Uint64("seed", 7, "generator seed")
 		months   = flag.Int("months", 43, "number of months")
 		records  = flag.Int("records", 2000, "target records per month")
@@ -35,8 +38,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	f, err := mic.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	ds, truth, err := micgen.Generate(micgen.Config{
+	gen, err := micgen.NewGenerator(micgen.Config{
 		Seed:            *seed,
 		Months:          *months,
 		RecordsPerMonth: *records,
@@ -46,18 +53,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := mic.WriteFile(*out, ds); err != nil {
-		log.Fatal(err)
-	}
-	summary, err := ds.Summarize()
+	sw, wrote, err := mic.NewStreamFileWriter(*out, f, gen.Meta(), mic.StorageOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
-	fmt.Printf("months: %d, records/month: %.0f, diseases/month: %.0f, medicines/month: %.0f\n",
-		summary.Months, summary.AvgRecordsPerMonth, summary.AvgDiseasesPerMonth, summary.AvgMedsPerMonth)
-	fmt.Printf("avg diseases/record: %.2f, avg medicines/record: %.2f, hospitals: %d\n",
-		summary.AvgDiseasesPerRec, summary.AvgMedsPerRec, summary.Hospitals)
+
+	// Stream months straight into the writer, folding the summary
+	// incrementally so memory stays flat at one month.
+	var totRecords, totDiseaseMentions, totMedMentions int
+	for m := gen.NextMonth(); m != nil; m = gen.NextMonth() {
+		totRecords += len(m.Records)
+		for i := range m.Records {
+			totDiseaseMentions += len(m.Records[i].Diseases)
+			totMedMentions += len(m.Records[i].Medicines)
+		}
+		if err := sw.WriteMonth(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	truth := gen.Truth()
+
+	meta := gen.Meta()
+	fmt.Printf("wrote %s (%s)\n", *out, wrote)
+	fmt.Printf("months: %d, records/month: %.0f, avg diseases/record: %.2f, avg medicines/record: %.2f, hospitals: %d\n",
+		meta.Months, float64(totRecords)/float64(max(1, meta.Months)),
+		float64(totDiseaseMentions)/float64(max(1, totRecords)),
+		float64(totMedMentions)/float64(max(1, totRecords)), len(meta.Hospitals))
 	fmt.Printf("injected structural events: %d\n", len(truth.Changes))
 	for _, c := range truth.Changes {
 		target := c.Medicine

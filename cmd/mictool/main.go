@@ -1,0 +1,223 @@
+// Command mictool is the data-plane utility for MIC corpora.
+//
+//	mictool convert -in corpus.jsonl.gz -out corpus.micc [-format auto|jsonl|columnar] [-progress]
+//	mictool info -in corpus.micc
+//
+// convert transcodes between the JSONL and MICC1 columnar formats. A
+// columnar source streams month by month — the corpus never materializes in
+// RAM — while a JSONL source is read fully first (its record lines may
+// arrive in any month order) and then streamed out. info prints a file's
+// header metadata and per-month record counts without decoding any blocks
+// (columnar) or after a lenient read (JSONL).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mictrend/internal/mic"
+	"mictrend/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mictool: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "convert":
+		os.Exit(runConvert(os.Args[2:]))
+	case "info":
+		os.Exit(runInfo(os.Args[2:]))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mictool convert -in SRC -out DST [-format auto|jsonl|columnar] [-workers N] [-level N] [-progress]
+  mictool info -in FILE`)
+}
+
+func runConvert(args []string) int {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "", "source corpus (.jsonl, .jsonl.gz, or .micc); format sniffed by magic bytes")
+		out      = fs.String("out", "", "destination path")
+		format   = fs.String("format", "auto", "destination format: auto (by extension), jsonl, or columnar")
+		workers  = fs.Int("workers", 0, "columnar block compression workers (0 = GOMAXPROCS); output bytes identical for every value")
+		level    = fs.Int("level", 0, "columnar flate level (0 = default)")
+		progress = fs.Bool("progress", false, "log per-month progress events")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fs.Usage()
+		return 2
+	}
+	outFormat, err := mic.ParseFormat(*format)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	var observer obs.Observer
+	if *progress {
+		observer = func(e obs.Event) { log.Print(e) }
+	}
+	if err := convert(*in, *out, outFormat, mic.StorageOptions{Workers: *workers, Level: *level}, observer); err != nil {
+		log.Print(err)
+		os.Remove(*out)
+		return 1
+	}
+	return 0
+}
+
+// convert transcodes in → out. The observer (nil = silent) receives a
+// "convert" stage with one per-month event, so long transcodes are
+// observable with the same event vocabulary as the analysis pipeline.
+func convert(in, out string, outFormat mic.Format, opts mic.StorageOptions, observer obs.Observer) error {
+	observer = obs.Guard(observer, func(r any) { log.Printf("warning: progress observer panicked: %v", r) })
+	srcFormat, err := mic.SniffFile(in)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	emit := func(e obs.Event) {
+		if observer != nil {
+			observer(e)
+		}
+	}
+
+	var months int
+	var writeMonths func(sw mic.StreamWriter) error
+	var meta mic.StreamMeta
+	switch srcFormat {
+	case mic.FormatColumnar:
+		// Month-at-a-time: only one decoded month is alive at any moment.
+		cf, err := mic.OpenColumnarFile(in)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		meta = cf.Meta()
+		months = cf.Months()
+		writeMonths = func(sw mic.StreamWriter) error {
+			for t := 0; t < cf.Months(); t++ {
+				m, err := cf.ReadMonth(t)
+				if err != nil {
+					return err
+				}
+				if err := sw.WriteMonth(m); err != nil {
+					return err
+				}
+				emit(obs.Event{Kind: obs.MonthFitted, Stage: "convert", Month: t, Done: t + 1, Total: months})
+			}
+			return nil
+		}
+	default:
+		// JSONL record lines may arrive in any month order, so the source is
+		// read fully before the months stream out.
+		ds, stats, _, err := mic.ReadDatasetFile(in, srcFormat, opts)
+		if err != nil {
+			return err
+		}
+		if stats.SkippedLines > 0 {
+			log.Printf("warning: skipped %d malformed corpus line(s); first: %v", stats.SkippedLines, stats.FirstError)
+		}
+		meta = mic.NewStreamMeta(ds)
+		months = len(ds.Months)
+		writeMonths = func(sw mic.StreamWriter) error {
+			for t, m := range ds.Months {
+				if err := sw.WriteMonth(m); err != nil {
+					return err
+				}
+				emit(obs.Event{Kind: obs.MonthFitted, Stage: "convert", Month: t, Done: t + 1, Total: months})
+			}
+			return nil
+		}
+	}
+
+	emit(obs.Event{Kind: obs.StageStart, Stage: "convert", Month: -1, Total: months})
+	sw, wroteFormat, err := mic.NewStreamFileWriter(out, outFormat, meta, opts)
+	if err != nil {
+		return err
+	}
+	if err := writeMonths(sw); err != nil {
+		sw.Close()
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+	emit(obs.Event{Kind: obs.StageEnd, Stage: "convert", Month: -1, Total: months, Done: months, Duration: time.Since(start)})
+	srcInfo, _ := os.Stat(in)
+	dstInfo, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	if srcInfo != nil {
+		fmt.Printf("%s (%s, %d bytes) -> %s (%s, %d bytes)\n",
+			in, srcFormat, srcInfo.Size(), out, wroteFormat, dstInfo.Size())
+	}
+	return nil
+}
+
+func runInfo(args []string) int {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "corpus file to describe")
+	fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		return 2
+	}
+	if err := info(*in); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+func info(path string) error {
+	format, err := mic.SniffFile(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case mic.FormatColumnar:
+		cf, err := mic.OpenColumnarFile(path)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		meta := cf.Meta()
+		total := 0
+		for t := 0; t < cf.Months(); t++ {
+			total += cf.MonthRecords(t)
+		}
+		fmt.Printf("%s: columnar (MICC1), %d months, %d records, %d diseases, %d medicines, %d hospitals\n",
+			path, meta.Months, total, len(meta.Diseases), len(meta.Medicines), len(meta.Hospitals))
+		for t := 0; t < cf.Months(); t++ {
+			fmt.Printf("  month %2d: %d records\n", t, cf.MonthRecords(t))
+		}
+	default:
+		ds, stats, _, err := mic.ReadDatasetFile(path, format, mic.StorageOptions{})
+		if err != nil {
+			return err
+		}
+		if stats.SkippedLines > 0 {
+			log.Printf("warning: skipped %d malformed corpus line(s)", stats.SkippedLines)
+		}
+		fmt.Printf("%s: jsonl, %d months, %d records, %d diseases, %d medicines, %d hospitals\n",
+			path, ds.T(), ds.NumRecords(), ds.Diseases.Len(), ds.Medicines.Len(), len(ds.Hospitals))
+		for t, m := range ds.Months {
+			fmt.Printf("  month %2d: %d records\n", t, len(m.Records))
+		}
+	}
+	return nil
+}

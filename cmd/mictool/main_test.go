@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mictrend/internal/mic"
+	"mictrend/internal/micgen"
+)
+
+// TestConvertRoundTrip drives the convert pipeline through both directions
+// and checks the JSONL → columnar → JSONL cycle is byte-identical.
+func TestConvertRoundTrip(t *testing.T) {
+	ds, _, err := micgen.Generate(micgen.Config{Seed: 3, Months: 6, RecordsPerMonth: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.jsonl")
+	col := filepath.Join(dir, "mid.micc")
+	back := filepath.Join(dir, "back.jsonl")
+	if _, err := mic.WriteDatasetFile(src, mic.FormatJSONL, ds, mic.StorageOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := convert(src, col, mic.FormatAuto, mic.StorageOptions{}, nil); err != nil {
+		t.Fatalf("jsonl -> columnar: %v", err)
+	}
+	if f, err := mic.SniffFile(col); err != nil || f != mic.FormatColumnar {
+		t.Fatalf("converted file sniffs as %v, %v", f, err)
+	}
+	if err := convert(col, back, mic.FormatJSONL, mic.StorageOptions{}, nil); err != nil {
+		t.Fatalf("columnar -> jsonl: %v", err)
+	}
+	a, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("JSONL round-trip through columnar differs: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+func TestConvertRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "junk")
+	if err := os.WriteFile(src, []byte("not a corpus at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.micc")
+	if err := convert(src, out, mic.FormatAuto, mic.StorageOptions{}, nil); err == nil {
+		t.Fatal("convert accepted garbage input")
+	}
+}

@@ -129,7 +129,8 @@ func (fl *flusher) fail(analysis *trend.Analysis, err error) int {
 
 func run() int {
 	var (
-		in          = flag.String("in", "", "input corpus (.jsonl or .jsonl.gz)")
+		in          = flag.String("in", "", "input corpus (.jsonl, .jsonl.gz, or .micc)")
+		format      = flag.String("format", "auto", "input format: auto (sniff magic bytes), jsonl, or columnar")
 		generate    = flag.Bool("generate", false, "generate a synthetic corpus instead of reading one")
 		months      = flag.Int("months", 36, "months when generating")
 		records     = flag.Int("records", 1000, "records/month when generating")
@@ -139,6 +140,7 @@ func run() int {
 		minTotal    = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
 		top         = flag.Int("top", 20, "number of strongest changes to print per kind")
 		workers     = flag.Int("workers", 0, "worker pool size for model fitting and change point detection (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "partition the series universe by disease into this many detection shards (0/1 = single dispatcher; results identical for every value)")
 		scanWorkers = flag.Int("scan-workers", 0, "max workers one exact change point scan may claim from the shared -workers budget (0 = auto: soak up idle workers, 1 = serial scans)")
 		emerging    = flag.Int("emerging", 0, "also project the detected upward prescription trends this many months ahead")
 		csvPath     = flag.String("csv", "", "write the reproduced prescription series to this CSV file for external plotting")
@@ -188,8 +190,13 @@ func run() int {
 	case *generate:
 		ds, _, err = micgen.Generate(micgen.Config{Seed: *seed, Months: *months, RecordsPerMonth: *records})
 	case *in != "":
+		f, ferr := mic.ParseFormat(*format)
+		if ferr != nil {
+			log.Print(ferr)
+			return exitUsage
+		}
 		var stats mic.ReadStats
-		ds, stats, err = mic.ReadFileWithStats(*in, mic.ReadOptions{Strict: *strict})
+		ds, stats, _, err = mic.ReadDatasetFile(*in, f, mic.StorageOptions{Read: mic.ReadOptions{Strict: *strict}})
 		if stats.SkippedLines > 0 {
 			log.Printf("warning: skipped %d malformed corpus line(s); first: %v (use -strict to fail fast)",
 				stats.SkippedLines, stats.FirstError)
@@ -208,6 +215,7 @@ func run() int {
 	opts.MinSeriesTotal = *minTotal
 	opts.Workers = *workers
 	opts.ScanWorkers = *scanWorkers
+	opts.Shards = *shards
 	switch *method {
 	case "exact":
 		opts.Method = trend.MethodExact

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"reflect"
 	"testing"
 )
@@ -231,5 +232,84 @@ func TestPublicAPIServing(t *testing.T) {
 	}
 	if err := core.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIDataPlane exercises the storage facade: format parsing and
+// sniffing, columnar file round trips, streaming writes, auto-format stream
+// reads, and the parallel series reproduction.
+func TestPublicAPIDataPlane(t *testing.T) {
+	corpus, _, err := GenerateCorpus(GeneratorConfig{Seed: 31, Months: 8, RecordsPerMonth: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	colPath := dir + "/corpus.micc"
+	if _, err := WriteCorpusFileAs(colPath, CorpusFormatAuto, corpus, CorpusStorageOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := SniffCorpusFile(colPath); err != nil || f != CorpusFormatColumnar {
+		t.Fatalf("sniff = %v, %v; want columnar", f, err)
+	}
+	cf, err := OpenColumnarCorpus(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Months() != corpus.T() {
+		t.Fatalf("columnar months = %d, want %d", cf.Months(), corpus.T())
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, _, f, err := ReadCorpusFileAs(colPath, CorpusFormatAuto, CorpusStorageOptions{})
+	if err != nil || f != CorpusFormatColumnar {
+		t.Fatalf("read back: %v (format %v)", err, f)
+	}
+	if !reflect.DeepEqual(corpus, back) {
+		t.Fatal("columnar round trip changed the dataset")
+	}
+
+	// Streamed write, month by month, then an auto-format stream read.
+	streamPath := dir + "/stream.micc"
+	sw, _, err := NewCorpusStreamWriter(streamPath, CorpusFormatAuto, NewCorpusStreamMeta(corpus), CorpusStorageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range corpus.Months {
+		if err := sw.WriteMonth(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, _, f, err := ReadCorpusAuto(bytes.NewReader(raw), CorpusStorageOptions{})
+	if err != nil || f != CorpusFormatColumnar {
+		t.Fatalf("auto read: %v (format %v)", err, f)
+	}
+	if !reflect.DeepEqual(corpus, streamed) {
+		t.Fatal("streamed columnar write changed the dataset")
+	}
+
+	// Parallel reproduction matches serial bit for bit.
+	models, err := FitMedicationModels(corpus, EMOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ReproduceSeries(corpus, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ReproduceSeriesParallel(corpus, models, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel reproduction differs from serial")
 	}
 }

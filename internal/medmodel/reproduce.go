@@ -2,7 +2,9 @@ package medmodel
 
 import (
 	"errors"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mictrend/internal/mic"
 )
@@ -65,12 +67,42 @@ func ReproduceCooccurrence(d *mic.Dataset, models []*Cooccurrence) (*SeriesSet, 
 }
 
 func reproduce(d *mic.Dataset, ests []linkEstimator) (*SeriesSet, error) {
+	return reproduceParallel(d, ests, 1)
+}
+
+// ReproduceParallel is Reproduce with the months distributed over a bounded
+// worker pool (workers ≤ 0 means GOMAXPROCS). Each month accumulates into
+// its own local pair map in record order — exactly the serial addition order
+// for that month — and each month owns a distinct series slot, so the result
+// is bit-identical to Reproduce's for every worker count.
+func ReproduceParallel(d *mic.Dataset, models []*Model, workers int) (*SeriesSet, error) {
+	ests := make([]linkEstimator, len(models))
+	for i, m := range models {
+		ests[i] = m
+	}
+	return reproduceParallel(d, ests, workers)
+}
+
+func reproduceParallel(d *mic.Dataset, ests []linkEstimator, workers int) (*SeriesSet, error) {
 	if len(ests) != d.T() {
 		return nil, errors.New("medmodel: one model per month required")
 	}
 	s := &SeriesSet{T: d.T(), Pairs: make(map[mic.Pair][]float64)}
-	for t, month := range d.Months {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.T() {
+		workers = d.T()
+	}
+	// Per-month accumulation, fanned out across months. locals[t] holds
+	// month t's pair sums, accumulated in record order — the same float64
+	// addition order as a serial sweep, since a month's contributions to
+	// series[t] are contiguous in it.
+	locals := make([]map[mic.Pair]float64, d.T())
+	monthTotal := func(t int) {
+		month := d.Months[t]
 		est := ests[t]
+		local := make(map[mic.Pair]float64)
 		for i := range month.Records {
 			r := &month.Records[i]
 			if len(r.Diseases) == 0 {
@@ -81,15 +113,44 @@ func reproduce(d *mic.Dataset, ests []linkEstimator) (*SeriesSet, error) {
 					if q == 0 {
 						continue
 					}
-					key := mic.Pair{Disease: dis, Medicine: med}
-					series, ok := s.Pairs[key]
-					if !ok {
-						series = make([]float64, s.T)
-						s.Pairs[key] = series
-					}
-					series[t] += q
+					local[mic.Pair{Disease: dis, Medicine: med}] += q
 				}
 			}
+		}
+		locals[t] = local
+	}
+	if workers <= 1 {
+		for t := range d.Months {
+			monthTotal(t)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range next {
+					monthTotal(t)
+				}
+			}()
+		}
+		for t := range d.Months {
+			next <- t
+		}
+		close(next)
+		wg.Wait()
+	}
+	// Serial merge in month order: each month writes only its own slot, so
+	// the merge is pure placement — no cross-month float accumulation.
+	for t, local := range locals {
+		for key, v := range local {
+			series, ok := s.Pairs[key]
+			if !ok {
+				series = make([]float64, s.T)
+				s.Pairs[key] = series
+			}
+			series[t] = v
 		}
 	}
 	s.buildMarginals()

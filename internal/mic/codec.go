@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -36,31 +37,84 @@ const codecVersion = 1
 
 // Write serializes the dataset to w as JSONL.
 func Write(w io.Writer, d *Dataset) error {
+	sw, err := NewJSONLStreamWriter(w, NewStreamMeta(d))
+	if err != nil {
+		return err
+	}
+	for _, m := range d.Months {
+		if err := sw.WriteMonth(m); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// jsonlStreamWriter emits the JSONL encoding one month at a time. The
+// fileRecord's disease pair slice is scratch reused across records — the
+// encoder reads it synchronously — so a population-scale write allocates per
+// flush, not per record.
+type jsonlStreamWriter struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	meta    StreamMeta
+	next    int
+	scratch [][2]int32
+}
+
+// NewJSONLStreamWriter writes the JSONL header for meta and returns a writer
+// that streams months in index order. The emitted bytes are exactly Write's.
+func NewJSONLStreamWriter(w io.Writer, meta StreamMeta) (StreamWriter, error) {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	hdr := fileHeader{
 		Version:   codecVersion,
-		Months:    len(d.Months),
-		Diseases:  d.Diseases.Codes(),
-		Medicines: d.Medicines.Codes(),
-		Hospitals: d.Hospitals,
+		Months:    meta.Months,
+		Diseases:  meta.Diseases,
+		Medicines: meta.Medicines,
+		Hospitals: meta.Hospitals,
 	}
 	if err := enc.Encode(hdr); err != nil {
-		return fmt.Errorf("mic: encoding header: %w", err)
+		return nil, fmt.Errorf("mic: encoding header: %w", err)
 	}
-	for _, m := range d.Months {
-		for i := range m.Records {
-			r := &m.Records[i]
-			fr := fileRecord{Month: m.Month, Hospital: int32(r.Hospital), Patient: r.Patient, Medicines: r.Medicines}
+	return &jsonlStreamWriter{bw: bw, enc: enc, meta: meta}, nil
+}
+
+func (sw *jsonlStreamWriter) WriteMonth(m *Monthly) error {
+	if m == nil {
+		return errors.New("mic: jsonl writer: nil month")
+	}
+	if m.Month != sw.next {
+		return fmt.Errorf("mic: jsonl writer: month %d out of order (want %d)", m.Month, sw.next)
+	}
+	if sw.next >= sw.meta.Months {
+		return fmt.Errorf("mic: jsonl writer: month %d beyond declared count %d", m.Month, sw.meta.Months)
+	}
+	sw.next++
+	for i := range m.Records {
+		r := &m.Records[i]
+		fr := fileRecord{Month: m.Month, Hospital: int32(r.Hospital), Patient: r.Patient, Medicines: r.Medicines}
+		if len(r.Diseases) > 0 {
+			// Reuse the scratch pair slice across records (the encoder reads
+			// it before returning); an empty bag stays nil so the emitted
+			// bytes match the per-record-allocation writer exactly.
+			sw.scratch = sw.scratch[:0]
 			for _, dc := range r.Diseases {
-				fr.Diseases = append(fr.Diseases, [2]int32{int32(dc.Disease), int32(dc.Count)})
+				sw.scratch = append(sw.scratch, [2]int32{int32(dc.Disease), int32(dc.Count)})
 			}
-			if err := enc.Encode(fr); err != nil {
-				return fmt.Errorf("mic: encoding record: %w", err)
-			}
+			fr.Diseases = sw.scratch
+		}
+		if err := sw.enc.Encode(fr); err != nil {
+			return fmt.Errorf("mic: encoding record: %w", err)
 		}
 	}
-	return bw.Flush()
+	return nil
+}
+
+func (sw *jsonlStreamWriter) Close() error {
+	if sw.next != sw.meta.Months {
+		return fmt.Errorf("mic: jsonl writer: wrote %d of %d declared months", sw.next, sw.meta.Months)
+	}
+	return sw.bw.Flush()
 }
 
 // ReadOptions controls how the decoder treats malformed record lines.

@@ -1,0 +1,62 @@
+package mic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadColumnar ensures the MICC1 reader never panics or over-allocates
+// on malformed input: truncated blocks, corrupt CRCs, and garbage varints
+// must all surface as errors. Run with `go test -fuzz=FuzzReadColumnar`;
+// under plain `go test` the seed corpus below is executed.
+func FuzzReadColumnar(f *testing.F) {
+	// Valid file seeds: a tiny dataset and a larger multi-month one.
+	small := NewDataset()
+	dis := DiseaseID(small.Diseases.Intern("flu"))
+	med := MedicineID(small.Medicines.Intern("drug"))
+	h := small.AddHospital(Hospital{Code: "H", City: "c", Beds: 3})
+	small.Months = []*Monthly{{Month: 0, Records: []Record{{
+		Hospital: h, Diseases: []DiseaseCount{{dis, 1}}, Medicines: []MedicineID{med},
+	}}}}
+	for _, d := range []*Dataset{small, randomDataset(11, 4, 20)} {
+		var buf bytes.Buffer
+		if err := WriteColumnar(&buf, d, ColumnarWriterOptions{}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// Seed structured corruptions so the fuzzer starts near the
+		// interesting surfaces: clipped trailer, flipped footer byte,
+		// flipped block byte, flipped header byte.
+		b := buf.Bytes()
+		f.Add(b[:len(b)-trailerSize/2])
+		for _, pos := range []int{len(b) - trailerSize - 1, len(b) / 2, len(columnarMagic) + 2} {
+			if pos >= 0 && pos < len(b) {
+				mut := append([]byte(nil), b...)
+				mut[pos] ^= 0xff
+				f.Add(mut)
+			}
+		}
+	}
+	f.Add([]byte(""))
+	f.Add([]byte(columnarMagic))
+	f.Add([]byte(columnarMagic + "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte(columnarTrailer))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadColumnar(bytes.NewReader(data), int64(len(data)), ColumnarReadOptions{Workers: 1})
+		if err != nil {
+			return // rejection is fine; panics and OOM are not
+		}
+		// Anything accepted must validate and round-trip.
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteColumnar(&out, ds, ColumnarWriterOptions{Workers: 1}); err != nil {
+			t.Fatalf("accepted dataset fails to serialize: %v", err)
+		}
+		if _, err := ReadColumnar(bytes.NewReader(out.Bytes()), int64(out.Len()), ColumnarReadOptions{Workers: 1}); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

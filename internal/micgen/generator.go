@@ -67,9 +67,26 @@ type patient struct {
 	visitP   float64
 }
 
-// Generate builds a synthetic MIC dataset plus its ground truth. The same
-// Config always yields the same corpus.
-func Generate(cfg Config) (*mic.Dataset, *Truth, error) {
+// Generator produces a synthetic corpus one month at a time, so
+// population-scale corpora stream straight into a mic.StreamWriter without
+// ever materializing all months in RAM. The month sequence — and Generate's
+// collected dataset — is a pure function of Config: the RNG draw order is
+// identical whether months are collected or streamed.
+type Generator struct {
+	cfg          Config
+	rng          *rand.Rand
+	catalog      *Catalog
+	ds           *mic.Dataset // vocab + hospitals only; months stay with the caller
+	truth        *Truth
+	hospitalCity [][]int
+	patients     []patient
+	byDisease    [][]int
+	next         int
+}
+
+// NewGenerator prepares the catalog, vocabularies, hospital table, and
+// patient pool. Months are then produced in order by NextMonth.
+func NewGenerator(cfg Config) (*Generator, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6d69637472656e64)) // "mictrend"
 
@@ -78,7 +95,7 @@ func Generate(cfg Config) (*mic.Dataset, *Truth, error) {
 		catalog = NewCatalog(cfg.Months, cfg.BulkDiseases, cfg.BulkMedicines, rng)
 	}
 	if err := catalog.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	ds := mic.NewDataset()
@@ -101,106 +118,173 @@ func Generate(cfg Config) (*mic.Dataset, *Truth, error) {
 	hospitals, hospitalCity := buildHospitals(ds, catalog, cfg.HospitalsPerCity, rng)
 	patients := buildPatients(catalog, hospitals, hospitalCity, cfg.Patients, rng)
 
-	// Medicines indexed by indicated disease for candidate lookup.
-	byDisease := indicationIndex(catalog)
+	return &Generator{
+		cfg:          cfg,
+		rng:          rng,
+		catalog:      catalog,
+		ds:           ds,
+		truth:        truth,
+		hospitalCity: hospitalCity,
+		patients:     patients,
+		// Medicines indexed by indicated disease for candidate lookup.
+		byDisease: indicationIndex(catalog),
+	}, nil
+}
 
-	for t := 0; t < cfg.Months; t++ {
-		month := &mic.Monthly{Month: t}
-		// Precompute acute disease sampling weights for this month.
-		acuteWeights := make([]float64, len(catalog.Diseases))
-		var acuteTotal float64
-		for i := range catalog.Diseases {
-			d := &catalog.Diseases[i]
-			if d.Chronic {
-				continue
+// Meta returns the stream metadata (month count, vocabularies, hospitals)
+// a mic.StreamWriter needs before the first month.
+func (g *Generator) Meta() mic.StreamMeta {
+	return mic.StreamMeta{
+		Months:    g.cfg.Months,
+		Diseases:  g.ds.Diseases.Codes(),
+		Medicines: g.ds.Medicines.Codes(),
+		Hospitals: g.ds.Hospitals,
+	}
+}
+
+// Months returns the number of months the generator will produce.
+func (g *Generator) Months() int { return g.cfg.Months }
+
+// Truth returns the ground truth; it is complete only after every month has
+// been generated.
+func (g *Generator) Truth() *Truth { return g.truth }
+
+// NextMonth generates the next month, or nil after the last one.
+func (g *Generator) NextMonth() *mic.Monthly {
+	if g.next >= g.cfg.Months {
+		return nil
+	}
+	t := g.next
+	g.next++
+	cfg, rng, catalog, ds, truth := g.cfg, g.rng, g.catalog, g.ds, g.truth
+
+	month := &mic.Monthly{Month: t}
+	// Precompute acute disease sampling weights for this month.
+	acuteWeights := make([]float64, len(catalog.Diseases))
+	var acuteTotal float64
+	for i := range catalog.Diseases {
+		d := &catalog.Diseases[i]
+		if d.Chronic {
+			continue
+		}
+		w := seasonalWeight(d, t)
+		acuteWeights[i] = w
+		acuteTotal += w
+	}
+
+	for rec := 0; rec < cfg.RecordsPerMonth; rec++ {
+		p := &g.patients[rng.IntN(len(g.patients))]
+		if rng.Float64() > p.visitP {
+			// A non-visiting draw still consumes a slot so record volume
+			// fluctuates realistically month to month.
+			continue
+		}
+		hospital := p.hospital
+		if rng.Float64() < 0.15 {
+			// Occasional visit to another hospital in the same city.
+			hospital = randomHospitalInCity(g.hospitalCity, p.city, rng, hospital)
+		}
+		class := ds.Hospitals[hospital].Class()
+
+		record := mic.Record{Hospital: mic.HospitalID(hospital), Patient: int32(rng.IntN(len(g.patients)))}
+		diseaseCounts := map[int]int{}
+
+		// Chronic conditions recur with high probability.
+		for _, di := range p.chronic {
+			if rng.Float64() < 0.85 {
+				diseaseCounts[di] += 1 + rng.IntN(2)
 			}
-			w := seasonalWeight(d, t)
-			acuteWeights[i] = w
-			acuteTotal += w
+		}
+		// Acute diagnoses: Poisson-ish count from the seasonal mix.
+		nAcute := poisson(rng, 1.4)
+		for a := 0; a < nAcute && acuteTotal > 0; a++ {
+			di := sampleWeighted(rng, acuteWeights, acuteTotal)
+			di = applyDiagShift(catalog, di, t, rng)
+			diseaseCounts[di]++
+		}
+		if len(diseaseCounts) == 0 {
+			continue
 		}
 
-		for rec := 0; rec < cfg.RecordsPerMonth; rec++ {
-			p := &patients[rng.IntN(len(patients))]
-			if rng.Float64() > p.visitP {
-				// A non-visiting draw still consumes a slot so record volume
-				// fluctuates realistically month to month.
-				continue
-			}
-			hospital := p.hospital
-			if rng.Float64() < 0.15 {
-				// Occasional visit to another hospital in the same city.
-				hospital = randomHospitalInCity(hospitalCity, p.city, rng, hospital)
-			}
-			class := ds.Hospitals[hospital].Class()
-
-			record := mic.Record{Hospital: mic.HospitalID(hospital), Patient: int32(rng.IntN(len(patients)))}
-			diseaseCounts := map[int]int{}
-
-			// Chronic conditions recur with high probability.
-			for _, di := range p.chronic {
-				if rng.Float64() < 0.85 {
-					diseaseCounts[di] += 1 + rng.IntN(2)
-				}
-			}
-			// Acute diagnoses: Poisson-ish count from the seasonal mix.
-			nAcute := poisson(rng, 1.4)
-			for a := 0; a < nAcute && acuteTotal > 0; a++ {
-				di := sampleWeighted(rng, acuteWeights, acuteTotal)
-				di = applyDiagShift(catalog, di, t, rng)
-				diseaseCounts[di]++
-			}
-			if len(diseaseCounts) == 0 {
-				continue
-			}
-
-			// Medication per disease mention. Iterate in sorted order so the
-			// RNG stream — and therefore the whole corpus — is deterministic.
-			diseaseOrder := make([]int, 0, len(diseaseCounts))
-			for di := range diseaseCounts {
-				diseaseOrder = append(diseaseOrder, di)
-			}
-			sort.Ints(diseaseOrder)
-			for _, di := range diseaseOrder {
-				count := diseaseCounts[di]
-				record.Diseases = append(record.Diseases, mic.DiseaseCount{
-					Disease: mic.DiseaseID(di), Count: count,
-				})
-				d := &catalog.Diseases[di]
-				medP := d.MedicationProb
-				if medP == 0 {
-					medP = DefaultMedicationProb
-				}
-				for c := 0; c < count; c++ {
-					if rng.Float64() > medP {
-						continue
-					}
-					mi := chooseMedicine(catalog, byDisease, di, t, p.city, rng)
-					if mi < 0 {
-						continue
-					}
-					record.Medicines = append(record.Medicines, mic.MedicineID(mi))
-					truth.addLink(Pair{Disease: mic.DiseaseID(di), Medicine: mic.MedicineID(mi)}, t)
-				}
-				// Antibiotic misuse: viral diseases sometimes get the
-				// antibiotic anyway, more often at small hospitals.
-				if d.Viral && rng.Float64() < cfg.MisuseProb[class] {
-					if abxID, ok := catalog.medicineIdx[MedicineAntibiotic]; ok && availability(&catalog.Medicines[abxID], t) > 0 {
-						record.Medicines = append(record.Medicines, mic.MedicineID(abxID))
-						truth.addLink(Pair{Disease: mic.DiseaseID(di), Medicine: mic.MedicineID(abxID)}, t)
-					}
-				}
-			}
-			if len(record.Medicines) == 0 {
-				continue
-			}
-			month.Records = append(month.Records, record)
+		// Medication per disease mention. Iterate in sorted order so the
+		// RNG stream — and therefore the whole corpus — is deterministic.
+		diseaseOrder := make([]int, 0, len(diseaseCounts))
+		for di := range diseaseCounts {
+			diseaseOrder = append(diseaseOrder, di)
 		}
-		ds.Months = append(ds.Months, month)
+		sort.Ints(diseaseOrder)
+		for _, di := range diseaseOrder {
+			count := diseaseCounts[di]
+			record.Diseases = append(record.Diseases, mic.DiseaseCount{
+				Disease: mic.DiseaseID(di), Count: count,
+			})
+			d := &catalog.Diseases[di]
+			medP := d.MedicationProb
+			if medP == 0 {
+				medP = DefaultMedicationProb
+			}
+			for c := 0; c < count; c++ {
+				if rng.Float64() > medP {
+					continue
+				}
+				mi := chooseMedicine(catalog, g.byDisease, di, t, p.city, rng)
+				if mi < 0 {
+					continue
+				}
+				record.Medicines = append(record.Medicines, mic.MedicineID(mi))
+				truth.addLink(Pair{Disease: mic.DiseaseID(di), Medicine: mic.MedicineID(mi)}, t)
+			}
+			// Antibiotic misuse: viral diseases sometimes get the
+			// antibiotic anyway, more often at small hospitals.
+			if d.Viral && rng.Float64() < cfg.MisuseProb[class] {
+				if abxID, ok := catalog.medicineIdx[MedicineAntibiotic]; ok && availability(&catalog.Medicines[abxID], t) > 0 {
+					record.Medicines = append(record.Medicines, mic.MedicineID(abxID))
+					truth.addLink(Pair{Disease: mic.DiseaseID(di), Medicine: mic.MedicineID(abxID)}, t)
+				}
+			}
+		}
+		if len(record.Medicines) == 0 {
+			continue
+		}
+		month.Records = append(month.Records, record)
+	}
+	return month
+}
+
+// Generate builds a synthetic MIC dataset plus its ground truth. The same
+// Config always yields the same corpus — and the same months GenerateStream
+// emits.
+func Generate(cfg Config) (*mic.Dataset, *Truth, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := g.ds
+	for m := g.NextMonth(); m != nil; m = g.NextMonth() {
+		ds.Months = append(ds.Months, m)
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("micgen: generated dataset invalid: %w", err)
 	}
-	return ds, truth, nil
+	return ds, g.truth, nil
+}
+
+// GenerateStream emits the corpus month-at-a-time into emit (a
+// mic.StreamWriter's WriteMonth, typically), returning the ground truth. The
+// emitted months are exactly Generate's; only their lifetime differs — each
+// is released to the caller before the next is built, so a 100M-record
+// corpus streams in flat memory.
+func GenerateStream(cfg Config, emit func(*mic.Monthly) error) (*Truth, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for m := g.NextMonth(); m != nil; m = g.NextMonth() {
+		if err := emit(m); err != nil {
+			return nil, err
+		}
+	}
+	return g.truth, nil
 }
 
 func hasDiagShift(c *Catalog) bool {

@@ -79,7 +79,9 @@ func handleIngest(c *Core, w http.ResponseWriter, r *http.Request) {
 		}
 		want = v
 	}
-	month, _, err := mic.ReadWithStats(r.Body, mic.ReadOptions{Strict: true})
+	// The body's format is sniffed by magic bytes, so clients may POST a
+	// month as JSONL (optionally gzipped) or as a MICC1 columnar image.
+	month, _, _, err := mic.ReadAuto(r.Body, mic.StorageOptions{Read: mic.ReadOptions{Strict: true}})
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "parsing month body: "+err.Error())
 		return

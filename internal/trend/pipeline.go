@@ -100,6 +100,13 @@ type Options struct {
 	// inside the scan instead of idling cores. 1 forces serial scans.
 	// Results are identical for every setting; only wall-clock changes.
 	ScanWorkers int
+	// Shards partitions the series universe by disease (medicine-kind
+	// series by medicine) into this many shards, each with its own
+	// dispatcher over the shared worker budget. Detections merge by global
+	// job index, so the analysis is byte-identical for every Shards value —
+	// sharding only changes which dispatcher feeds a series to the pool.
+	// 0 or 1 keeps the single dispatcher.
+	Shards int
 	// EM tunes the medication model fit. EM.Workers defaults to Workers, and
 	// EM.Observer/EM.Metrics default to the pipeline's Observer/Metrics.
 	EM medmodel.FitOptions
@@ -521,7 +528,7 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 		}
 	}
 	endRepro := ins.stage("reproduce", -1)
-	series, err := medmodel.Reproduce(filtered, models)
+	series, err := medmodel.ReproduceParallel(filtered, models, opts.Workers)
 	if err != nil {
 		endRepro(0, err)
 		return nil, fmt.Errorf("trend: reproducing series: %w", err)
@@ -658,6 +665,31 @@ func collectJobs(series *medmodel.SeriesSet) []Detection {
 	return jobs
 }
 
+// shardJobs partitions job indices into shards: disease- and prescription-
+// kind series shard by disease id, medicine-kind by medicine id, so every
+// series of one disease (and its pairs) lands in one shard. Within a shard,
+// indices stay in global job order.
+func shardJobs(jobs []Detection, shards int) [][]int {
+	if shards <= 1 {
+		all := make([]int, len(jobs))
+		for i := range jobs {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	lists := make([][]int, shards)
+	for i, job := range jobs {
+		var s int
+		if job.Kind == KindMedicine {
+			s = int(job.Medicine) % shards
+		} else {
+			s = int(job.Disease) % shards
+		}
+		lists[s] = append(lists[s], i)
+	}
+	return lists
+}
+
 // detectAll runs change point detection over the jobs with a two-level
 // worker budget: a shared pool of Options.Workers tokens admits series
 // (level one), and each admitted exact scan opportunistically claims idle
@@ -690,37 +722,51 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 	}
 	budget := newWorkerBudget(opts.Workers)
 	out := make(chan outcome)
+	run := func(i int, wg *sync.WaitGroup) {
+		defer wg.Done()
+		defer budget.release(1)
+		if ctx.Err() != nil {
+			out <- outcome{i: i, cancelled: true}
+			return
+		}
+		o := outcome{i: i}
+		if ins != nil {
+			if ins.metrics != nil {
+				o.stats = &ssm.FitStats{}
+			}
+			o.began = time.Now()
+			o.det, o.fail, o.cancelled, o.prov = runDetection(ctx, jobs[i], opts, budget, o.stats, trace)
+			o.dur = time.Since(o.began)
+		} else {
+			o.det, o.fail, o.cancelled, o.prov = runDetection(ctx, jobs[i], opts, budget, nil, nil)
+		}
+		out <- o
+	}
+	// Partition the series universe into shards — by disease for disease-
+	// and prescription-kind series, by medicine for medicine-kind ones — and
+	// give each shard its own dispatcher over the shared budget. Outcomes
+	// carry their global job index, so assembly below is shard-agnostic and
+	// the analysis is byte-identical for any Shards value.
+	shardLists := shardJobs(jobs, opts.Shards)
 	go func() {
-		var wg sync.WaitGroup
+		var dwg, wg sync.WaitGroup
 		defer func() {
+			dwg.Wait()
 			wg.Wait()
 			close(out)
 		}()
-		for i := range jobs {
-			if budget.acquire(ctx) != nil {
-				return
-			}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer budget.release(1)
-				if ctx.Err() != nil {
-					out <- outcome{i: i, cancelled: true}
-					return
-				}
-				o := outcome{i: i}
-				if ins != nil {
-					if ins.metrics != nil {
-						o.stats = &ssm.FitStats{}
+		for _, list := range shardLists {
+			dwg.Add(1)
+			go func(list []int) {
+				defer dwg.Done()
+				for _, i := range list {
+					if budget.acquire(ctx) != nil {
+						return
 					}
-					o.began = time.Now()
-					o.det, o.fail, o.cancelled, o.prov = runDetection(ctx, jobs[i], opts, budget, o.stats, trace)
-					o.dur = time.Since(o.began)
-				} else {
-					o.det, o.fail, o.cancelled, o.prov = runDetection(ctx, jobs[i], opts, budget, nil, nil)
+					wg.Add(1)
+					go run(i, &wg)
 				}
-				out <- o
-			}(i)
+			}(list)
 		}
 	}()
 

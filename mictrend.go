@@ -279,6 +279,96 @@ func ReadCorpusFileStats(path string, opts CorpusReadOptions) (*Dataset, CorpusR
 // WriteCorpusFile writes a dataset to a file, gzip-compressing ".gz" paths.
 func WriteCorpusFile(path string, d *Dataset) error { return mic.WriteFile(path, d) }
 
+// --- columnar data plane ---
+
+// Storage-backend types. The data plane has two interchangeable codecs —
+// line-oriented JSONL and the MICC1 binary columnar format (see DESIGN.md) —
+// behind one Storage interface; every reader sniffs the format from magic
+// bytes, so callers rarely name a format explicitly.
+type (
+	// CorpusFormat identifies a corpus serialization (auto, JSONL, columnar).
+	CorpusFormat = mic.Format
+	// CorpusStorageOptions bundles codec tuning: lenient/strict JSONL reads,
+	// columnar worker counts, and the columnar flate level.
+	CorpusStorageOptions = mic.StorageOptions
+	// CorpusStorage is one serialization backend (JSONL or columnar).
+	CorpusStorage = mic.Storage
+	// CorpusStreamMeta is the up-front dataset description a streaming
+	// writer needs before months arrive (vocabularies, hospitals, months).
+	CorpusStreamMeta = mic.StreamMeta
+	// CorpusStreamWriter receives months in order and finalizes on Close,
+	// so corpora of any size can be written without materializing them.
+	CorpusStreamWriter = mic.StreamWriter
+	// ColumnarWriterOptions tunes the MICC1 writer (block compression
+	// workers, flate level). Output bytes are identical for every Workers
+	// value.
+	ColumnarWriterOptions = mic.ColumnarWriterOptions
+	// ColumnarReadOptions tunes the MICC1 reader (decode workers, strict
+	// vocabulary validation).
+	ColumnarReadOptions = mic.ColumnarReadOptions
+	// ColumnarCorpus is an open MICC1 file whose months decode
+	// independently on demand.
+	ColumnarCorpus = mic.ColumnarFile
+)
+
+// Corpus formats.
+const (
+	CorpusFormatAuto     = mic.FormatAuto
+	CorpusFormatJSONL    = mic.FormatJSONL
+	CorpusFormatColumnar = mic.FormatColumnar
+)
+
+// ParseCorpusFormat parses "auto", "jsonl", or "columnar".
+func ParseCorpusFormat(s string) (CorpusFormat, error) { return mic.ParseFormat(s) }
+
+// SniffCorpusFile detects a corpus file's format from its magic bytes.
+func SniffCorpusFile(path string) (CorpusFormat, error) { return mic.SniffFile(path) }
+
+// ReadCorpusAuto reads a corpus from a stream in whatever format it is in —
+// MICC1 columnar, JSONL, or gzipped JSONL — reporting the detected format.
+func ReadCorpusAuto(r io.Reader, opts CorpusStorageOptions) (*Dataset, CorpusReadStats, CorpusFormat, error) {
+	return mic.ReadAuto(r, opts)
+}
+
+// ReadCorpusFileAs reads a corpus file as the given format (CorpusFormatAuto
+// sniffs magic bytes), reporting the format actually decoded.
+func ReadCorpusFileAs(path string, format CorpusFormat, opts CorpusStorageOptions) (*Dataset, CorpusReadStats, CorpusFormat, error) {
+	return mic.ReadDatasetFile(path, format, opts)
+}
+
+// WriteCorpusFileAs writes a corpus file in the given format
+// (CorpusFormatAuto picks by extension: ".micc" columnar, else JSONL with
+// gzip for ".gz"), reporting the format written.
+func WriteCorpusFileAs(path string, format CorpusFormat, d *Dataset, opts CorpusStorageOptions) (CorpusFormat, error) {
+	return mic.WriteDatasetFile(path, format, d, opts)
+}
+
+// NewCorpusStreamWriter opens a month-at-a-time corpus writer at path in
+// the given format; months passed to WriteMonth are persisted incrementally
+// so the corpus never needs to fit in memory.
+func NewCorpusStreamWriter(path string, format CorpusFormat, meta CorpusStreamMeta, opts CorpusStorageOptions) (CorpusStreamWriter, CorpusFormat, error) {
+	return mic.NewStreamFileWriter(path, format, meta, opts)
+}
+
+// NewCorpusStreamMeta derives streaming metadata from an in-memory dataset.
+func NewCorpusStreamMeta(d *Dataset) CorpusStreamMeta { return mic.NewStreamMeta(d) }
+
+// OpenColumnarCorpus opens a MICC1 file for random-access month decoding
+// without loading any record data.
+func OpenColumnarCorpus(path string) (*ColumnarCorpus, error) { return mic.OpenColumnarFile(path) }
+
+// ReadColumnarCorpusFile decodes an entire MICC1 file, fanning blocks out
+// across a bounded worker pool; the result is identical for every worker
+// count.
+func ReadColumnarCorpusFile(path string, opts ColumnarReadOptions) (*Dataset, error) {
+	return mic.ReadColumnarFile(path, opts)
+}
+
+// WriteColumnarCorpusFile encodes a dataset as a MICC1 file.
+func WriteColumnarCorpusFile(path string, d *Dataset, opts ColumnarWriterOptions) error {
+	return mic.WriteColumnarFile(path, d, opts)
+}
+
 // --- synthetic corpus generation ---
 
 // Generator types.
@@ -360,6 +450,14 @@ func FitMedicationModelsSmoothed(d *Dataset, opts EMOptions, priorWeight float64
 // prescription time series of the paper's Eqs. 7–8.
 func ReproduceSeries(d *Dataset, models []*MedicationModel) (*SeriesSet, error) {
 	return medmodel.Reproduce(d, models)
+}
+
+// ReproduceSeriesParallel is ReproduceSeries fanned out over workers
+// month-wise (0 = GOMAXPROCS). The result is bit-identical to the serial
+// reproduction for every worker count: each month accumulates locally in
+// record order and the merge is pure placement.
+func ReproduceSeriesParallel(d *Dataset, models []*MedicationModel, workers int) (*SeriesSet, error) {
+	return medmodel.ReproduceParallel(d, models, workers)
 }
 
 // --- structural model and change point search ---
