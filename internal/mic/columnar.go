@@ -839,6 +839,9 @@ func decodeBlock(raw []byte, month, records int, meta StreamMeta) (*Monthly, err
 		if mLens[i], err = dec.uvarint(); err != nil {
 			return nil, fmt.Errorf("mic: month %d medicine lengths: %w", month, err)
 		}
+		if mLens[i] > uint64(dec.remaining()) {
+			return nil, fmt.Errorf("mic: month %d record %d: medicine bag length %d exceeds block", month, i, mLens[i])
+		}
 		mTotal += mLens[i]
 	}
 	if mTotal > uint64(dec.remaining()) {

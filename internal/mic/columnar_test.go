@@ -2,6 +2,7 @@ package mic
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
 	"reflect"
@@ -357,5 +358,39 @@ func TestColumnarFileStreamingMonths(t *testing.T) {
 	}
 	if _, err := cf.ReadMonth(cf.Months()); err == nil {
 		t.Fatal("out-of-range month accepted")
+	}
+}
+
+// TestDecodeBlockBagLengthOverflow pins the per-entry bound on bag lengths:
+// two lengths of 2^63 wrap their uint64 sum to zero, slipping past the
+// total-vs-remaining check, and the negative int conversion then panics on
+// the slice bound. Both bag columns must reject each oversized length before
+// it is summed.
+func TestDecodeBlockBagLengthOverflow(t *testing.T) {
+	meta := StreamMeta{
+		Months:    1,
+		Diseases:  []string{"D00"},
+		Medicines: []string{"M00"},
+		Hospitals: []Hospital{{Code: "H", City: "c", Beds: 1}},
+	}
+	const half = uint64(1) << 63
+	prefix := binary.AppendUvarint(nil, 2)   // record count
+	prefix = binary.AppendUvarint(prefix, 0) // hospital column
+	prefix = binary.AppendUvarint(prefix, 0)
+	prefix = binary.AppendUvarint(prefix, 0) // patient column (zigzag 0)
+	prefix = binary.AppendUvarint(prefix, 0)
+
+	disease := binary.AppendUvarint(append([]byte(nil), prefix...), half)
+	disease = binary.AppendUvarint(disease, half)
+
+	medicine := binary.AppendUvarint(append([]byte(nil), prefix...), 0) // empty disease bags
+	medicine = binary.AppendUvarint(medicine, 0)
+	medicine = binary.AppendUvarint(medicine, half)
+	medicine = binary.AppendUvarint(medicine, half)
+
+	for name, raw := range map[string][]byte{"disease": disease, "medicine": medicine} {
+		if _, err := decodeBlock(raw, 0, 2, meta); err == nil {
+			t.Fatalf("%s: overflowing bag lengths accepted", name)
+		}
 	}
 }
