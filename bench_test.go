@@ -396,6 +396,39 @@ func BenchmarkExactScanPrefix(b *testing.B) {
 	b.ReportMetric(float64(fits), "fits")
 }
 
+// BenchmarkSurveil measures hierarchical surveillance end to end on the
+// standard scenario corpus: model and reproduce stages, class/group
+// roll-up, the aggregate change point scans, drill-down attribution, and
+// offset-pair detection. The aggregate set stays ~20 nodes however many
+// leaf series the corpus holds — the cost contrast against the flat detect
+// stage is the point (see EXPERIMENTS.md).
+func BenchmarkSurveil(b *testing.B) {
+	ds, truth, err := micgen.Generate(micgen.Config{
+		Seed: 42, Months: 30, RecordsPerMonth: 800, BulkDiseases: 6, BulkMedicines: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := truth.Catalog
+	h := NewClassHierarchy(ds, c.MedicineClasses(), c.ClassGroupCodes(), c.DiseaseGroups())
+	opts := DefaultAnalysisOptions()
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fits, nodes int
+	for i := 0; i < b.N; i++ {
+		surv, err := Surveil(context.Background(), ds, SurveilOptions{Hierarchy: h, Pipeline: opts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fits = surv.AggregateFits + surv.DrillFits
+		nodes = len(surv.Nodes)
+	}
+	b.ReportMetric(float64(fits), "fits")
+	b.ReportMetric(float64(nodes), "nodes")
+}
+
 // BenchmarkEMFit measures one month's medication model EM fit.
 func BenchmarkEMFit(b *testing.B) {
 	ds, _, err := micgen.Generate(micgen.Config{

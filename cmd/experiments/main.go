@@ -29,7 +29,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		scale     = flag.String("scale", "small", "corpus scale: small or default")
-		only      = flag.String("only", "", "comma-separated subset: table2..table6, fig2, fig3, fig5..fig9")
+		only      = flag.String("only", "", "comma-separated subset: table2..table6, fig2, fig3, fig5..fig9, extensions, surveillance, linkrecovery")
 		seed      = flag.Uint64("seed", 0, "override the corpus seed (0 = keep the scale's default)")
 		months    = flag.Int("months", 0, "override the number of months")
 		records   = flag.Int("records", 0, "override records per month")
@@ -92,6 +92,7 @@ func main() {
 		{"fig8", func() (renderer, error) { return experiments.RunFigure8(env) }},
 		{"fig9", func() (renderer, error) { return experiments.RunFigure9(env) }},
 		{"extensions", func() (renderer, error) { return experiments.RunExtensions(env) }},
+		{"surveillance", func() (renderer, error) { return experiments.RunSurveillance(env) }},
 		{"linkrecovery", func() (renderer, error) { return experiments.RunLinkRecovery(env, cfg.MinSeriesTotal) }},
 	}
 	for _, r := range runs {

@@ -7,15 +7,19 @@
 // columnar source streams month by month — the corpus never materializes in
 // RAM — while a JSONL source is read fully first (its record lines may
 // arrive in any month order) and then streamed out. info prints a file's
-// header metadata and per-month record counts without decoding any blocks
-// (columnar) or after a lenient read (JSONL).
+// header metadata plus per-month record counts and vocabulary sizes
+// (distinct diseases and medicines) in sorted month order; a columnar
+// source decodes one month block at a time, so only one month is ever
+// resident.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"mictrend/internal/mic"
@@ -176,14 +180,14 @@ func runInfo(args []string) int {
 		fs.Usage()
 		return 2
 	}
-	if err := info(*in); err != nil {
+	if err := info(os.Stdout, *in); err != nil {
 		log.Print(err)
 		return 1
 	}
 	return 0
 }
 
-func info(path string) error {
+func info(w io.Writer, path string) error {
 	format, err := mic.SniffFile(path)
 	if err != nil {
 		return err
@@ -200,10 +204,16 @@ func info(path string) error {
 		for t := 0; t < cf.Months(); t++ {
 			total += cf.MonthRecords(t)
 		}
-		fmt.Printf("%s: columnar (MICC1), %d months, %d records, %d diseases, %d medicines, %d hospitals\n",
+		fmt.Fprintf(w, "%s: columnar (MICC1), %d months, %d records, %d diseases, %d medicines, %d hospitals\n",
 			path, meta.Months, total, len(meta.Diseases), len(meta.Medicines), len(meta.Hospitals))
+		// Blocks are physically in month order; decode one at a time for the
+		// per-month vocabulary so only one month is ever resident.
 		for t := 0; t < cf.Months(); t++ {
-			fmt.Printf("  month %2d: %d records\n", t, cf.MonthRecords(t))
+			m, err := cf.ReadMonth(t)
+			if err != nil {
+				return err
+			}
+			printMonthInfo(w, m)
 		}
 	default:
 		ds, stats, _, err := mic.ReadDatasetFile(path, format, mic.StorageOptions{})
@@ -213,11 +223,34 @@ func info(path string) error {
 		if stats.SkippedLines > 0 {
 			log.Printf("warning: skipped %d malformed corpus line(s)", stats.SkippedLines)
 		}
-		fmt.Printf("%s: jsonl, %d months, %d records, %d diseases, %d medicines, %d hospitals\n",
+		fmt.Fprintf(w, "%s: jsonl, %d months, %d records, %d diseases, %d medicines, %d hospitals\n",
 			path, ds.T(), ds.NumRecords(), ds.Diseases.Len(), ds.Medicines.Len(), len(ds.Hospitals))
-		for t, m := range ds.Months {
-			fmt.Printf("  month %2d: %d records\n", t, len(m.Records))
+		// JSONL record lines may arrive in any month order, so sort the
+		// decoded months by index before reporting.
+		months := make([]*mic.Monthly, len(ds.Months))
+		copy(months, ds.Months)
+		sort.Slice(months, func(a, b int) bool { return months[a].Month < months[b].Month })
+		for _, m := range months {
+			printMonthInfo(w, m)
 		}
 	}
 	return nil
+}
+
+// printMonthInfo reports one month's record count and vocabulary sizes: the
+// number of distinct disease and medicine codes appearing in its records.
+func printMonthInfo(w io.Writer, m *mic.Monthly) {
+	diseases := make(map[mic.DiseaseID]struct{})
+	medicines := make(map[mic.MedicineID]struct{})
+	for i := range m.Records {
+		r := &m.Records[i]
+		for _, dc := range r.Diseases {
+			diseases[dc.Disease] = struct{}{}
+		}
+		for _, id := range r.Medicines {
+			medicines[id] = struct{}{}
+		}
+	}
+	fmt.Fprintf(w, "  month %2d: %d records, %d diseases, %d medicines\n",
+		m.Month, len(m.Records), len(diseases), len(medicines))
 }

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"mictrend/internal/mic"
@@ -43,6 +46,67 @@ func TestConvertRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatalf("JSONL round-trip through columnar differs: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestInfoPerMonthVocabulary pins the info report: per-month record counts
+// AND vocabulary sizes (distinct diseases/medicines), in sorted month order,
+// with identical per-month lines from the JSONL and columnar backends.
+func TestInfoPerMonthVocabulary(t *testing.T) {
+	ds, _, err := micgen.Generate(micgen.Config{Seed: 5, Months: 4, RecordsPerMonth: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.jsonl")
+	col := filepath.Join(dir, "src.micc")
+	if _, err := mic.WriteDatasetFile(src, mic.FormatJSONL, ds, mic.StorageOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := convert(src, col, mic.FormatColumnar, mic.StorageOptions{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	monthLines := func(path string) []string {
+		var buf bytes.Buffer
+		if err := info(&buf, path); err != nil {
+			t.Fatalf("info %s: %v", path, err)
+		}
+		var lines []string
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(l, "  month") {
+				lines = append(lines, l)
+			}
+		}
+		return lines
+	}
+
+	jl := monthLines(src)
+	cl := monthLines(col)
+	if len(jl) != 4 {
+		t.Fatalf("jsonl info printed %d month lines, want 4:\n%v", len(jl), jl)
+	}
+	if !reflect.DeepEqual(jl, cl) {
+		t.Fatalf("per-month lines differ between backends:\njsonl:    %v\ncolumnar: %v", jl, cl)
+	}
+	for i, l := range jl {
+		if !strings.Contains(l, fmt.Sprintf("month %2d:", i)) {
+			t.Errorf("month line %d out of sorted order: %q", i, l)
+		}
+		if !strings.Contains(l, "records,") || !strings.Contains(l, "diseases,") || !strings.Contains(l, "medicines") {
+			t.Errorf("month line missing vocabulary sizes: %q", l)
+		}
+	}
+
+	// Cross-check one month's counts against the dataset itself.
+	var want0 string
+	{
+		var buf bytes.Buffer
+		printMonthInfo(&buf, ds.Months[0])
+		want0 = strings.TrimRight(buf.String(), "\n")
+	}
+	if jl[0] != want0 {
+		t.Errorf("month 0 line = %q, want %q", jl[0], want0)
 	}
 }
 

@@ -8,33 +8,52 @@
 //
 //	trendscan -in corpus.jsonl.gz [-method binary] [-top 20]
 //	trendscan -generate [-months 36] [-records 1000]   (self-contained demo)
+//	trendscan -generate -hierarchy                     (hierarchical surveillance drill-down)
+//	trendscan -generate -out run/                      (consolidated artifact directory)
 //
 // Observability:
 //
+//	trendscan -generate -out run/                    (report, manifest, metrics, explain, …, one directory)
 //	trendscan -generate -progress                    (log progress events)
-//	trendscan -generate -metrics -                   (dump the metrics registry as JSON)
 //	trendscan -generate -pprof localhost:6060        (serve net/http/pprof during the run)
-//	trendscan -generate -trace out.json              (write a Perfetto-loadable span trace)
-//	trendscan -generate -explain explain/            (write decision-provenance JSON artifacts)
 //	trendscan -generate -prom localhost:9100         (serve Prometheus text metrics at /metrics)
 //	trendscan -generate -checkpoint ckpt/            (persist per-month fits; reruns reuse them)
 //
+// -out DIR consolidates every run artifact under one directory with a
+// manifest.json naming what was written where: report.txt (the same report
+// that goes to stdout), metrics.json, trace.json, series.csv, explain/
+// provenance, and — with -hierarchy — surveillance.txt and
+// surveillance.json. The older single-artifact flags (-explain, -metrics,
+// -trace, -csv) still work and override the corresponding path inside -out,
+// but are deprecated in favor of the one-directory layout.
+//
+// -hierarchy rolls the reproduced series up the medicine-class/disease-group
+// hierarchy, scans the small aggregate set, drills each detected break down
+// to the child series driving it, and flags offsetting substitution pairs.
+// Generated corpora (-generate) take the hierarchy from the micgen catalog;
+// real corpora supply code-level maps via -hierarchy-file.
+//
 // Every exit path — success, interrupt, analysis error, post-analysis I/O
 // failure, -max-failures breach — flushes the same artifacts (partial trace,
-// metrics, explain provenance, checkpoint store) before the process exits,
-// and exit codes are consistent: 0 success, 1 error, 2 usage, 130 interrupt.
+// metrics, explain provenance, out-directory manifest, checkpoint store)
+// before the process exits, and exit codes are consistent: 0 success,
+// 1 error, 2 usage, 130 interrupt.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -48,7 +67,7 @@ import (
 
 // version stamps the explain manifest so archived artifacts identify the
 // binary that produced them.
-const version = "trendscan/0.6"
+const version = "trendscan/0.7"
 
 // Exit codes, shared by every path through run.
 const (
@@ -64,11 +83,23 @@ func main() {
 	os.Exit(run())
 }
 
+// outManifest is the top-level manifest of a consolidated -out directory:
+// the run manifest plus surveillance totals and a map naming each artifact
+// that was actually written.
+type outManifest struct {
+	trend.Manifest
+	SurveilNodes      int               `json:"surveil_nodes,omitempty"`
+	SurveilDetections int               `json:"surveil_detections,omitempty"`
+	SurveilOffsets    int               `json:"surveil_offset_pairs,omitempty"`
+	Artifacts         map[string]string `json:"artifacts"`
+}
+
 // flusher funnels every exit path through one artifact flush: whatever the
-// run accumulated — span trace, metrics JSON, explain provenance — is
-// written exactly once, and the checkpoint store is closed, no matter which
-// branch ends the process. log.Fatal is banned in run() for this reason: it
-// would exit around the flush.
+// run accumulated — span trace, metrics JSON, explain provenance, the
+// surveillance tree, the -out manifest — is written exactly once, and the
+// checkpoint store is closed, no matter which branch ends the process.
+// log.Fatal is banned in run() for this reason: it would exit around the
+// flush.
 type flusher struct {
 	tracer      *obs.Tracer
 	tracePath   string
@@ -77,6 +108,10 @@ type flusher struct {
 	explainDir  string
 	manifest    func(*trend.Analysis, bool) trend.Manifest
 	store       *serve.Store
+	outDir      string
+	artifacts   map[string]string // manifest key → path, recorded as written
+	report      *os.File          // report.txt tee inside -out
+	surv        *trend.Surveillance
 	done        bool
 }
 
@@ -92,11 +127,14 @@ func (fl *flusher) flush(analysis *trend.Analysis, interrupted bool) {
 			log.Printf("warning: %v", err)
 		} else {
 			fmt.Printf("wrote trace (%d spans) to %s\n", fl.tracer.Len(), fl.tracePath)
+			fl.record("trace", fl.tracePath)
 		}
 	}
 	if fl.metricsPath != "" {
 		if err := writeMetrics(fl.metricsPath, fl.metrics); err != nil {
 			log.Printf("warning: %v", err)
+		} else {
+			fl.record("metrics", fl.metricsPath)
 		}
 	}
 	if fl.explainDir != "" && analysis != nil {
@@ -105,6 +143,29 @@ func (fl *flusher) flush(analysis *trend.Analysis, interrupted bool) {
 			log.Printf("warning: %v", err)
 		} else {
 			fmt.Printf("wrote explain artifacts (%d series) to %s\n", len(analysis.SeriesProvenance), fl.explainDir)
+			fl.record("explain", fl.explainDir)
+		}
+	}
+	if fl.outDir != "" && analysis != nil {
+		man := outManifest{
+			Manifest:  fl.manifest(analysis, interrupted),
+			Artifacts: fl.artifacts,
+		}
+		if fl.surv != nil {
+			man.SurveilNodes = len(fl.surv.Nodes)
+			man.SurveilDetections = len(fl.surv.Detected())
+			man.SurveilOffsets = len(fl.surv.Offsets)
+		}
+		path := filepath.Join(fl.outDir, "manifest.json")
+		if err := writeJSONFile(path, man); err != nil {
+			log.Printf("warning: %v", err)
+		} else {
+			fmt.Printf("wrote artifact manifest to %s\n", path)
+		}
+	}
+	if fl.report != nil {
+		if err := fl.report.Close(); err != nil {
+			log.Printf("warning: closing report: %v", err)
 		}
 	}
 	if fl.store != nil {
@@ -120,6 +181,13 @@ func (fl *flusher) flush(analysis *trend.Analysis, interrupted bool) {
 	}
 }
 
+// record notes a written artifact for the -out manifest.
+func (fl *flusher) record(name, path string) {
+	if fl.artifacts != nil {
+		fl.artifacts[name] = path
+	}
+}
+
 // fail flushes and logs the error; run returns its result as the exit code.
 func (fl *flusher) fail(analysis *trend.Analysis, err error) int {
 	fl.flush(analysis, false)
@@ -129,32 +197,61 @@ func (fl *flusher) fail(analysis *trend.Analysis, err error) int {
 
 func run() int {
 	var (
-		in          = flag.String("in", "", "input corpus (.jsonl, .jsonl.gz, or .micc)")
-		format      = flag.String("format", "auto", "input format: auto (sniff magic bytes), jsonl, or columnar")
-		generate    = flag.Bool("generate", false, "generate a synthetic corpus instead of reading one")
-		months      = flag.Int("months", 36, "months when generating")
-		records     = flag.Int("records", 1000, "records/month when generating")
-		seed        = flag.Uint64("seed", 7, "seed when generating")
-		method      = flag.String("method", "binary", "change point search: exact or binary")
-		seasonal    = flag.Bool("seasonal", true, "include the 12-month seasonal component")
-		minTotal    = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
-		top         = flag.Int("top", 20, "number of strongest changes to print per kind")
-		workers     = flag.Int("workers", 0, "worker pool size for model fitting and change point detection (0 = GOMAXPROCS)")
-		shards      = flag.Int("shards", 0, "partition the series universe by disease into this many detection shards (0/1 = single dispatcher; results identical for every value)")
-		scanWorkers = flag.Int("scan-workers", 0, "max workers one exact change point scan may claim from the shared -workers budget (0 = auto: soak up idle workers, 1 = serial scans)")
-		emerging    = flag.Int("emerging", 0, "also project the detected upward prescription trends this many months ahead")
-		csvPath     = flag.String("csv", "", "write the reproduced prescription series to this CSV file for external plotting")
-		strict      = flag.Bool("strict", false, "abort on the first malformed corpus line instead of skipping it")
-		maxFailures = flag.Int("max-failures", -1, "exit nonzero when more than this many series/months fail (-1 = never)")
-		progress    = flag.Bool("progress", false, "log pipeline progress events (stages, fitted months, finished series)")
-		metricsPath = flag.String("metrics", "", "write the run's metrics registry as JSON to this file (\"-\" = stdout)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
-		tracePath   = flag.String("trace", "", "write the run's spans as Chrome Trace Event JSON to this file (load in Perfetto or chrome://tracing)")
-		explainDir  = flag.String("explain", "", "write decision-provenance artifacts (run manifest, per-month EM traces, per-series AIC ladders) under this directory")
-		promAddr    = flag.String("prom", "", "serve Prometheus text metrics on this address at /metrics (the -pprof mux serves it too)")
-		ckptDir     = flag.String("checkpoint", "", "durable per-month checkpoint directory: fits are persisted there and reused on reruns over the same corpus")
+		in            = flag.String("in", "", "input corpus (.jsonl, .jsonl.gz, or .micc)")
+		format        = flag.String("format", "auto", "input format: auto (sniff magic bytes), jsonl, or columnar")
+		generate      = flag.Bool("generate", false, "generate a synthetic corpus instead of reading one")
+		months        = flag.Int("months", 36, "months when generating")
+		records       = flag.Int("records", 1000, "records/month when generating")
+		seed          = flag.Uint64("seed", 7, "seed when generating")
+		method        = flag.String("method", "binary", "change point search: exact or binary")
+		seasonal      = flag.Bool("seasonal", true, "include the 12-month seasonal component")
+		minTotal      = flag.Float64("min-total", 10, "minimum total frequency for a series to be analyzed")
+		top           = flag.Int("top", 20, "number of strongest changes to print per kind")
+		workers       = flag.Int("workers", 0, "worker pool size for model fitting and change point detection (0 = GOMAXPROCS)")
+		shards        = flag.Int("shards", 0, "partition the series universe by disease into this many detection shards (0/1 = single dispatcher; results identical for every value)")
+		scanWorkers   = flag.Int("scan-workers", 0, "max workers one exact change point scan may claim from the shared -workers budget (0 = auto: soak up idle workers, 1 = serial scans)")
+		emerging      = flag.Int("emerging", 0, "also project the detected upward prescription trends this many months ahead")
+		hierarchy     = flag.Bool("hierarchy", false, "roll series up the class hierarchy, scan the aggregates, and emit a drill-down surveillance report (hierarchy from the catalog under -generate, else from -hierarchy-file)")
+		hierarchyFile = flag.String("hierarchy-file", "", "JSON code-level hierarchy for -in corpora: {\"medicine_class\":{code:class}, \"class_group\":{class:group}, \"disease_group\":{code:group}}")
+		outDir        = flag.String("out", "", "write every run artifact (report.txt, manifest.json, metrics.json, trace.json, series.csv, explain/, surveillance.*) under this directory")
+		csvPath       = flag.String("csv", "", "write the reproduced prescription series to this CSV file (deprecated: prefer -out DIR, which writes DIR/series.csv)")
+		strict        = flag.Bool("strict", false, "abort on the first malformed corpus line instead of skipping it")
+		maxFailures   = flag.Int("max-failures", -1, "exit nonzero when more than this many series/months fail (-1 = never)")
+		progress      = flag.Bool("progress", false, "log pipeline progress events (stages, fitted months, finished series)")
+		metricsPath   = flag.String("metrics", "", "write the run's metrics registry as JSON to this file, \"-\" = stdout (deprecated: prefer -out DIR, which writes DIR/metrics.json)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+		tracePath     = flag.String("trace", "", "write the run's spans as Chrome Trace Event JSON to this file (deprecated: prefer -out DIR, which writes DIR/trace.json)")
+		explainDir    = flag.String("explain", "", "write decision-provenance artifacts under this directory (deprecated: prefer -out DIR, which writes DIR/explain)")
+		promAddr      = flag.String("prom", "", "serve Prometheus text metrics on this address at /metrics (the -pprof mux serves it too)")
+		ckptDir       = flag.String("checkpoint", "", "durable per-month checkpoint directory: fits are persisted there and reused on reruns over the same corpus")
 	)
 	flag.Parse()
+
+	if *hierarchy && !*generate && *hierarchyFile == "" {
+		log.Print("-hierarchy needs a hierarchy source: -generate (catalog) or -hierarchy-file")
+		return exitUsage
+	}
+
+	// -out consolidates the artifact layout; the older single-artifact flags
+	// override their path inside it.
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Print(err)
+			return exitError
+		}
+		if *explainDir == "" {
+			*explainDir = filepath.Join(*outDir, "explain")
+		}
+		if *metricsPath == "" {
+			*metricsPath = filepath.Join(*outDir, "metrics.json")
+		}
+		if *tracePath == "" {
+			*tracePath = filepath.Join(*outDir, "trace.json")
+		}
+		if *csvPath == "" {
+			*csvPath = filepath.Join(*outDir, "series.csv")
+		}
+	}
 
 	// DefaultServeMux carries the pprof handlers (blank import), the expvar
 	// page at /debug/vars (expvar is linked in through the obs registry
@@ -185,10 +282,11 @@ func run() int {
 	defer stop()
 
 	var ds *mic.Dataset
+	var truth *micgen.Truth
 	var err error
 	switch {
 	case *generate:
-		ds, _, err = micgen.Generate(micgen.Config{Seed: *seed, Months: *months, RecordsPerMonth: *records})
+		ds, truth, err = micgen.Generate(micgen.Config{Seed: *seed, Months: *months, RecordsPerMonth: *records})
 	case *in != "":
 		f, ferr := mic.ParseFormat(*format)
 		if ferr != nil {
@@ -229,7 +327,10 @@ func run() int {
 	if *progress {
 		opts.Observer = func(e obs.Event) { log.Print(e) }
 	}
-	fl := &flusher{metricsPath: *metricsPath, metrics: metrics, explainDir: *explainDir}
+	fl := &flusher{metricsPath: *metricsPath, metrics: metrics, explainDir: *explainDir, outDir: *outDir}
+	if *outDir != "" {
+		fl.artifacts = make(map[string]string)
+	}
 	defer fl.flush(nil, false) // backstop for panics and early returns
 	if *tracePath != "" {
 		fl.tracer = obs.NewTracer()
@@ -260,7 +361,21 @@ func run() int {
 		}
 	}
 
-	fmt.Printf("analyzing %d months, %d records, %s search…\n", ds.T(), ds.NumRecords(), opts.Method)
+	// The human-readable report goes to stdout and, under -out, is tee'd
+	// into report.txt so the artifact directory is self-contained.
+	var rep io.Writer = os.Stdout
+	if *outDir != "" {
+		path := filepath.Join(*outDir, "report.txt")
+		rf, err := os.Create(path)
+		if err != nil {
+			return fl.fail(nil, err)
+		}
+		fl.report = rf
+		fl.record("report", path)
+		rep = io.MultiWriter(os.Stdout, rf)
+	}
+
+	fmt.Fprintf(rep, "analyzing %d months, %d records, %s search…\n", ds.T(), ds.NumRecords(), opts.Method)
 	analysis, err := trend.Analyze(ctx, ds, opts)
 	interrupted := false
 	switch {
@@ -282,18 +397,19 @@ func run() int {
 			return fl.fail(analysis, err)
 		}
 		fmt.Printf("wrote reproduced series to %s\n", *csvPath)
+		fl.record("series_csv", *csvPath)
 	}
 
 	printKind := func(name string, dets []trend.Detection, describe func(trend.Detection) string) {
 		detected := trend.DetectedChangePoints(dets)
-		fmt.Printf("\n%s series: %d analyzed, %d with change points\n", name, len(dets), len(detected))
+		fmt.Fprintf(rep, "\n%s series: %d analyzed, %d with change points\n", name, len(dets), len(detected))
 		n := *top
 		if n > len(detected) {
 			n = len(detected)
 		}
 		for _, d := range detected[:n] {
 			improvement := d.Result.NoChangeAIC - d.Result.AIC
-			fmt.Printf("  month %2d (ΔAIC %6.2f)  %s\n", d.Result.ChangePoint, improvement, describe(d))
+			fmt.Fprintf(rep, "  month %2d (ΔAIC %6.2f)  %s\n", d.Result.ChangePoint, improvement, describe(d))
 		}
 	}
 	printKind("disease", analysis.Diseases, func(d trend.Detection) string {
@@ -308,13 +424,13 @@ func run() int {
 			ds.Medicines.Code(int32(d.Medicine)), ds.Diseases.Code(int32(d.Disease)), cause)
 	})
 
-	fmt.Printf("\ntotal model fits: %d\n", analysis.TotalFits)
-	printStageSummary(metrics)
+	fmt.Fprintf(rep, "\ntotal model fits: %d\n", analysis.TotalFits)
+	printStageSummary(rep, metrics)
 	counts := map[trend.Cause]int{}
 	for _, c := range causes {
 		counts[c]++
 	}
-	fmt.Printf("prescription change causes: %d disease-derived, %d medicine-derived, %d prescription-derived, %d unchanged\n",
+	fmt.Fprintf(rep, "prescription change causes: %d disease-derived, %d medicine-derived, %d prescription-derived, %d unchanged\n",
 		counts[trend.CauseDisease], counts[trend.CauseMedicine], counts[trend.CausePrescription], counts[trend.CauseNone])
 
 	if *emerging > 0 {
@@ -322,27 +438,38 @@ func run() int {
 		if err != nil {
 			log.Printf("warning: some emerging-trend projections failed: %v", err)
 		}
-		fmt.Printf("\nemerging prescriptions (projected %d months ahead):\n", *emerging)
+		fmt.Fprintf(rep, "\nemerging prescriptions (projected %d months ahead):\n", *emerging)
 		n := *top
 		if n > len(list) {
 			n = len(list)
 		}
 		for _, e := range list[:n] {
-			fmt.Printf("  %s ← %s: broke at month %d, +%.2f/month, now %.1f, projected %+.1f\n",
+			fmt.Fprintf(rep, "  %s ← %s: broke at month %d, +%.2f/month, now %.1f, projected %+.1f\n",
 				ds.Medicines.Code(int32(e.Medicine)), ds.Diseases.Code(int32(e.Disease)),
 				e.ChangePoint, e.SlopePerMonth, e.LastValue, e.ProjectedGrowth)
 		}
 	}
 
+	if *hierarchy && !interrupted {
+		code, serr := runSurveillance(ctx, rep, fl, ds, truth, *hierarchyFile, opts, analysis, *outDir)
+		if code != exitOK {
+			return code
+		}
+		if errors.Is(serr, context.Canceled) {
+			log.Print("warning: interrupted — the surveillance report above is partial")
+			interrupted = true
+		}
+	}
+
 	if n := len(analysis.Failures); n > 0 {
-		fmt.Printf("\n%d series/month(s) failed and were skipped:\n", n)
+		fmt.Fprintf(rep, "\n%d series/month(s) failed and were skipped:\n", n)
 		const maxShown = 10
 		for i, f := range analysis.Failures {
 			if i == maxShown {
-				fmt.Printf("  … and %d more\n", n-maxShown)
+				fmt.Fprintf(rep, "  … and %d more\n", n-maxShown)
 				break
 			}
-			fmt.Printf("  %s\n", f)
+			fmt.Fprintf(rep, "  %s\n", f)
 		}
 		if *maxFailures >= 0 && n > *maxFailures {
 			return fl.fail(analysis, fmt.Errorf("%d failures exceed -max-failures=%d", n, *maxFailures))
@@ -353,6 +480,77 @@ func run() int {
 		return exitInterrupt // the report above is partial
 	}
 	return exitOK
+}
+
+// runSurveillance rolls the analysis up the hierarchy, drills detected
+// aggregate breaks down, and renders the report to rep (and, under -out, to
+// surveillance.txt plus the surveillance.json tree). Returns exitOK and
+// Surveil's error (nil, or context.Canceled for a partial tree) on success
+// paths; any other exit code means run should return it.
+func runSurveillance(ctx context.Context, rep io.Writer, fl *flusher, ds *mic.Dataset, truth *micgen.Truth,
+	hierarchyFile string, opts trend.Options, analysis *trend.Analysis, outDir string) (int, error) {
+	h, err := loadHierarchy(ds, truth, hierarchyFile)
+	if err != nil {
+		return fl.fail(analysis, err), nil
+	}
+	surv, serr := trend.Surveil(ctx, ds, trend.SurveilOptions{
+		Hierarchy: h,
+		Pipeline:  opts,
+		Analysis:  analysis, // reuse the fitted models and reproduced series
+	})
+	if surv == nil {
+		return fl.fail(analysis, serr), nil
+	}
+	if serr != nil && !errors.Is(serr, context.Canceled) {
+		log.Printf("warning: surveillance degraded: %v", serr)
+	}
+	fl.surv = surv
+	var buf bytes.Buffer
+	if err := surv.WriteReport(&buf, ds); err != nil {
+		return fl.fail(analysis, err), nil
+	}
+	fmt.Fprintln(rep)
+	if _, err := rep.Write(buf.Bytes()); err != nil {
+		return fl.fail(analysis, err), nil
+	}
+	if outDir != "" {
+		txt := filepath.Join(outDir, "surveillance.txt")
+		if err := os.WriteFile(txt, buf.Bytes(), 0o644); err != nil {
+			return fl.fail(analysis, err), nil
+		}
+		fl.record("surveillance_report", txt)
+		js := filepath.Join(outDir, "surveillance.json")
+		if err := writeJSONFile(js, surv); err != nil {
+			return fl.fail(analysis, err), nil
+		}
+		fl.record("surveillance", js)
+	}
+	return exitOK, serr
+}
+
+// loadHierarchy resolves the surveillance hierarchy: catalog-derived for
+// generated corpora, code-level JSON maps (-hierarchy-file) for real ones.
+func loadHierarchy(ds *mic.Dataset, truth *micgen.Truth, path string) (trend.Hierarchy, error) {
+	if path != "" {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return trend.Hierarchy{}, err
+		}
+		var hf struct {
+			MedicineClass map[string]string `json:"medicine_class"`
+			ClassGroup    map[string]string `json:"class_group"`
+			DiseaseGroup  map[string]string `json:"disease_group"`
+		}
+		if err := json.Unmarshal(raw, &hf); err != nil {
+			return trend.Hierarchy{}, fmt.Errorf("parsing hierarchy file %s: %w", path, err)
+		}
+		return trend.HierarchyFromCodes(ds, hf.MedicineClass, hf.ClassGroup, hf.DiseaseGroup), nil
+	}
+	if truth == nil || truth.Catalog == nil {
+		return trend.Hierarchy{}, errors.New("-hierarchy needs -generate (catalog hierarchy) or -hierarchy-file")
+	}
+	c := truth.Catalog
+	return trend.HierarchyFromCodes(ds, c.MedicineClasses(), c.ClassGroups, c.DiseaseGroups()), nil
 }
 
 // writeCSV dumps the reproduced prescription series for external plotting.
@@ -370,7 +568,7 @@ func writeCSV(path string, analysis *trend.Analysis, ds *mic.Dataset) error {
 
 // printStageSummary renders the per-stage wall-clock table from the
 // registry's "time/stage/*" timers, in pipeline order.
-func printStageSummary(metrics *obs.Registry) {
+func printStageSummary(w io.Writer, metrics *obs.Registry) {
 	snap := metrics.Snapshot()
 	const prefix = "time/stage/"
 	var names []string
@@ -384,8 +582,8 @@ func printStageSummary(metrics *obs.Registry) {
 	if len(names) == 0 || total <= 0 {
 		return
 	}
-	// Pipeline order, not lexical: model → reproduce → detect.
-	order := map[string]int{"model": 0, "reproduce": 1, "detect": 2}
+	// Pipeline order, not lexical: model → reproduce → detect → surveil.
+	order := map[string]int{"model": 0, "reproduce": 1, "detect": 2, "surveil": 3, "surveil-drill": 4}
 	sort.Slice(names, func(a, b int) bool {
 		sa, sb := strings.TrimPrefix(names[a], prefix), strings.TrimPrefix(names[b], prefix)
 		oa, oka := order[sa]
@@ -398,14 +596,14 @@ func printStageSummary(metrics *obs.Registry) {
 		}
 		return sa < sb
 	})
-	fmt.Printf("\nstage wall-clock:\n")
+	fmt.Fprintf(w, "\nstage wall-clock:\n")
 	for _, name := range names {
 		d := time.Duration(snap.Timings[name].TotalNS)
-		fmt.Printf("  %-10s %12s  %5.1f%%\n",
+		fmt.Fprintf(w, "  %-13s %12s  %5.1f%%\n",
 			strings.TrimPrefix(name, prefix), d.Round(time.Millisecond),
 			100*float64(d)/float64(total))
 	}
-	fmt.Printf("  %-10s %12s\n", "total", total.Round(time.Millisecond))
+	fmt.Fprintf(w, "  %-13s %12s\n", "total", total.Round(time.Millisecond))
 }
 
 // writeTrace dumps the collected spans as Chrome Trace Event JSON.
@@ -432,6 +630,21 @@ func writeMetrics(path string, metrics *obs.Registry) error {
 		return err
 	}
 	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeJSONFile writes v as indented JSON.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mictrend/internal/trend"
+)
+
+// TestOutDirArtifactLayout builds the real binary and runs it with
+// -generate -hierarchy -out: the consolidated artifact directory must hold
+// the report, surveillance report and tree, metrics, explain provenance,
+// series CSV, and a manifest whose artifact map names each written file.
+func TestOutDirArtifactLayout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the trendscan binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "trendscan")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	outDir := filepath.Join(tmp, "run")
+	cmd := exec.Command(bin,
+		"-generate", "-months", "24", "-records", "300", "-seed", "11",
+		"-seasonal=false", "-min-total", "50",
+		"-hierarchy", "-out", outDir)
+	stdout, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			t.Fatalf("trendscan exited %d:\n%s\n%s", ee.ExitCode(), stdout, ee.Stderr)
+		}
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stdout), "hierarchical surveillance:") {
+		t.Fatalf("stdout is missing the surveillance drill-down report:\n%s", stdout)
+	}
+
+	// Every artifact of the consolidated layout exists.
+	for _, name := range []string{
+		"manifest.json", "report.txt", "surveillance.txt", "surveillance.json",
+		"metrics.json", "trace.json", "series.csv",
+		filepath.Join("explain", "manifest.json"),
+	} {
+		if _, err := os.Stat(filepath.Join(outDir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+
+	// report.txt is the tee of stdout up to the artifact-flush lines.
+	report, err := os.ReadFile(filepath.Join(outDir, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"analyzing 24 months", "stage wall-clock:", "hierarchical surveillance:"} {
+		if !strings.Contains(string(report), want) {
+			t.Errorf("report.txt is missing %q", want)
+		}
+	}
+
+	// The manifest names the run and every written artifact.
+	raw, err := os.ReadFile(filepath.Join(outDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man outManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatalf("manifest.json: %v", err)
+	}
+	if man.Version != version {
+		t.Errorf("manifest version = %q, want %q", man.Version, version)
+	}
+	if man.Months != 24 || man.Seed != 11 {
+		t.Errorf("manifest months/seed = %d/%d, want 24/11", man.Months, man.Seed)
+	}
+	if man.SurveilNodes == 0 {
+		t.Error("manifest reports zero surveillance nodes")
+	}
+	for _, key := range []string{"report", "metrics", "trace", "explain", "series_csv", "surveillance_report", "surveillance"} {
+		path, ok := man.Artifacts[key]
+		if !ok {
+			t.Errorf("manifest artifact map is missing %q", key)
+			continue
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("manifest artifact %q points at a missing path: %v", key, err)
+		}
+	}
+
+	// surveillance.json round-trips into the facade's Surveillance tree.
+	raw, err = os.ReadFile(filepath.Join(outDir, "surveillance.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var surv trend.Surveillance
+	if err := json.Unmarshal(raw, &surv); err != nil {
+		t.Fatalf("surveillance.json: %v", err)
+	}
+	if len(surv.Nodes) != man.SurveilNodes {
+		t.Errorf("surveillance.json has %d nodes, manifest says %d", len(surv.Nodes), man.SurveilNodes)
+	}
+
+	// Deprecated alias: -metrics overrides the path inside -out.
+	outDir2 := filepath.Join(tmp, "run2")
+	alias := filepath.Join(tmp, "aliased-metrics.json")
+	cmd = exec.Command(bin,
+		"-generate", "-months", "12", "-records", "200", "-seasonal=false",
+		"-out", outDir2, "-metrics", alias)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("aliased run failed: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(alias); err != nil {
+		t.Errorf("-metrics alias was not honored: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(outDir2, "metrics.json")); err == nil {
+		t.Error("-out wrote metrics.json despite the -metrics override")
+	}
+}
+
+// TestHierarchyNeedsSource pins the usage error: -hierarchy without
+// -generate or -hierarchy-file exits 2 before doing any work.
+func TestHierarchyNeedsSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the trendscan binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "trendscan")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-in", filepath.Join(tmp, "nope.jsonl"), "-hierarchy")
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v", err)
+	}
+	if code := ee.ExitCode(); code != exitUsage {
+		t.Fatalf("exit code = %d, want %d", code, exitUsage)
+	}
+}

@@ -133,6 +133,76 @@ func TestPublicAPIConstants(t *testing.T) {
 	}
 }
 
+// TestPublicAPISurveillance drives hierarchical surveillance through the
+// facade only: build the hierarchy from the generator catalog, surveil the
+// corpus, and drill into the flagged substitution.
+func TestPublicAPISurveillance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surveillance facade test is heavy")
+	}
+	corpus, truth, err := GenerateCorpus(GeneratorConfig{
+		Seed:            21,
+		Months:          30,
+		RecordsPerMonth: 800,
+		BulkDiseases:    5,
+		BulkMedicines:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := truth.Catalog
+	h := NewClassHierarchy(corpus, c.MedicineClasses(), c.ClassGroupCodes(), c.DiseaseGroups())
+	opts := DefaultAnalysisOptions()
+	opts.Method = MethodBinary
+	opts.Seasonal = false
+	opts.MinSeriesTotal = 100
+	surv, err := Surveil(context.Background(), corpus, SurveilOptions{Hierarchy: h, Pipeline: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(surv.Nodes) == 0 || surv.AggregateFits == 0 {
+		t.Fatal("surveillance ran nothing")
+	}
+	for _, node := range surv.Detected() {
+		if node.Key.Kind != KindMedicineClass && node.Key.Kind != KindMedicineGroup && node.Key.Kind != KindDiseaseGroup {
+			t.Fatalf("detected node %s has a leaf kind", node.Key)
+		}
+		if len(node.Attribution) == 0 {
+			t.Fatalf("detected node %s lacks attribution", node.Key)
+		}
+	}
+	// The typed key round-trips through its stringly form.
+	k := SeriesKey{Kind: KindMedicineClass, Node: "B01"}
+	back, err := ParseSeriesKey(k.String())
+	if err != nil || back != k {
+		t.Fatalf("ParseSeriesKey(%q) = %v, %v", k.String(), back, err)
+	}
+	// The planted offsetting substitution surfaces.
+	declinerID, ok := corpus.Medicines.Lookup("M-APLT")
+	if !ok {
+		t.Fatal("scenario medicine missing")
+	}
+	found := false
+	for _, op := range surv.Offsets {
+		if op.Decliner == (SeriesKey{Kind: KindMedicine, Medicine: MedicineID(declinerID)}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted substitution not flagged: %+v", surv.Offsets)
+	}
+	var report bytes.Buffer
+	if err := surv.WriteReport(&report, corpus); err != nil {
+		t.Fatal(err)
+	}
+	if report.Len() == 0 {
+		t.Fatal("empty surveillance report")
+	}
+	if StageSurveil.String() != "surveil" {
+		t.Fatal("surveil stage name drifted")
+	}
+}
+
 // TestPublicAPIServing drives the crash-safe serving surface through the
 // facade only: a durable checkpoint store resuming a batch analysis, and a
 // serving core folding months into immutable epoch snapshots.

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSurveillance pins the acceptance criteria on the experiments corpus:
+// ≥ 90% recall of the planted aggregate events, perfect top-1 attribution
+// for single-driver events, the planted substitution pairs flagged, and a
+// surveillance scan set far smaller than the flat one.
+func TestSurveillance(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunSurveillance(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no planted aggregate events to score against")
+	}
+	if res.EventHits*10 < len(res.Events)*9 {
+		t.Errorf("aggregate-event recall %d/%d, want ≥ 90%%", res.EventHits, len(res.Events))
+	}
+	if res.Top1Total > 0 && res.Top1Correct != res.Top1Total {
+		t.Errorf("top-1 attribution %d/%d, want all correct", res.Top1Correct, res.Top1Total)
+	}
+	if len(res.OffsetTruths) == 0 {
+		t.Fatal("no planted offset pairs to score against")
+	}
+	if res.OffsetHits != len(res.OffsetTruths) {
+		t.Errorf("offset-pair recall %d/%d, want all flagged", res.OffsetHits, len(res.OffsetTruths))
+	}
+	if res.AggregateNodes >= res.FlatSeries {
+		t.Errorf("aggregate set (%d nodes) is not smaller than the flat set (%d series)", res.AggregateNodes, res.FlatSeries)
+	}
+	if res.AggregateFits+res.DrillFits >= res.FlatFits {
+		t.Errorf("surveillance fits %d+%d are not cheaper than the flat scan's %d",
+			res.AggregateFits, res.DrillFits, res.FlatFits)
+	}
+	if res.DetectedNodes == 0 {
+		t.Error("surveillance flagged no aggregate nodes at all")
+	}
+
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"attribution accuracy", "Aggregate-vs-flat scan cost", "offset pairs flagged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render is missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}

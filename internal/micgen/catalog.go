@@ -25,8 +25,12 @@ type SeasonPeak struct {
 
 // Disease is a catalog entry for a diagnosable condition.
 type Disease struct {
-	Code       string
-	Name       string
+	Code string
+	Name string
+	// Group is the disease-group code this condition rolls up into for
+	// hierarchical surveillance (e.g. "RESP"). Empty means the disease forms
+	// a singleton group named by its own code.
+	Group      string
 	Prevalence float64      // base weight in the diagnosis distribution
 	Peaks      []SeasonPeak // seasonal profile; empty = flat
 	Chronic    bool         // chronic diseases recur for the same patient
@@ -57,8 +61,13 @@ type Indication struct {
 
 // Medicine is a catalog entry for a prescribable drug.
 type Medicine struct {
-	Code       string
-	Name       string
+	Code string
+	Name string
+	// Class is the ATC-like therapeutic class code this medicine rolls up
+	// into (e.g. "B01" for antiplatelets). Empty means the medicine forms a
+	// singleton class named by its own code. Classes roll up further into
+	// anatomical groups via Catalog.ClassGroups.
+	Class      string
 	Popularity float64 // base multiplier across all its indications
 	// ReleaseMonth is the absolute dataset month the medicine goes on sale
 	// (0 = available from the beginning) — the §III-B "new medicine" change.
@@ -102,6 +111,10 @@ type Catalog struct {
 	Diseases  []Disease
 	Medicines []Medicine
 	Cities    []City
+	// ClassGroups maps each medicine class code to its ATC-like anatomical
+	// group (e.g. "B01" → "B"). Classes absent from the map form singleton
+	// groups named by their own class code.
+	ClassGroups map[string]string
 
 	diseaseIdx  map[string]int
 	medicineIdx map[string]int
@@ -183,6 +196,67 @@ func (c *Catalog) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ClassOf returns the effective medicine class of m: its Class code, or a
+// singleton class named by its own code when unclassified, so the hierarchy
+// is total over any catalog.
+func ClassOf(m *Medicine) string {
+	if m.Class != "" {
+		return m.Class
+	}
+	return m.Code
+}
+
+// GroupOfDisease returns the effective disease group of d (singleton
+// fallback as in ClassOf).
+func GroupOfDisease(d *Disease) string {
+	if d.Group != "" {
+		return d.Group
+	}
+	return d.Code
+}
+
+// GroupOfClass returns the anatomical group of a medicine class, falling
+// back to a singleton group named by the class itself.
+func (c *Catalog) GroupOfClass(class string) string {
+	if g, ok := c.ClassGroups[class]; ok && g != "" {
+		return g
+	}
+	return class
+}
+
+// MedicineClasses returns the medicine code → class code map of the
+// hierarchy's bottom medicine level, singleton-completed so every medicine
+// appears. This is the ground-truth hierarchy recorded next to the known
+// events; trend.HierarchyFromCodes turns it into vocabulary-id form.
+func (c *Catalog) MedicineClasses() map[string]string {
+	out := make(map[string]string, len(c.Medicines))
+	for i := range c.Medicines {
+		out[c.Medicines[i].Code] = ClassOf(&c.Medicines[i])
+	}
+	return out
+}
+
+// ClassGroupCodes returns the class code → anatomical group code map,
+// singleton-completed over every class in use.
+func (c *Catalog) ClassGroupCodes() map[string]string {
+	out := make(map[string]string)
+	for i := range c.Medicines {
+		class := ClassOf(&c.Medicines[i])
+		out[class] = c.GroupOfClass(class)
+	}
+	return out
+}
+
+// DiseaseGroups returns the disease code → group code map,
+// singleton-completed over every disease.
+func (c *Catalog) DiseaseGroups() map[string]string {
+	out := make(map[string]string, len(c.Diseases))
+	for i := range c.Diseases {
+		out[c.Diseases[i].Code] = GroupOfDisease(&c.Diseases[i])
+	}
+	return out
 }
 
 // seasonalWeight returns the diagnosis weight of disease d at absolute
@@ -268,11 +342,18 @@ func indicationWeight(ind *Indication, t int) float64 {
 // receive release or expansion events to populate the change point
 // experiments.
 func bulkCatalog(c *Catalog, nDiseases, nMedicines, months int, rng *rand.Rand) {
+	// Bulk hierarchy assignment is positional (no rng draws), so adding the
+	// class/group level cannot perturb the generator's RNG stream — corpora
+	// generated before the hierarchy existed stay byte-identical.
+	if c.ClassGroups == nil {
+		c.ClassGroups = make(map[string]string)
+	}
 	startDiseases := len(c.Diseases)
 	for i := 0; i < nDiseases; i++ {
 		d := Disease{
 			Code:       fmt.Sprintf("D-B%03d", i),
 			Name:       fmt.Sprintf("bulk disease %d", i),
+			Group:      fmt.Sprintf("DG%02d", i/6),
 			Prevalence: 0.2 + rng.Float64()*1.3,
 			Chronic:    rng.Float64() < 0.4,
 		}
@@ -286,9 +367,12 @@ func bulkCatalog(c *Catalog, nDiseases, nMedicines, months int, rng *rand.Rand) 
 		c.Diseases = append(c.Diseases, d)
 	}
 	for i := 0; i < nMedicines; i++ {
+		class := fmt.Sprintf("BC%02d", i/4)
+		c.ClassGroups[class] = fmt.Sprintf("BG%d", i/16)
 		m := Medicine{
 			Code:          fmt.Sprintf("M-B%03d", i),
 			Name:          fmt.Sprintf("bulk medicine %d", i),
+			Class:         class,
 			Popularity:    0.4 + rng.Float64()*1.2,
 			PriceCutMonth: -1,
 		}

@@ -1,0 +1,170 @@
+package micgen
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// TestCatalogHierarchyComplete: the accessor maps must be singleton-completed
+// — every medicine has a class, every class a group, every disease a group —
+// so a hierarchy built from them covers the whole vocabulary.
+func TestCatalogHierarchyComplete(t *testing.T) {
+	c := NewCatalog(30, 0, 0, rand.New(rand.NewPCG(1, 2)))
+	classes := c.MedicineClasses()
+	for i := range c.Medicines {
+		m := &c.Medicines[i]
+		class, ok := classes[m.Code]
+		if !ok || class == "" {
+			t.Fatalf("medicine %s has no class", m.Code)
+		}
+	}
+	groups := c.ClassGroupCodes()
+	for _, class := range classes {
+		if groups[class] == "" {
+			t.Fatalf("class %s has no anatomical group", class)
+		}
+	}
+	dgroups := c.DiseaseGroups()
+	for i := range c.Diseases {
+		if dgroups[c.Diseases[i].Code] == "" {
+			t.Fatalf("disease %s has no group", c.Diseases[i].Code)
+		}
+	}
+	// The planted substitution scenario must share one class: the original
+	// anti-platelet and its three generics.
+	for _, code := range []string{MedicineAntiplOrig, MedicineGeneric1, MedicineGeneric2, MedicineGeneric3} {
+		if classes[code] != ClassAntiplatelet {
+			t.Fatalf("%s in class %s, want %s", code, classes[code], ClassAntiplatelet)
+		}
+	}
+	// And the diagnostics-shift diseases one disease group.
+	if dgroups[DiseaseDehydration] != GroupNutrition || dgroups[DiseaseOralFeeding] != GroupNutrition {
+		t.Fatal("diag-shift diseases not in the nutrition group")
+	}
+}
+
+// TestBulkHierarchyPositional: bulk catalog hierarchy assignment must be
+// positional (no RNG draws), so enabling it never perturbs record streams.
+func TestBulkHierarchyPositional(t *testing.T) {
+	a := NewCatalog(30, 8, 9, rand.New(rand.NewPCG(1, 2)))
+	b := NewCatalog(30, 8, 9, rand.New(rand.NewPCG(3, 4)))
+	if !reflect.DeepEqual(a.MedicineClasses(), b.MedicineClasses()) {
+		t.Fatal("bulk medicine classes not deterministic")
+	}
+	classes := a.MedicineClasses()
+	for i := range a.Medicines {
+		if classes[a.Medicines[i].Code] == "" {
+			t.Fatalf("bulk medicine %s unclassed", a.Medicines[i].Code)
+		}
+	}
+	// Bulk classes hold several medicines each — a one-medicine-per-class
+	// hierarchy would make class aggregates pointless.
+	counts := map[string]int{}
+	for _, class := range classes {
+		counts[class]++
+	}
+	multi := 0
+	for _, n := range counts {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no bulk class has more than one medicine")
+	}
+}
+
+// TestAggregateEventsGroundTruth pins the derived class-level events on the
+// standard corpus: deterministic, sorted, and containing the known planted
+// single-driver events.
+func TestAggregateEventsGroundTruth(t *testing.T) {
+	_, truth, err := Generate(Config{Seed: 42, Months: 30, RecordsPerMonth: 1200, BulkDiseases: 6, BulkMedicines: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := truth.AggregateEvents(0, -1, 0)
+	if len(events) == 0 {
+		t.Fatal("no aggregate events derived")
+	}
+	again := truth.AggregateEvents(0, -1, 0)
+	if !reflect.DeepEqual(events, again) {
+		t.Fatal("AggregateEvents not deterministic")
+	}
+	for i := 1; i < len(events); i++ {
+		a, b := events[i-1], events[i]
+		if a.Class > b.Class || (a.Class == b.Class && a.Month > b.Month) {
+			t.Fatalf("events not sorted: %v before %v", a, b)
+		}
+	}
+	byClass := map[string][]AggregateEvent{}
+	for _, ev := range events {
+		if ev.RelShift <= 0 {
+			t.Fatalf("event %v kept with non-positive shift", ev)
+		}
+		if len(ev.Drivers) == 0 || len(ev.Kinds) != len(ev.Drivers) {
+			t.Fatalf("event %v has malformed drivers", ev)
+		}
+		if ev.Group == "" {
+			t.Fatalf("event %v lost its group", ev)
+		}
+		byClass[ev.Class] = append(byClass[ev.Class], ev)
+	}
+	// The Lewy body indication expansion is a clean single-driver class
+	// event: M-LEWY is alone in its antiparkinson class.
+	found := false
+	for _, ev := range byClass[ClassAntiparkinson] {
+		if len(ev.Drivers) == 1 && ev.Drivers[0] == MedicineLewyDrug && ev.Kinds[0] == ChangeExpansion {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Lewy expansion missing from %s events: %+v", ClassAntiparkinson, byClass[ClassAntiparkinson])
+	}
+	// The generic substitution must NOT surface as a visible aggregate
+	// event: the class total stays roughly flat — that is the offset case.
+	for _, ev := range byClass[ClassAntiplatelet] {
+		t.Fatalf("offsetting substitution leaked into aggregate events: %+v", ev)
+	}
+}
+
+// TestOffsetPairsGroundTruth pins the planted substitutions.
+func TestOffsetPairsGroundTruth(t *testing.T) {
+	_, truth, err := Generate(Config{Seed: 42, Months: 30, RecordsPerMonth: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := truth.OffsetPairs()
+	var generic, diag *OffsetTruth
+	for i := range pairs {
+		switch {
+		case pairs[i].Class == ClassAntiplatelet && pairs[i].Decliner == MedicineAntiplOrig:
+			generic = &pairs[i]
+		case pairs[i].Group == GroupNutrition && pairs[i].Decliner == DiseaseDehydration:
+			diag = &pairs[i]
+		}
+	}
+	if generic == nil {
+		t.Fatalf("generic substitution missing from offset truth: %+v", pairs)
+	}
+	if want := []string{MedicineGeneric1, MedicineGeneric2, MedicineGeneric3}; !reflect.DeepEqual(generic.Risers, want) {
+		t.Fatalf("generic risers = %v, want %v", generic.Risers, want)
+	}
+	if generic.Month != GenericReleaseMonth {
+		t.Fatalf("generic offset month = %d, want %d", generic.Month, GenericReleaseMonth)
+	}
+	if diag == nil {
+		t.Fatalf("diagnostics shift missing from offset truth: %+v", pairs)
+	}
+	if len(diag.Risers) != 1 || diag.Risers[0] != DiseaseOralFeeding || diag.Month != DiagShiftMonth {
+		t.Fatalf("diag-shift offset = %+v", *diag)
+	}
+	// Short corpora that end before the release month plant nothing.
+	_, short, err := Generate(Config{Seed: 42, Months: 10, RecordsPerMonth: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := short.OffsetPairs(); len(got) != 0 {
+		t.Fatalf("10-month corpus should plant no offsets, got %+v", got)
+	}
+}

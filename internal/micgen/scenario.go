@@ -87,11 +87,59 @@ const (
 	StatinPriceCutMonth = 14
 )
 
+// ATC-like medicine class codes for the scenario medicines (class level of
+// the surveillance hierarchy). The antiplatelet class carries the planted
+// offsetting substitution pair: M-APLT's decline after GenericReleaseMonth is
+// absorbed by its three generics' rise, so the class aggregate barely moves.
+const (
+	ClassAntihypertensive = "C02" // M-DEPR
+	ClassStatin           = "C10" // M-PRICE, M-STATN
+	ClassNSAID            = "M01" // M-NSAID
+	ClassOsteoporosis     = "M05" // M-NOSTP, M-OOSTP
+	ClassBronchodilator   = "R03" // M-NBRON, M-XBRON
+	ClassColdRemedy       = "R05" // M-COLD
+	ClassAntihistamine    = "R06" // M-AHIST
+	ClassAntidiarrheal    = "A07" // M-ADIA
+	ClassRehydration      = "A12" // M-ORS
+	ClassAntibiotic       = "J01" // M-ABX
+	ClassAntiviral        = "J05" // M-AVIR
+	ClassAntiparkinson    = "N04" // M-LEWY
+	ClassAntiplatelet     = "B01" // M-APLT and its generics
+	ClassInfusion         = "B05" // M-INFU
+)
+
+// Disease-group codes (group level of the surveillance hierarchy). The
+// nutrition group carries the planted diagnostics-substitution pair: D-DEHY
+// diagnoses migrate to D-ORAL after DiagShiftMonth with the group total
+// roughly flat.
+const (
+	GroupRespiratory     = "RESP"
+	GroupCirculatory     = "CIRC"
+	GroupNeurological    = "NEURO"
+	GroupMusculoskeletal = "MSK"
+	GroupDigestive       = "GI"
+	GroupNutrition       = "NUTR"
+)
+
+// scenarioClassGroups maps the scenario classes to their ATC-like anatomical
+// groups (the top medicine level of the hierarchy).
+func scenarioClassGroups() map[string]string {
+	return map[string]string{
+		ClassAntihypertensive: "C", ClassStatin: "C",
+		ClassNSAID: "M", ClassOsteoporosis: "M",
+		ClassBronchodilator: "R", ClassColdRemedy: "R", ClassAntihistamine: "R",
+		ClassAntidiarrheal: "A", ClassRehydration: "A",
+		ClassAntibiotic: "J", ClassAntiviral: "J",
+		ClassAntiparkinson: "N",
+		ClassAntiplatelet:  "B", ClassInfusion: "B",
+	}
+}
+
 // scenarioDiseases returns the named diseases of the paper's case studies.
 // months is the dataset length, used to place outbreaks.
 func scenarioDiseases(months int) []Disease {
 	flu := Disease{
-		Code: DiseaseInfluenza, Name: "influenza", Prevalence: 2.2, Viral: true,
+		Code: DiseaseInfluenza, Name: "influenza", Group: GroupRespiratory, Prevalence: 2.2, Viral: true,
 		Peaks:         []SeasonPeak{{Month: 10, Amplitude: 3.5, Width: 1.2}}, // winter peak (dataset starts in March)
 		OutbreakBoost: 2.5,
 	}
@@ -99,95 +147,95 @@ func scenarioDiseases(months int) []Disease {
 		flu.OutbreakMonths = []int{FluOutbreakMonth, FluOutbreakMonth + 1}
 	}
 	return []Disease{
-		{Code: DiseaseHypertension, Name: "hypertension", Prevalence: 6.0, Chronic: true},
-		{Code: DiseaseArthritis, Name: "osteoarthritis", Prevalence: 4.0, Chronic: true},
-		{Code: DiseaseHayFever, Name: "hay fever", Prevalence: 1.8, Peaks: []SeasonPeak{{Month: 1, Amplitude: 3.0, Width: 1.1}}},    // spring (month-of-year 1 = April for a March start)
-		{Code: DiseaseHeatstroke, Name: "heatstroke", Prevalence: 0.9, Peaks: []SeasonPeak{{Month: 5, Amplitude: 3.2, Width: 0.9}}}, // summer
+		{Code: DiseaseHypertension, Name: "hypertension", Group: GroupCirculatory, Prevalence: 6.0, Chronic: true},
+		{Code: DiseaseArthritis, Name: "osteoarthritis", Group: GroupMusculoskeletal, Prevalence: 4.0, Chronic: true},
+		{Code: DiseaseHayFever, Name: "hay fever", Group: GroupRespiratory, Prevalence: 1.8, Peaks: []SeasonPeak{{Month: 1, Amplitude: 3.0, Width: 1.1}}},  // spring (month-of-year 1 = April for a March start)
+		{Code: DiseaseHeatstroke, Name: "heatstroke", Group: GroupNutrition, Prevalence: 0.9, Peaks: []SeasonPeak{{Month: 5, Amplitude: 3.2, Width: 0.9}}}, // summer
 		flu,
-		{Code: DiseaseAsthma, Name: "bronchial asthma", Prevalence: 1.5, Chronic: true},
-		{Code: DiseaseBronchitis, Name: "chronic bronchitis", Prevalence: 1.2, Chronic: true, Bacterial: true},
-		{Code: DiseaseCOPD, Name: "COPD", Prevalence: 1.4, Chronic: true},
-		{Code: DiseaseLewyBody, Name: "Lewy body dementia", Prevalence: 0.7, Chronic: true},
-		{Code: DiseaseParkinson, Name: "Parkinson's disease", Prevalence: 1.0, Chronic: true},
-		{Code: DiseaseOsteoporosis, Name: "osteoporosis", Prevalence: 2.5, Chronic: true},
-		{Code: DiseaseStroke, Name: "cerebral infarction sequelae", Prevalence: 3.5, Chronic: true},
-		{Code: DiseaseDiarrhea, Name: "diarrhea", Prevalence: 1.0, Peaks: []SeasonPeak{
+		{Code: DiseaseAsthma, Name: "bronchial asthma", Group: GroupRespiratory, Prevalence: 1.5, Chronic: true},
+		{Code: DiseaseBronchitis, Name: "chronic bronchitis", Group: GroupRespiratory, Prevalence: 1.2, Chronic: true, Bacterial: true},
+		{Code: DiseaseCOPD, Name: "COPD", Group: GroupRespiratory, Prevalence: 1.4, Chronic: true},
+		{Code: DiseaseLewyBody, Name: "Lewy body dementia", Group: GroupNeurological, Prevalence: 0.7, Chronic: true},
+		{Code: DiseaseParkinson, Name: "Parkinson's disease", Group: GroupNeurological, Prevalence: 1.0, Chronic: true},
+		{Code: DiseaseOsteoporosis, Name: "osteoporosis", Group: GroupMusculoskeletal, Prevalence: 2.5, Chronic: true},
+		{Code: DiseaseStroke, Name: "cerebral infarction sequelae", Group: GroupCirculatory, Prevalence: 3.5, Chronic: true},
+		{Code: DiseaseDiarrhea, Name: "diarrhea", Group: GroupDigestive, Prevalence: 1.0, Peaks: []SeasonPeak{
 			{Month: 0, Amplitude: 1.6, Width: 1.0}, {Month: 7, Amplitude: 1.6, Width: 1.0}, // two season-change peaks
 		}},
-		{Code: DiseaseOralFeeding, Name: "oral feeding difficulty", Prevalence: 0.8, Chronic: true},
-		{Code: DiseaseDehydration, Name: "dehydration", Prevalence: 1.0},
-		{Code: DiseaseLipidemia, Name: "hyperlipidemia", Prevalence: 1.8, Chronic: true},
-		{Code: DiseaseCommonCold, Name: "acute upper respiratory inflammation", Prevalence: 3.0, Viral: true,
+		{Code: DiseaseOralFeeding, Name: "oral feeding difficulty", Group: GroupNutrition, Prevalence: 0.8, Chronic: true},
+		{Code: DiseaseDehydration, Name: "dehydration", Group: GroupNutrition, Prevalence: 1.0},
+		{Code: DiseaseLipidemia, Name: "hyperlipidemia", Group: GroupCirculatory, Prevalence: 1.8, Chronic: true},
+		{Code: DiseaseCommonCold, Name: "acute upper respiratory inflammation", Group: GroupRespiratory, Prevalence: 3.0, Viral: true,
 			Peaks: []SeasonPeak{{Month: 9, Amplitude: 1.8, Width: 2.0}}},
-		{Code: DiseasePharyngitis, Name: "pharyngitis", Prevalence: 1.1, Bacterial: true},
-		{Code: DiseaseAcuteBronch, Name: "acute bronchitis", Prevalence: 1.6, Bacterial: true,
+		{Code: DiseasePharyngitis, Name: "pharyngitis", Group: GroupRespiratory, Prevalence: 1.1, Bacterial: true},
+		{Code: DiseaseAcuteBronch, Name: "acute bronchitis", Group: GroupRespiratory, Prevalence: 1.6, Bacterial: true,
 			Peaks: []SeasonPeak{{Month: 9, Amplitude: 1.2, Width: 2.2}}},
-		{Code: DiseaseSinusitis, Name: "chronic sinusitis", Prevalence: 0.9, Chronic: true, Bacterial: true},
-		{Code: DiseasePneumonia, Name: "pneumonia", Prevalence: 0.8, Bacterial: true},
-		{Code: DiseaseMycobacterial, Name: "nontuberculous mycobacterial infection", Prevalence: 0.4, Chronic: true, Bacterial: true},
+		{Code: DiseaseSinusitis, Name: "chronic sinusitis", Group: GroupRespiratory, Prevalence: 0.9, Chronic: true, Bacterial: true},
+		{Code: DiseasePneumonia, Name: "pneumonia", Group: GroupRespiratory, Prevalence: 0.8, Bacterial: true},
+		{Code: DiseaseMycobacterial, Name: "nontuberculous mycobacterial infection", Group: GroupRespiratory, Prevalence: 0.4, Chronic: true, Bacterial: true},
 	}
 }
 
 // scenarioMedicines returns the named medicines of the paper's case studies.
 func scenarioMedicines() []Medicine {
 	return []Medicine{
-		{Code: MedicineDepressor, Name: "depressor", Popularity: 1.4, PriceCutMonth: -1,
+		{Code: MedicineDepressor, Name: "depressor", Class: ClassAntihypertensive, Popularity: 1.4, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseHypertension, Weight: 1.0}}},
-		{Code: MedicineAnalgesic, Name: "anti-inflammatory analgesic", Popularity: 1.6, PriceCutMonth: -1,
+		{Code: MedicineAnalgesic, Name: "anti-inflammatory analgesic", Class: ClassNSAID, Popularity: 1.6, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseArthritis, Weight: 1.0}}},
-		{Code: MedicineAntihist, Name: "antihistamine", Popularity: 1.2, PriceCutMonth: -1,
+		{Code: MedicineAntihist, Name: "antihistamine", Class: ClassAntihistamine, Popularity: 1.2, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseHayFever, Weight: 1.0}}},
-		{Code: MedicineRehydrate, Name: "oral rehydration salts", Popularity: 1.0, PriceCutMonth: -1,
+		{Code: MedicineRehydrate, Name: "oral rehydration salts", Class: ClassRehydration, Popularity: 1.0, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseHeatstroke, Weight: 1.0}, {Disease: DiseaseDehydration, Weight: 0.5}}},
-		{Code: MedicineAntiviral, Name: "anti-influenza antiviral", Popularity: 1.3, PriceCutMonth: -1,
+		{Code: MedicineAntiviral, Name: "anti-influenza antiviral", Class: ClassAntiviral, Popularity: 1.3, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseInfluenza, Weight: 1.0}}},
-		{Code: MedicineNewBronch, Name: "new bronchodilator", Popularity: 1.2,
+		{Code: MedicineNewBronch, Name: "new bronchodilator", Class: ClassBronchodilator, Popularity: 1.2,
 			ReleaseMonth: NewBronchReleaseMonth, ReleaseRamp: 70, PriceCutMonth: -1,
 			Indications: []Indication{
 				{Disease: DiseaseAsthma, Weight: 0.8},
 				{Disease: DiseaseBronchitis, Weight: 0.7},
 				{Disease: DiseaseCOPD, Weight: 0.9},
 			}},
-		{Code: MedicineExpBronch, Name: "bronchodilator with asthma expansion", Popularity: 1.1, PriceCutMonth: -1,
+		{Code: MedicineExpBronch, Name: "bronchodilator with asthma expansion", Class: ClassBronchodilator, Popularity: 1.1, PriceCutMonth: -1,
 			Indications: []Indication{
 				{Disease: DiseaseCOPD, Weight: 1.0},
 				{Disease: DiseaseBronchitis, Weight: 0.6},
 				{Disease: DiseaseAsthma, Weight: 1.0, StartMonth: AsthmaExpansionMonth, RampMonths: 8},
 			}},
-		{Code: MedicineLewyDrug, Name: "drug gaining Lewy body indication", Popularity: 1.0, PriceCutMonth: -1,
+		{Code: MedicineLewyDrug, Name: "drug gaining Lewy body indication", Class: ClassAntiparkinson, Popularity: 1.0, PriceCutMonth: -1,
 			Indications: []Indication{
 				{Disease: DiseaseParkinson, Weight: 1.0},
 				{Disease: DiseaseLewyBody, Weight: 1.2, StartMonth: LewyExpansionMonth, RampMonths: 6},
 			}},
-		{Code: MedicineNewOsteo, Name: "new osteoporosis medicine", Popularity: 1.6,
+		{Code: MedicineNewOsteo, Name: "new osteoporosis medicine", Class: ClassOsteoporosis, Popularity: 1.6,
 			ReleaseMonth: NewOsteoReleaseMonth, ReleaseRamp: 70, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseOsteoporosis, Weight: 1.4}}},
-		{Code: MedicineOldOsteo, Name: "established osteoporosis medicine", Popularity: 1.2, PriceCutMonth: -1,
+		{Code: MedicineOldOsteo, Name: "established osteoporosis medicine", Class: ClassOsteoporosis, Popularity: 1.2, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseOsteoporosis, Weight: 1.0}}},
-		{Code: MedicineAntiplOrig, Name: "anti-platelet original", Popularity: 1.5, PriceCutMonth: -1,
+		{Code: MedicineAntiplOrig, Name: "anti-platelet original", Class: ClassAntiplatelet, Popularity: 1.5, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
-		{Code: MedicineGeneric1, Name: "anti-platelet generic 1", Popularity: 1.5,
+		{Code: MedicineGeneric1, Name: "anti-platelet generic 1", Class: ClassAntiplatelet, Popularity: 1.5,
 			ReleaseMonth: GenericReleaseMonth, ReleaseRamp: 30, GenericOf: MedicineAntiplOrig, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
-		{Code: MedicineGeneric2, Name: "anti-platelet generic 2", Popularity: 1.5,
+		{Code: MedicineGeneric2, Name: "anti-platelet generic 2", Class: ClassAntiplatelet, Popularity: 1.5,
 			ReleaseMonth: GenericReleaseMonth, ReleaseRamp: 36, GenericOf: MedicineAntiplOrig, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
-		{Code: MedicineGeneric3, Name: "anti-platelet authorized generic", Popularity: 1.5,
+		{Code: MedicineGeneric3, Name: "anti-platelet authorized generic", Class: ClassAntiplatelet, Popularity: 1.5,
 			ReleaseMonth: GenericReleaseMonth, ReleaseRamp: 30, GenericOf: MedicineAntiplOrig, Authorized: true, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseStroke, Weight: 1.0}}},
-		{Code: MedicineAntidiarrh, Name: "antidiarrheal", Popularity: 1.0, PriceCutMonth: -1,
+		{Code: MedicineAntidiarrh, Name: "antidiarrheal", Class: ClassAntidiarrheal, Popularity: 1.0, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseDiarrhea, Weight: 1.0}}},
-		{Code: MedicineInfusion, Name: "nutritional infusion", Popularity: 1.1, PriceCutMonth: -1,
+		{Code: MedicineInfusion, Name: "nutritional infusion", Class: ClassInfusion, Popularity: 1.1, PriceCutMonth: -1,
 			Indications: []Indication{
 				{Disease: DiseaseOralFeeding, Weight: 1.0},
 				{Disease: DiseaseDehydration, Weight: 0.8},
 			}},
-		{Code: MedicinePriceCut, Name: "statin with price revision", Popularity: 0.8,
+		{Code: MedicinePriceCut, Name: "statin with price revision", Class: ClassStatin, Popularity: 0.8,
 			PriceCutMonth: StatinPriceCutMonth, PriceCutBoost: 1.8,
 			Indications: []Indication{{Disease: DiseaseLipidemia, Weight: 0.9}}},
-		{Code: "M-STATN", Name: "competing statin", Popularity: 1.0, PriceCutMonth: -1,
+		{Code: "M-STATN", Name: "competing statin", Class: ClassStatin, Popularity: 1.0, PriceCutMonth: -1,
 			Indications: []Indication{{Disease: DiseaseLipidemia, Weight: 1.0}}},
-		{Code: MedicineAntibiotic, Name: "macrolide antibiotic", Popularity: 1.4, Antibiotic: true, PriceCutMonth: -1,
+		{Code: MedicineAntibiotic, Name: "macrolide antibiotic", Class: ClassAntibiotic, Popularity: 1.4, Antibiotic: true, PriceCutMonth: -1,
 			Indications: []Indication{
 				{Disease: DiseaseAcuteBronch, Weight: 1.3},
 				{Disease: DiseaseBronchitis, Weight: 0.8},
@@ -196,7 +244,7 @@ func scenarioMedicines() []Medicine {
 				{Disease: DiseasePneumonia, Weight: 0.7},
 				{Disease: DiseaseMycobacterial, Weight: 0.9},
 			}},
-		{Code: MedicineColdRemedy, Name: "common cold remedy", Popularity: 1.2, PriceCutMonth: -1,
+		{Code: MedicineColdRemedy, Name: "common cold remedy", Class: ClassColdRemedy, Popularity: 1.2, PriceCutMonth: -1,
 			Indications: []Indication{
 				{Disease: DiseaseCommonCold, Weight: 1.0},
 				{Disease: DiseasePharyngitis, Weight: 0.5},
@@ -226,9 +274,10 @@ func defaultCities() []City {
 // to reach a realistic corpus breadth.
 func NewCatalog(months, bulkDiseases, bulkMedicines int, rng *rand.Rand) *Catalog {
 	c := &Catalog{
-		Diseases:  scenarioDiseases(months),
-		Medicines: scenarioMedicines(),
-		Cities:    defaultCities(),
+		Diseases:    scenarioDiseases(months),
+		Medicines:   scenarioMedicines(),
+		Cities:      defaultCities(),
+		ClassGroups: scenarioClassGroups(),
 	}
 	if bulkDiseases > 0 && bulkMedicines > 0 {
 		bulkCatalog(c, bulkDiseases, bulkMedicines, months, rng)

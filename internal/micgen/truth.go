@@ -1,6 +1,10 @@
 package micgen
 
-import "mictrend/internal/mic"
+import (
+	"sort"
+
+	"mictrend/internal/mic"
+)
 
 // Pair identifies a disease–medicine pair by dataset vocabulary ids.
 type Pair = mic.Pair
@@ -114,5 +118,237 @@ func (t *Truth) ChangesFor(mCode string) []TrueChange {
 			out = append(out, c)
 		}
 	}
+	return out
+}
+
+// AggregateEvent is a ground-truth structural event lifted to the medicine
+// class level of the hierarchy: one or more member medicines carry injected
+// events around Month, and the class's true aggregate series shifts by
+// RelShift (relative to its pre-event level) — i.e. the event is visible from
+// the aggregate alone, which is what hierarchical surveillance detects.
+type AggregateEvent struct {
+	Class string // medicine class code
+	Group string // the class's anatomical group
+	Month int    // representative month (first underlying event of the cluster)
+	// Drivers lists the member medicine codes whose injected events form this
+	// cluster, sorted. A single driver means top-1 attribution has a unique
+	// right answer.
+	Drivers []string
+	// Kinds lists the underlying change kinds, parallel to Drivers.
+	Kinds []ChangeKind
+	// RelShift is the largest relative level shift of the true class
+	// aggregate across window-month means around the cluster.
+	RelShift float64
+}
+
+// ClassSeries returns the true monthly class aggregates: for each effective
+// medicine class (ClassOf), the sum of the true pair counts of its member
+// medicines. Valid for truths produced by the generator, whose vocabulary
+// ids equal catalog indices.
+func (t *Truth) ClassSeries() map[string][]float64 {
+	pairs := make([]Pair, 0, len(t.PairCounts))
+	for p := range t.PairCounts {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Disease != pairs[b].Disease {
+			return pairs[a].Disease < pairs[b].Disease
+		}
+		return pairs[a].Medicine < pairs[b].Medicine
+	})
+	out := make(map[string][]float64)
+	for _, p := range pairs {
+		m := &t.Catalog.Medicines[p.Medicine]
+		class := ClassOf(m)
+		agg := out[class]
+		if agg == nil {
+			agg = make([]float64, t.Months)
+			out[class] = agg
+		}
+		for tm, v := range t.PairCounts[p] {
+			agg[tm] += v
+		}
+	}
+	return out
+}
+
+// AggregateEvents derives the planted aggregate-level events: the injected
+// medicine events clustered by class (events within tolerance months merge),
+// kept when the true class aggregate shifts by at least minRelShift between
+// window-month means around the cluster. window ≤ 0 defaults to 6, tolerance
+// < 0 to 2, minRelShift ≤ 0 to 0.15. The result is sorted by class, then
+// month.
+func (t *Truth) AggregateEvents(window, tolerance int, minRelShift float64) []AggregateEvent {
+	if window <= 0 {
+		window = 6
+	}
+	if tolerance < 0 {
+		tolerance = 2
+	}
+	if minRelShift <= 0 {
+		minRelShift = 0.15
+	}
+	type mevent struct {
+		month    int
+		medicine string
+		kind     ChangeKind
+	}
+	byClass := make(map[string][]mevent)
+	for _, ch := range t.Changes {
+		if ch.Medicine == "" {
+			continue
+		}
+		m, ok := t.Catalog.MedicineByCode(ch.Medicine)
+		if !ok {
+			continue
+		}
+		class := ClassOf(m)
+		byClass[class] = append(byClass[class], mevent{month: ch.Month, medicine: ch.Medicine, kind: ch.Kind})
+	}
+	series := t.ClassSeries()
+	classes := make([]string, 0, len(byClass))
+	for class := range byClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	var out []AggregateEvent
+	for _, class := range classes {
+		evs := byClass[class]
+		sort.Slice(evs, func(a, b int) bool {
+			if evs[a].month != evs[b].month {
+				return evs[a].month < evs[b].month
+			}
+			return evs[a].medicine < evs[b].medicine
+		})
+		agg := series[class]
+		for i := 0; i < len(evs); {
+			j := i + 1
+			for j < len(evs) && evs[j].month-evs[j-1].month <= tolerance {
+				j++
+			}
+			ev := AggregateEvent{
+				Class: class,
+				Group: t.Catalog.GroupOfClass(class),
+				Month: evs[i].month,
+			}
+			for _, e := range evs[i:j] {
+				ev.Drivers = append(ev.Drivers, e.medicine)
+				ev.Kinds = append(ev.Kinds, e.kind)
+			}
+			ev.RelShift = maxRelShift(agg, evs[i].month, evs[j-1].month, window)
+			if ev.RelShift >= minRelShift {
+				out = append(out, ev)
+			}
+			i = j
+		}
+	}
+	return out
+}
+
+// maxRelShift scans break candidates across [first, last] and returns the
+// largest |after-mean − before-mean| / before-mean over window-month means,
+// where the windows are clamped to the series bounds.
+func maxRelShift(s []float64, first, last, window int) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	best := 0.0
+	for m := first; m <= last; m++ {
+		w := window
+		if m < w {
+			w = m
+		}
+		if len(s)-m < w {
+			w = len(s) - m
+		}
+		if w < 2 {
+			continue
+		}
+		var before, after float64
+		for k := m - w; k < m; k++ {
+			before += s[k]
+		}
+		for k := m; k < m+w; k++ {
+			after += s[k]
+		}
+		before /= float64(w)
+		after /= float64(w)
+		if before <= 0 {
+			continue
+		}
+		shift := (after - before) / before
+		if shift < 0 {
+			shift = -shift
+		}
+		if shift > best {
+			best = shift
+		}
+	}
+	return best
+}
+
+// OffsetTruth is a planted substitution inside one hierarchy node: from Month
+// on, Decliner's volume migrates to Risers', leaving the node aggregate
+// roughly flat — invisible at the aggregate level, which is exactly what
+// offset-pair detection exists to surface.
+type OffsetTruth struct {
+	Class    string // medicine class code ("" for the disease-group shift)
+	Group    string // disease-group code ("" for medicine substitutions)
+	Decliner string // declining member code (medicine or disease)
+	Risers   []string
+	Month    int
+}
+
+// OffsetPairs derives the planted offsetting substitutions from the catalog:
+// every original medicine with same-class generics (the Fig. 6d/8 scenario),
+// plus the diagnostics shift (Fig. 7b) when its two diseases share a group.
+func (t *Truth) OffsetPairs() []OffsetTruth {
+	c := t.Catalog
+	byOriginal := make(map[string]*OffsetTruth)
+	for i := range c.Medicines {
+		m := &c.Medicines[i]
+		if m.GenericOf == "" || m.ReleaseMonth <= 0 || m.ReleaseMonth >= t.Months {
+			continue
+		}
+		orig, ok := c.MedicineByCode(m.GenericOf)
+		if !ok || ClassOf(orig) != ClassOf(m) {
+			continue
+		}
+		ot := byOriginal[orig.Code]
+		if ot == nil {
+			ot = &OffsetTruth{Class: ClassOf(orig), Decliner: orig.Code, Month: m.ReleaseMonth}
+			byOriginal[orig.Code] = ot
+		}
+		ot.Risers = append(ot.Risers, m.Code)
+		if m.ReleaseMonth < ot.Month {
+			ot.Month = m.ReleaseMonth
+		}
+	}
+	var out []OffsetTruth
+	for _, ot := range byOriginal {
+		sort.Strings(ot.Risers)
+		out = append(out, *ot)
+	}
+	if hasDiagShift(c) && DiagShiftMonth < t.Months {
+		dehy, _ := c.DiseaseByCode(DiseaseDehydration)
+		oral, _ := c.DiseaseByCode(DiseaseOralFeeding)
+		if GroupOfDisease(dehy) == GroupOfDisease(oral) {
+			out = append(out, OffsetTruth{
+				Group:    GroupOfDisease(dehy),
+				Decliner: DiseaseDehydration,
+				Risers:   []string{DiseaseOralFeeding},
+				Month:    DiagShiftMonth,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		if out[a].Group != out[b].Group {
+			return out[a].Group < out[b].Group
+		}
+		return out[a].Decliner < out[b].Decliner
+	})
 	return out
 }

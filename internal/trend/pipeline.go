@@ -53,6 +53,15 @@ const (
 	KindDisease SeriesKind = iota
 	KindMedicine
 	KindPrescription
+	// KindMedicineClass is an aggregate: the sum of one medicine class's
+	// member series (ATC-like level, e.g. "B01"). Produced by Surveil.
+	KindMedicineClass
+	// KindMedicineGroup is an aggregate: the sum of one anatomical group's
+	// class series (e.g. "B"). Produced by Surveil.
+	KindMedicineGroup
+	// KindDiseaseGroup is an aggregate: the sum of one disease group's
+	// disease series. Produced by Surveil.
+	KindDiseaseGroup
 )
 
 // String names the kind.
@@ -62,6 +71,12 @@ func (k SeriesKind) String() string {
 		return "disease"
 	case KindMedicine:
 		return "medicine"
+	case KindMedicineClass:
+		return "class"
+	case KindMedicineGroup:
+		return "class-group"
+	case KindDiseaseGroup:
+		return "disease-group"
 	default:
 		return "prescription"
 	}
@@ -194,6 +209,10 @@ const (
 	// StageObserver is a user progress Observer that panicked; the pipeline
 	// muted it and kept running, so the run lost events but no results.
 	StageObserver
+	// StageSurveil is an aggregate or drill-down change point scan inside
+	// Surveil that failed or panicked; the hierarchy node (or child) carries
+	// no detection but the surveillance run kept going.
+	StageSurveil
 )
 
 // String names the stage.
@@ -205,6 +224,8 @@ func (s FailureStage) String() string {
 		return "validate"
 	case StageObserver:
 		return "observer"
+	case StageSurveil:
+		return "surveil"
 	default:
 		return "detect"
 	}
@@ -220,6 +241,9 @@ type Failure struct {
 	Kind     SeriesKind
 	Disease  mic.DiseaseID
 	Medicine mic.MedicineID
+	// Node is the hierarchy node code for StageSurveil failures on aggregate
+	// series ("" for leaf series).
+	Node string
 	// Month is the failed month for StageModel failures, -1 otherwise.
 	Month int
 	// Err is the failure message.
@@ -240,7 +264,7 @@ func (f Failure) String() string {
 	case StageObserver:
 		return fmt.Sprintf("%s: %s", f.Stage, f.Err)
 	default:
-		what = seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine})
+		what = f.Key().String()
 	}
 	s := fmt.Sprintf("%s %s: %s", f.Stage, what, f.Err)
 	if f.Attempts > 0 {
@@ -250,16 +274,9 @@ func (f Failure) String() string {
 }
 
 // seriesKey identifies a job's series for failure reports and fault points.
-func seriesKey(det Detection) string {
-	switch det.Kind {
-	case KindDisease:
-		return "disease:" + strconv.Itoa(int(det.Disease))
-	case KindMedicine:
-		return "medicine:" + strconv.Itoa(int(det.Medicine))
-	default:
-		return "prescription:" + strconv.Itoa(int(det.Disease)) + "/" + strconv.Itoa(int(det.Medicine))
-	}
-}
+//
+// Deprecated: it remains as a shim over the typed key; use Detection.Key.
+func seriesKey(det Detection) string { return det.Key().String() }
 
 // Analysis is the full pipeline output.
 type Analysis struct {
@@ -413,14 +430,7 @@ func (ins *pipelineInstruments) seriesDone(job Detection, res changepoint.Result
 		ins.trace(sp)
 	}
 	if m := ins.metrics; m != nil {
-		if stats != nil {
-			m.Counter("ssm/lik_evals").Add(stats.LikEvals.Load())
-			m.Counter("ssm/starts").Add(stats.Starts.Load())
-			m.Counter("ssm/restarts").Add(stats.Restarts.Load())
-			m.Counter("ssm/fit_failures").Add(stats.FitFailures.Load())
-			m.Counter("kalman/steady_hits").Add(stats.SteadyHits.Load())
-			m.Counter("scan/prefix_resumes").Add(stats.PrefixResumes.Load())
-		}
+		ins.addFitStats(stats)
 		m.Counter("scan/series").Inc()
 		if failErr == "" {
 			m.Counter("scan/fits").Add(int64(res.Fits))
@@ -440,6 +450,21 @@ func (ins *pipelineInstruments) seriesDone(job Detection, res changepoint.Result
 			Month: -1, Done: idx + 1, Total: total, Duration: dur, Err: failErr,
 		})
 	}
+}
+
+// addFitStats merges one scan's fit-stat counters into the registry; callers
+// hold a non-nil metrics registry.
+func (ins *pipelineInstruments) addFitStats(stats *ssm.FitStats) {
+	if stats == nil {
+		return
+	}
+	m := ins.metrics
+	m.Counter("ssm/lik_evals").Add(stats.LikEvals.Load())
+	m.Counter("ssm/starts").Add(stats.Starts.Load())
+	m.Counter("ssm/restarts").Add(stats.Restarts.Load())
+	m.Counter("ssm/fit_failures").Add(stats.FitFailures.Load())
+	m.Counter("kalman/steady_hits").Add(stats.SteadyHits.Load())
+	m.Counter("scan/prefix_resumes").Add(stats.PrefixResumes.Load())
 }
 
 // finish folds the run-level accounting into the analysis and registry:
@@ -476,6 +501,44 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	opts, ins := setupPipeline(ctx, opts)
+	analysis, jobs, valFails, err := prepare(ctx, ds, opts, ins)
+	if err != nil {
+		return nil, err
+	}
+	endDetect := ins.stage("detect", len(jobs))
+	results, detFails, seriesProvs, totalFits, derr := detectAll(ctx, jobs, opts, ins)
+	endDetect(len(results), derr)
+	analysis.Failures = append(analysis.Failures, detFails...)
+	analysis.TotalFits = totalFits
+	if opts.Explain {
+		analysis.SeriesProvenance = seriesProvs
+		analysis.SeriesProvenance = append(analysis.SeriesProvenance, valProvenance(valFails)...)
+	}
+	ins.finish(analysis)
+	sortFailures(analysis.Failures)
+	for _, det := range results {
+		switch det.Kind {
+		case KindDisease:
+			analysis.Diseases = append(analysis.Diseases, det)
+		case KindMedicine:
+			analysis.Medicines = append(analysis.Medicines, det)
+		default:
+			analysis.Prescriptions = append(analysis.Prescriptions, det)
+		}
+	}
+	if derr != nil {
+		// Cancelled mid-scan: hand back the partial analysis with the error
+		// so callers can report what completed.
+		return analysis, derr
+	}
+	return analysis, nil
+}
+
+// setupPipeline applies the option defaults shared by Analyze and Surveil and
+// builds their instrument set, wiring the EM stage's observer, metrics, and
+// trace defaults to the pipeline's.
+func setupPipeline(ctx context.Context, opts Options) (Options, *pipelineInstruments) {
 	opts = opts.withDefaults()
 	if opts.Explain {
 		opts.EM.TraceConvergence = true
@@ -492,13 +555,40 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 			opts.EM.Trace = ins.trace
 		}
 	}
+	return opts, ins
+}
+
+// valProvenance builds the provenance entries for validation-rejected series;
+// callers append them after the detection-job entries so the provenance list
+// keeps its documented order.
+func valProvenance(valFails []Failure) []SeriesProvenance {
+	var provs []SeriesProvenance
+	for _, f := range valFails {
+		provs = append(provs, SeriesProvenance{
+			Kind: f.Kind.String(), Disease: f.Disease, Medicine: f.Medicine,
+			Key:     f.Key().String(),
+			Failure: f.Err, FailureStage: StageValidate.String(),
+		})
+	}
+	return provs
+}
+
+// prepare runs the shared front half of the pipeline — dataset filtering, the
+// model stage (with cooccurrence fallbacks and month provenance), the
+// reproduce stage, and series validation — exactly as Analyze always has, so
+// Surveil's event stream, metrics, spans, and failure records match Analyze's
+// on the stages they share. opts must already carry its defaults
+// (setupPipeline). The returned jobs are the validated detection jobs; the
+// validation failures are already appended to the analysis but their
+// provenance entries are the caller's (Analyze lists detection jobs first).
+func prepare(ctx context.Context, ds *mic.Dataset, opts Options, ins *pipelineInstruments) (*Analysis, []Detection, []Failure, error) {
 	filtered := mic.FilterDataset(ds, mic.FilterOptions{MinMonthlyFreq: opts.MinMonthlyFreq})
 	analysis := &Analysis{}
 	endModel := ins.stage("model", len(filtered.Months))
 	models, monthFails, err := fitModels(ctx, filtered, opts, ins)
 	endModel(len(filtered.Months)-len(monthFails), err)
 	if err != nil {
-		return nil, fmt.Errorf("trend: fitting medication models: %w", err)
+		return nil, nil, nil, fmt.Errorf("trend: fitting medication models: %w", err)
 	}
 	for _, mf := range monthFails {
 		models[mf.Month] = medmodel.FallbackModel(filtered.Months[mf.Month], filtered.Medicines.Len())
@@ -531,7 +621,7 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 	series, err := medmodel.ReproduceParallel(filtered, models, opts.Workers)
 	if err != nil {
 		endRepro(0, err)
-		return nil, fmt.Errorf("trend: reproducing series: %w", err)
+		return nil, nil, nil, fmt.Errorf("trend: reproducing series: %w", err)
 	}
 	series = series.FilterMinTotal(opts.MinSeriesTotal)
 
@@ -546,43 +636,11 @@ func Analyze(ctx context.Context, ds *mic.Dataset, opts Options) (*Analysis, err
 		ins.span(obs.SpanEvent{
 			Cat: "detect", Name: "detect/series", TID: obs.LaneDetect,
 			Start: time.Now(), Month: -1,
-			Series: seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine}),
+			Series: f.Key().String(),
 			Detail: "stage=" + StageValidate.String(), Err: f.Err,
 		})
 	}
-	endDetect := ins.stage("detect", len(jobs))
-	results, detFails, seriesProvs, totalFits, derr := detectAll(ctx, jobs, opts, ins)
-	endDetect(len(results), derr)
-	analysis.Failures = append(analysis.Failures, detFails...)
-	analysis.TotalFits = totalFits
-	if opts.Explain {
-		analysis.SeriesProvenance = seriesProvs
-		for _, f := range valFails {
-			analysis.SeriesProvenance = append(analysis.SeriesProvenance, SeriesProvenance{
-				Kind: f.Kind.String(), Disease: f.Disease, Medicine: f.Medicine,
-				Key:     seriesKey(Detection{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine}),
-				Failure: f.Err, FailureStage: StageValidate.String(),
-			})
-		}
-	}
-	ins.finish(analysis)
-	sortFailures(analysis.Failures)
-	for _, det := range results {
-		switch det.Kind {
-		case KindDisease:
-			analysis.Diseases = append(analysis.Diseases, det)
-		case KindMedicine:
-			analysis.Medicines = append(analysis.Medicines, det)
-		default:
-			analysis.Prescriptions = append(analysis.Prescriptions, det)
-		}
-	}
-	if derr != nil {
-		// Cancelled mid-scan: hand back the partial analysis with the error
-		// so callers can report what completed.
-		return analysis, derr
-	}
-	return analysis, nil
+	return analysis, jobs, valFails, nil
 }
 
 // validateJobs rejects series the Kalman filter cannot digest (NaN or Inf
@@ -625,6 +683,9 @@ func sortFailures(fs []Failure) {
 		}
 		if fs[a].Kind != fs[b].Kind {
 			return fs[a].Kind < fs[b].Kind
+		}
+		if fs[a].Node != fs[b].Node {
+			return fs[a].Node < fs[b].Node
 		}
 		if fs[a].Disease != fs[b].Disease {
 			return fs[a].Disease < fs[b].Disease
@@ -849,21 +910,32 @@ func detectAll(ctx context.Context, jobs []Detection, opts Options, ins *pipelin
 // under Options.Explain, and kept — possibly partial — on failure).
 func runDetection(ctx context.Context, job Detection, opts Options, budget *workerBudget, stats *ssm.FitStats, trace obs.SpanObserver) (det Detection, fail *Failure, cancelled bool, prov *changepoint.Provenance) {
 	det = job
+	res, fail, cancelled, prov := runScan(ctx, job.Key(), StageDetect, "trend/detect", job.Series, opts, budget, stats, trace)
+	if fail == nil && !cancelled {
+		det.Result = res
+	}
+	return det, fail, cancelled, prov
+}
+
+// runScan searches one series — leaf or aggregate — with the panic isolation,
+// fault-point, cancellation, and level-two budget semantics documented on
+// runDetection. key identifies the series in failure records and fault-point
+// matches; stage tags the failure (StageDetect for pipeline jobs,
+// StageSurveil for hierarchy scans) and site names the fault point.
+func runScan(ctx context.Context, key SeriesKey, stage FailureStage, site string, series []float64, opts Options, budget *workerBudget, stats *ssm.FitStats, trace obs.SpanObserver) (res changepoint.Result, fail *Failure, cancelled bool, prov *changepoint.Provenance) {
 	defer func() {
 		if r := recover(); r != nil {
-			det = job
-			fail = &Failure{
-				Stage: StageDetect, Kind: job.Kind, Disease: job.Disease, Medicine: job.Medicine,
-				Month: -1, Err: fmt.Sprintf("panic: %v", r), Panicked: true,
-			}
+			res = changepoint.Result{}
+			fail = scanFailure(key, stage, fmt.Errorf("panic: %v", r))
+			fail.Panicked = true
 			cancelled = false
 		}
 	}()
 	if opts.Explain {
 		prov = &changepoint.Provenance{}
 	}
-	if err := faultpoint.Inject("trend/detect", seriesKey(job)); err != nil {
-		return det, detectFailure(job, err), false, prov
+	if err := faultpoint.Inject(site, key.String()); err != nil {
+		return res, scanFailure(key, stage, err), false, prov
 	}
 	dopts := changepoint.DetectOptions{
 		Seasonal: opts.Seasonal, Stats: stats, Provenance: prov, Trace: trace,
@@ -888,22 +960,21 @@ func runDetection(ctx context.Context, job Detection, opts Options, budget *work
 			}
 		}
 	}
-	res, err := changepoint.Detect(ctx, det.Series, dopts)
+	res, err := changepoint.Detect(ctx, series, dopts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return det, nil, true, prov
+			return changepoint.Result{}, nil, true, prov
 		}
-		return det, detectFailure(job, err), false, prov
+		return changepoint.Result{}, scanFailure(key, stage, err), false, prov
 	}
-	det.Result = res
-	return det, nil, false, prov
+	return res, nil, false, prov
 }
 
-// detectFailure builds the StageDetect failure record for a series,
-// extracting the multi-start attempt count when the fit stack provides one.
-func detectFailure(job Detection, err error) *Failure {
+// scanFailure builds the failure record for a series scan, extracting the
+// multi-start attempt count when the fit stack provides one.
+func scanFailure(key SeriesKey, stage FailureStage, err error) *Failure {
 	f := &Failure{
-		Stage: StageDetect, Kind: job.Kind, Disease: job.Disease, Medicine: job.Medicine,
+		Stage: stage, Kind: key.Kind, Disease: key.Disease, Medicine: key.Medicine, Node: key.Node,
 		Month: -1, Err: err.Error(),
 	}
 	var oe *ssm.OptimizationError

@@ -1,0 +1,161 @@
+// Typed series keys. The pipeline historically identified series with ad-hoc
+// "disease:3" / "medicine:5" / "prescription:3/7" strings; SeriesKey makes
+// that identity a first-class value shared by Analysis.Failures, provenance
+// records, fault points, and the Surveillance tree, while rendering to the
+// exact same strings so every existing artifact, report, and fault-point
+// match stays byte-identical.
+package trend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mictrend/internal/mic"
+)
+
+// SeriesKey identifies one series — leaf or aggregate — across the pipeline.
+// Leaf kinds (KindDisease, KindMedicine, KindPrescription) are identified by
+// vocabulary ids; aggregate kinds (KindMedicineClass, KindMedicineGroup,
+// KindDiseaseGroup) by the hierarchy node code in Node.
+type SeriesKey struct {
+	Kind     SeriesKind     `json:"kind"`
+	Disease  mic.DiseaseID  `json:"disease,omitempty"`
+	Medicine mic.MedicineID `json:"medicine,omitempty"`
+	// Node is the hierarchy node code for aggregate kinds ("" for leaves).
+	Node string `json:"node,omitempty"`
+}
+
+// String renders the key in the pipeline's canonical form: "disease:3",
+// "medicine:5", "prescription:3/7", "class:B01", "class-group:B",
+// "disease-group:RESP". Leaf keys are byte-identical to the strings the
+// pipeline produced before SeriesKey existed.
+func (k SeriesKey) String() string {
+	switch k.Kind {
+	case KindDisease:
+		return "disease:" + strconv.Itoa(int(k.Disease))
+	case KindMedicine:
+		return "medicine:" + strconv.Itoa(int(k.Medicine))
+	case KindMedicineClass:
+		return "class:" + k.Node
+	case KindMedicineGroup:
+		return "class-group:" + k.Node
+	case KindDiseaseGroup:
+		return "disease-group:" + k.Node
+	default:
+		return "prescription:" + strconv.Itoa(int(k.Disease)) + "/" + strconv.Itoa(int(k.Medicine))
+	}
+}
+
+// Aggregate reports whether the key names a hierarchy roll-up rather than a
+// leaf series.
+func (k SeriesKey) Aggregate() bool {
+	switch k.Kind {
+	case KindMedicineClass, KindMedicineGroup, KindDiseaseGroup:
+		return true
+	}
+	return false
+}
+
+// MarshalText renders the key as its canonical string, so SeriesKey-typed
+// struct fields and map keys serialize exactly like the old string keys.
+func (k SeriesKey) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a canonical key string.
+func (k *SeriesKey) UnmarshalText(b []byte) error {
+	parsed, err := ParseSeriesKey(string(b))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// ParseSeriesKey parses the canonical string form produced by String.
+func ParseSeriesKey(s string) (SeriesKey, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return SeriesKey{}, fmt.Errorf("trend: series key %q: missing kind", s)
+	}
+	switch kind {
+	case "disease":
+		id, err := strconv.Atoi(rest)
+		if err != nil {
+			return SeriesKey{}, fmt.Errorf("trend: series key %q: %w", s, err)
+		}
+		return SeriesKey{Kind: KindDisease, Disease: mic.DiseaseID(id)}, nil
+	case "medicine":
+		id, err := strconv.Atoi(rest)
+		if err != nil {
+			return SeriesKey{}, fmt.Errorf("trend: series key %q: %w", s, err)
+		}
+		return SeriesKey{Kind: KindMedicine, Medicine: mic.MedicineID(id)}, nil
+	case "prescription":
+		d, m, ok := strings.Cut(rest, "/")
+		if !ok {
+			return SeriesKey{}, fmt.Errorf("trend: series key %q: missing medicine id", s)
+		}
+		di, err := strconv.Atoi(d)
+		if err != nil {
+			return SeriesKey{}, fmt.Errorf("trend: series key %q: %w", s, err)
+		}
+		mi, err := strconv.Atoi(m)
+		if err != nil {
+			return SeriesKey{}, fmt.Errorf("trend: series key %q: %w", s, err)
+		}
+		return SeriesKey{Kind: KindPrescription, Disease: mic.DiseaseID(di), Medicine: mic.MedicineID(mi)}, nil
+	case "class":
+		return SeriesKey{Kind: KindMedicineClass, Node: rest}, nil
+	case "class-group":
+		return SeriesKey{Kind: KindMedicineGroup, Node: rest}, nil
+	case "disease-group":
+		return SeriesKey{Kind: KindDiseaseGroup, Node: rest}, nil
+	default:
+		return SeriesKey{}, fmt.Errorf("trend: series key %q: unknown kind %q", s, kind)
+	}
+}
+
+// less orders keys deterministically: kind, then node code, then ids.
+func (k SeriesKey) less(o SeriesKey) bool {
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if k.Node != o.Node {
+		return k.Node < o.Node
+	}
+	if k.Disease != o.Disease {
+		return k.Disease < o.Disease
+	}
+	return k.Medicine < o.Medicine
+}
+
+// Key returns the detection's typed series key.
+func (d Detection) Key() SeriesKey {
+	return SeriesKey{Kind: d.Kind, Disease: d.Disease, Medicine: d.Medicine}
+}
+
+// Key returns the typed key of the series this failure concerns. For
+// StageModel and StageObserver failures — which are not about one series —
+// the key is the zero-value leaf key; check the stage first.
+func (f Failure) Key() SeriesKey {
+	return SeriesKey{Kind: f.Kind, Disease: f.Disease, Medicine: f.Medicine, Node: f.Node}
+}
+
+// SeriesKey returns the typed key for this provenance entry, parsed from its
+// canonical Key string (which remains authoritative for artifact naming).
+func (sp SeriesProvenance) SeriesKey() (SeriesKey, error) {
+	return ParseSeriesKey(sp.Key)
+}
+
+// ProvenanceFor returns the provenance entry for the given series key, or nil
+// when the run did not collect provenance (Options.Explain off) or the series
+// was never considered.
+func (a *Analysis) ProvenanceFor(k SeriesKey) *SeriesProvenance {
+	want := k.String()
+	for i := range a.SeriesProvenance {
+		if a.SeriesProvenance[i].Key == want {
+			return &a.SeriesProvenance[i]
+		}
+	}
+	return nil
+}

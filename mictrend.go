@@ -12,7 +12,11 @@
 //     (exact, binary, and greedy multi-change-point),
 //   - the end-to-end trend analysis pipeline with change-cause
 //     classification plus the geographic-spread and hospital-gap
-//     applications, and
+//     applications,
+//   - hierarchical surveillance (Surveil): roll series up an ATC-like class
+//     hierarchy, detect change points on the aggregates, attribute each
+//     break down to the members driving it, and flag offsetting
+//     substitution pairs, and
 //   - the observability layer: progress events, metrics, and failure
 //     inspection for long pipeline runs.
 //
@@ -654,6 +658,77 @@ func DetectedChangePoints(dets []Detection) []Detection {
 // question).
 func EmergingTrends(dets []Detection, seasonal bool, horizonMonths int) ([]Emerging, error) {
 	return trend.EmergingTrends(dets, seasonal, horizonMonths)
+}
+
+// --- hierarchical surveillance ---
+
+// Hierarchical surveillance types: detect high, attribute down. Surveil
+// rolls the reproduced series up an ATC-like class hierarchy, scans the much
+// smaller aggregate set for change points, attributes each aggregate break
+// to the member series driving it, and flags offsetting substitution pairs
+// that no aggregate-level scan can see.
+type (
+	// SeriesKey is the typed identity of one analyzed series — leaf
+	// (disease, medicine, prescription pair) or aggregate (class, class
+	// group, disease group). Its String form is the pipeline's stable
+	// stringly key ("prescription:3/7", "class:B01").
+	SeriesKey = trend.SeriesKey
+	// SeriesKind identifies a series key's level.
+	SeriesKind = trend.SeriesKind
+	// ClassHierarchy maps leaf vocabulary ids into the class tree.
+	ClassHierarchy = trend.Hierarchy
+	// SurveilOptions configures Surveil: the hierarchy, the shared pipeline
+	// options, attribution windows, and offset thresholds.
+	SurveilOptions = trend.SurveilOptions
+	// Surveillance is Surveil's output tree: aggregate nodes with their
+	// scans and attributions, offset pairs, failures, and fit accounting.
+	Surveillance = trend.Surveillance
+	// SurveilNode is one aggregate series of the hierarchy.
+	SurveilNode = trend.SurveilNode
+	// SurveilAttribution is one child's contribution to a detected
+	// aggregate break.
+	SurveilAttribution = trend.Attribution
+	// SurveilOffsetPair is a flagged offsetting substitution: a member's
+	// decline absorbed by a sibling's rise, invisible at aggregate level.
+	SurveilOffsetPair = trend.OffsetPair
+	// AggregateEventTruth is a generator ground-truth event lifted to the
+	// class level, for validating surveillance accuracy.
+	AggregateEventTruth = micgen.AggregateEvent
+	// OffsetPairTruth is a generator-planted offsetting substitution.
+	OffsetPairTruth = micgen.OffsetTruth
+)
+
+// Aggregate series kinds (the leaf kinds are above).
+const (
+	KindMedicineClass = trend.KindMedicineClass
+	KindMedicineGroup = trend.KindMedicineGroup
+	KindDiseaseGroup  = trend.KindDiseaseGroup
+)
+
+// StageSurveil marks failures of the aggregate and drill-down surveillance
+// scans.
+const StageSurveil = trend.StageSurveil
+
+// ParseSeriesKey parses a stringly series key ("medicine:9",
+// "prescription:3/11", "class-group:B") back into its typed form.
+func ParseSeriesKey(s string) (SeriesKey, error) { return trend.ParseSeriesKey(s) }
+
+// NewClassHierarchy resolves a code-keyed hierarchy (such as the generator
+// catalog's MedicineClasses/ClassGroupCodes/DiseaseGroups maps) against a
+// dataset's vocabularies.
+func NewClassHierarchy(d *Dataset, medicineClass, classGroup, diseaseGroup map[string]string) ClassHierarchy {
+	return trend.HierarchyFromCodes(d, medicineClass, classGroup, diseaseGroup)
+}
+
+// Surveil runs hierarchical surveillance over a corpus: model and reproduce
+// the series (or reuse SurveilOptions.Analysis), roll them up the hierarchy,
+// scan the aggregates, attribute detected breaks down to members, and flag
+// offsetting substitutions. It shares AnalyzeTrendsContext's contracts:
+// options-first, deterministic for any Workers/Shards split, degrading
+// per-node on failure, observable through the same Observer/Metrics/Trace
+// hooks, and cancellable with partial results.
+func Surveil(ctx context.Context, d *Dataset, opts SurveilOptions) (*Surveillance, error) {
+	return trend.Surveil(ctx, d, opts)
 }
 
 // --- crash-safe incremental serving ---
