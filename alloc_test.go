@@ -44,6 +44,37 @@ func TestInstrumentationAllocFree(t *testing.T) {
 		t.Errorf("nil metric handles allocate %.0f/op, want 0", n)
 	}
 
+	// Nil labeled-vector handles — what the HTTP middleware resolves when no
+	// Registry is configured — must be equally free: With on a nil vector
+	// returns a nil child without allocating, and the nil child discards.
+	cv := r.CounterVec("x", "route")
+	gv := r.GaugeVec("x", "route")
+	hv := r.HistogramVec("x", nil, "route")
+	if n := testing.AllocsPerRun(100, func() {
+		cv.With("a").Inc()
+		gv.With("a").Add(1)
+		hv.With("a").Observe(2)
+	}); n != 0 {
+		t.Errorf("nil labeled vectors allocate %.0f/op, want 0", n)
+	}
+
+	// The nil *Logger — what the serving plane holds when no log sink is
+	// configured — must no-op bare calls without allocating. Attr-bearing
+	// calls pay for their variadic list at the call site regardless of the
+	// receiver, which is why hot paths guard them with Enabled().
+	var lg *obs.Logger
+	if n := testing.AllocsPerRun(100, func() {
+		lg.Debug("x")
+		lg.Info("x")
+		lg.Warn("x")
+		lg.Error("x")
+		if lg.Enabled() {
+			t.Fatal("nil logger must report disabled")
+		}
+	}); n != 0 {
+		t.Errorf("nil logger bare calls allocate %.0f/op, want 0", n)
+	}
+
 	// Nil span sinks — what traced code holds when no Tracer is configured —
 	// must be equally free: a nil *Tracer no-ops and guarding a nil observer
 	// returns nil (so hot loops keep a single pointer check).

@@ -13,6 +13,8 @@ import (
 	"bytes"
 	"context"
 	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -23,6 +25,7 @@ import (
 	"mictrend/internal/mic"
 	"mictrend/internal/micgen"
 	"mictrend/internal/obs"
+	"mictrend/internal/serve"
 	"mictrend/internal/ssm"
 	"mictrend/internal/trend"
 )
@@ -605,6 +608,48 @@ func BenchmarkObsNilTrace(b *testing.B) {
 		tr.Observe(obs.SpanEvent{Name: "bench", Month: i})
 		_ = tr.Len()
 	}
+}
+
+// BenchmarkObsNilLog measures the disabled structured-logging fast path: the
+// nil *Logger instrumented code holds when no log sink is configured. Bare
+// (attr-free) calls must stay at 0 allocs/op (asserted by the CI benchmark
+// smoke); attr-carrying calls on allocation-sensitive paths guard with
+// Enabled() instead, because building a non-empty variadic attr list costs at
+// the call site whether or not the receiver is nil.
+func BenchmarkObsNilLog(b *testing.B) {
+	var l *obs.Logger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Debug("bench")
+		l.Info("bench")
+		l.Warn("bench")
+		l.Error("bench")
+		if l.Enabled() {
+			b.Fatal("nil logger reported enabled")
+		}
+	}
+}
+
+// BenchmarkHTTPOverhead measures the serving middleware's per-request cost
+// against a bare handler: request-id generation and echo, route
+// normalization, the labeled request counter and latency histogram, and the
+// in-flight gauge. Access logging is off, as in a metrics-only deployment;
+// baselines live in BENCH_obs.json.
+func BenchmarkHTTPOverhead(b *testing.B) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	run := func(b *testing.B, h http.Handler) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/epoch", nil))
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, handler) })
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, serve.Instrument(handler, serve.InstrumentOptions{Metrics: obs.NewRegistry()}))
+	})
 }
 
 // benchAnalyzeCorpus is the shared small corpus for the pipeline-overhead

@@ -91,6 +91,7 @@ type outManifest struct {
 	SurveilNodes      int               `json:"surveil_nodes,omitempty"`
 	SurveilDetections int               `json:"surveil_detections,omitempty"`
 	SurveilOffsets    int               `json:"surveil_offset_pairs,omitempty"`
+	StageTimings      []stageTiming     `json:"stage_timings,omitempty"`
 	Artifacts         map[string]string `json:"artifacts"`
 }
 
@@ -148,8 +149,9 @@ func (fl *flusher) flush(analysis *trend.Analysis, interrupted bool) {
 	}
 	if fl.outDir != "" && analysis != nil {
 		man := outManifest{
-			Manifest:  fl.manifest(analysis, interrupted),
-			Artifacts: fl.artifacts,
+			Manifest:     fl.manifest(analysis, interrupted),
+			StageTimings: stageTimings(fl.metrics),
+			Artifacts:    fl.artifacts,
 		}
 		if fl.surv != nil {
 			man.SurveilNodes = len(fl.surv.Nodes)
@@ -566,9 +568,18 @@ func writeCSV(path string, analysis *trend.Analysis, ds *mic.Dataset) error {
 	return f.Close()
 }
 
-// printStageSummary renders the per-stage wall-clock table from the
-// registry's "time/stage/*" timers, in pipeline order.
-func printStageSummary(w io.Writer, metrics *obs.Registry) {
+// stageTiming is one row of the per-stage wall-clock breakdown, shared by
+// the -progress console table and the -out manifest's stage_timings section.
+type stageTiming struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+	Percent float64 `json:"percent"`
+}
+
+// stageTimings collects the registry's "time/stage/*" timers in pipeline
+// order (model → reproduce → detect → surveil, then anything new lexically),
+// with each stage's share of the total. Empty when no stage ran.
+func stageTimings(metrics *obs.Registry) []stageTiming {
 	snap := metrics.Snapshot()
 	const prefix = "time/stage/"
 	var names []string
@@ -580,9 +591,8 @@ func printStageSummary(w io.Writer, metrics *obs.Registry) {
 		}
 	}
 	if len(names) == 0 || total <= 0 {
-		return
+		return nil
 	}
-	// Pipeline order, not lexical: model → reproduce → detect → surveil.
 	order := map[string]int{"model": 0, "reproduce": 1, "detect": 2, "surveil": 3, "surveil-drill": 4}
 	sort.Slice(names, func(a, b int) bool {
 		sa, sb := strings.TrimPrefix(names[a], prefix), strings.TrimPrefix(names[b], prefix)
@@ -596,12 +606,33 @@ func printStageSummary(w io.Writer, metrics *obs.Registry) {
 		}
 		return sa < sb
 	})
-	fmt.Fprintf(w, "\nstage wall-clock:\n")
+	rows := make([]stageTiming, 0, len(names))
 	for _, name := range names {
 		d := time.Duration(snap.Timings[name].TotalNS)
+		rows = append(rows, stageTiming{
+			Stage:   strings.TrimPrefix(name, prefix),
+			Seconds: d.Seconds(),
+			Percent: 100 * float64(d) / float64(total),
+		})
+	}
+	return rows
+}
+
+// printStageSummary renders the per-stage wall-clock table from the
+// registry's "time/stage/*" timers, in pipeline order.
+func printStageSummary(w io.Writer, metrics *obs.Registry) {
+	rows := stageTimings(metrics)
+	if len(rows) == 0 {
+		return
+	}
+	var total time.Duration
+	for _, r := range rows {
+		total += time.Duration(r.Seconds * float64(time.Second))
+	}
+	fmt.Fprintf(w, "\nstage wall-clock:\n")
+	for _, r := range rows {
 		fmt.Fprintf(w, "  %-13s %12s  %5.1f%%\n",
-			strings.TrimPrefix(name, prefix), d.Round(time.Millisecond),
-			100*float64(d)/float64(total))
+			r.Stage, time.Duration(r.Seconds*float64(time.Second)).Round(time.Millisecond), r.Percent)
 	}
 	fmt.Fprintf(w, "  %-13s %12s\n", "total", total.Round(time.Millisecond))
 }

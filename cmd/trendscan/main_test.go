@@ -93,6 +93,30 @@ func TestOutDirArtifactLayout(t *testing.T) {
 		}
 	}
 
+	// The manifest carries the same per-stage wall-clock table -progress
+	// prints: at least the model and detect stages, percentages summing to
+	// ~100, every duration positive.
+	if len(man.StageTimings) < 2 {
+		t.Fatalf("manifest stage_timings = %+v, want at least model and detect", man.StageTimings)
+	}
+	stages := map[string]bool{}
+	var pct float64
+	for _, row := range man.StageTimings {
+		stages[row.Stage] = true
+		if row.Seconds <= 0 {
+			t.Errorf("stage %q has non-positive wall-clock %v", row.Stage, row.Seconds)
+		}
+		pct += row.Percent
+	}
+	for _, want := range []string{"model", "detect"} {
+		if !stages[want] {
+			t.Errorf("manifest stage_timings is missing stage %q: %+v", want, man.StageTimings)
+		}
+	}
+	if pct < 99.5 || pct > 100.5 {
+		t.Errorf("stage_timings percentages sum to %v, want ~100", pct)
+	}
+
 	// surveillance.json round-trips into the facade's Surveillance tree.
 	raw, err = os.ReadFile(filepath.Join(outDir, "surveillance.json"))
 	if err != nil {

@@ -18,7 +18,17 @@
 //	curl 'localhost:8080/v1/series?key=prescription:3/7'
 //	curl localhost:8080/v1/failures
 //	curl localhost:8080/v1/recovery
+//	curl localhost:8080/v1/status
 //	curl localhost:8080/metrics
+//
+// Observability: every request gets a correlated id (X-Request-Id accepted or
+// generated) stamped on the access log and echoed on the response; /metrics
+// carries per-route RED series; /v1/status reports epoch age, queue depth,
+// the last fold's cost, and each ingested month's lineage state. -log json
+// switches the structured log to one JSON object per line; -trace FILE
+// flushes a Chrome Trace (Perfetto-loadable) of every month's
+// queue→fold→checkpoint→WAL→publish lineage on shutdown; -pprof ADDR serves
+// net/http/pprof (plus expvar) on a separate ops listener.
 //
 // Kill -9 the process at any moment and restart it: the store recovers the
 // committed months (truncating any torn write-ahead-log tail), re-runs the
@@ -32,7 +42,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,14 +51,20 @@ import (
 	"syscall"
 	"time"
 
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux the -pprof listener serves
+
 	"mictrend/internal/obs"
 	"mictrend/internal/serve"
 	"mictrend/internal/trend"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("trendserve: ")
+	os.Exit(run())
+}
+
+// run is main behind an exit code, so deferred cleanup (trace flush, core
+// drain) executes on every path — os.Exit in main would skip it.
+func run() int {
 	var (
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		dir         = flag.String("dir", "", "checkpoint directory (required; created if missing)")
@@ -59,11 +76,31 @@ func main() {
 		retries     = flag.Int("retries", 3, "attempts per fold before a transient failure becomes terminal")
 		timeout     = flag.Duration("request-timeout", 0, "server-side deadline applied to ingest requests without their own (0 = none)")
 		drainWindow = flag.Duration("drain", time.Minute, "maximum time to drain in-flight folds on SIGTERM")
+		logFormat   = flag.String("log", "text", "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		traceOut    = flag.String("trace", "", "write a Chrome Trace of ingest→epoch lineage to this file on shutdown")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof (and expvar) on this address (e.g. localhost:6060); off by default")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "trendserve: bad -log-level %q: %v\n", *logLevel, err)
+		return 2
+	}
+	var logger *obs.Logger
+	switch *logFormat {
+	case "text":
+		logger = obs.NewTextLogger(os.Stderr, level)
+	case "json":
+		logger = obs.NewJSONLogger(os.Stderr, level)
+	default:
+		fmt.Fprintf(os.Stderr, "trendserve: unknown -log %q (want text or json)\n", *logFormat)
+		return 2
 	}
 
 	opts := trend.DefaultOptions()
@@ -76,7 +113,8 @@ func main() {
 	case "binary":
 		opts.Method = trend.MethodBinary
 	default:
-		log.Fatalf("unknown method %q (want exact or binary)", *method)
+		logger.Error("unknown method (want exact or binary)", slog.String("method", *method))
+		return 2
 	}
 
 	metrics := obs.NewRegistry()
@@ -84,25 +122,48 @@ func main() {
 	retry := serve.DefaultRetryPolicy()
 	retry.Attempts = *retries
 
+	var tracer *obs.Tracer
+	var spanSink obs.SpanObserver
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		spanSink = tracer.Observe
+	}
+
 	core, report, err := serve.NewCore(serve.CoreOptions{
 		Dir:        *dir,
 		Trend:      opts,
 		QueueDepth: *queue,
 		Retry:      retry,
 		Metrics:    metrics,
+		Log:        logger,
+		Trace:      spanSink,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("opening store", slog.String("err", err.Error()))
+		return 1
 	}
-	log.Printf("store %s: %s", *dir, report)
+	logger.Info("store opened", slog.String("dir", *dir), slog.String("recovery", report.String()))
 	for _, d := range report.Dropped {
-		log.Printf("warning: dropped month %d: %s", d.Month, d.Reason)
+		logger.Warn("dropped month", slog.Int("month", d.Month), slog.String("reason", d.Reason))
 	}
 
-	handler := serve.NewHandler(core, serve.HandlerOptions{})
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the pprof handlers (blank import) and the
+		// expvar bridge; serving it on its own listener keeps the ops surface
+		// off the API port.
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Warn("pprof server", slog.String("err", err.Error()))
+			}
+		}()
+	}
+
+	var handler http.Handler = serve.NewHandler(core, serve.HandlerOptions{})
 	if *timeout > 0 {
 		handler = withDeadline(handler, *timeout)
 	}
+	handler = serve.Instrument(handler, serve.InstrumentOptions{Metrics: metrics, Log: logger})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	// SIGTERM/SIGINT triggers the graceful path: stop accepting connections,
@@ -112,35 +173,63 @@ func main() {
 	defer stop()
 
 	// Listen before serving so the resolved address is known even with
-	// ":0" (ephemeral port) — scripts and the CI smoke parse this line.
+	// ":0" (ephemeral port) — scripts and the CI smoke parse the addr field
+	// of this record.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		core.Close()
-		log.Fatal(err)
+		logger.Error("listen", slog.String("err", err.Error()))
+		return 1
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", ln.Addr())
+		logger.Info("listening", slog.String("addr", ln.Addr().String()))
 		errCh <- srv.Serve(ln)
 	}()
 
+	exit := 0
 	select {
 	case err := <-errCh:
 		core.Close()
-		log.Fatal(err)
+		logger.Error("serve", slog.String("err", err.Error()))
+		exit = 1
 	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills hard
+		logger.Info("shutting down: draining in-flight folds")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("http shutdown", slog.String("err", err.Error()))
+		}
+		if err := core.Close(); err != nil {
+			logger.Error("drain failed", slog.String("err", err.Error()))
+			exit = 1
+		} else {
+			logger.Info("drained cleanly")
+		}
 	}
-	stop() // restore default handling: a second signal kills hard
-	log.Print("shutting down: draining in-flight folds…")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("warning: http shutdown: %v", err)
+	flushTrace(tracer, *traceOut, logger)
+	return exit
+}
+
+// flushTrace writes the collected lineage spans as Chrome Trace JSON. A nil
+// tracer (no -trace flag) is a no-op.
+func flushTrace(tracer *obs.Tracer, path string, logger *obs.Logger) {
+	if tracer == nil {
+		return
 	}
-	if err := core.Close(); err != nil {
-		log.Fatalf("drain failed: %v", err)
+	f, err := os.Create(path)
+	if err == nil {
+		err = tracer.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
-	log.Print("drained cleanly")
+	if err != nil {
+		logger.Warn("writing trace", slog.String("path", path), slog.String("err", err.Error()))
+		return
+	}
+	logger.Info("trace written", slog.String("path", path), slog.Int("spans", tracer.Len()))
 }
 
 // withDeadline bounds every request — and therefore the fold each ingest

@@ -55,6 +55,7 @@ func TestCrashRecoverySmoke(t *testing.T) {
 	if n := epochMonths(t, srv1.base); n != 2 {
 		t.Fatalf("epoch before kill serves %d months, want 2", n)
 	}
+	checkStatus(t, srv1.base)
 	preDetections := queryResults(t, srv1.base)
 
 	// Crash: no drain, no shutdown marker — exactly what a power cut leaves.
@@ -132,6 +133,40 @@ func epochMonths(t *testing.T, base string) int {
 	return e.Months
 }
 
+// checkStatus smokes /v1/status after both months folded: ready, correct
+// month count, every ingested month's lineage published, and each request
+// carrying a correlated id back on the response.
+func checkStatus(t *testing.T, base string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Fatal("/v1/status response lacks an X-Request-Id")
+	}
+	var st struct {
+		Ready   bool `json:"ready"`
+		Months  int  `json:"months"`
+		Lineage []struct {
+			Month int    `json:"month"`
+			State string `json:"state"`
+		} `json:"lineage"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Months != 2 || len(st.Lineage) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	for _, m := range st.Lineage {
+		if m.State != "published" {
+			t.Fatalf("month %d lineage state = %q, want published", m.Month, m.State)
+		}
+	}
+}
+
 func cleanShutdown(t *testing.T, base string) bool {
 	t.Helper()
 	var r struct {
@@ -168,10 +203,18 @@ func startServer(t *testing.T, bin, dir string) *server {
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
+			// The startup record is slog text: `... msg=listening addr=HOST:PORT`.
 			line := sc.Text()
-			if i := strings.Index(line, "listening on "); i >= 0 {
+			if !strings.Contains(line, "msg=listening ") {
+				continue
+			}
+			if i := strings.Index(line, "addr="); i >= 0 {
+				addr := line[i+len("addr="):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
 				select {
-				case addrCh <- line[i+len("listening on "):]:
+				case addrCh <- addr:
 				default:
 				}
 			}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Logger is the serving plane's nil-safe structured logging handle, a thin
+// wrapper over log/slog that extends the obs disabled-means-free contract to
+// logs: every method on a nil *Logger is a no-op, and With/WithRequest/
+// WithMonth on a nil *Logger return nil, so instrumented code threads one
+// pointer through and logging costs nothing when no sink is configured.
+//
+// The one caveat variadic attributes impose: building a non-empty
+// ...slog.Attr argument list allocates at the call site whether or not the
+// receiver is nil (the compiler cannot see through the nil check). Bare
+// calls — no attrs — are free on a nil logger; calls that carry attrs on a
+// path that must stay allocation-free guard with Enabled():
+//
+//	if log.Enabled() {
+//		log.Info("fold committed", slog.Int("month", m))
+//	}
+//
+// Field-name conventions the serving plane relies on: "request_id" is the
+// correlated per-request id (WithRequest), "month" is the ingested month
+// index (WithMonth). Access logs, lineage records, and trace span details
+// carry the same request id, which is what makes a request reconstructable
+// across all three.
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger wraps a slog handler. A nil handler returns a nil (disabled)
+// logger.
+func NewLogger(h slog.Handler) *Logger {
+	if h == nil {
+		return nil
+	}
+	return &Logger{s: slog.New(h)}
+}
+
+// NewTextLogger returns a logger writing logfmt-style text lines to w at the
+// given minimum level.
+func NewTextLogger(w io.Writer, level slog.Level) *Logger {
+	return NewLogger(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NewJSONLogger returns a logger writing one JSON object per line to w at
+// the given minimum level.
+func NewJSONLogger(w io.Writer, level slog.Level) *Logger {
+	return NewLogger(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Enabled reports whether the logger has a sink. Instrumented code on
+// allocation-sensitive paths guards attr-bearing calls with it.
+func (l *Logger) Enabled() bool { return l != nil }
+
+// With returns a logger whose records carry the given attributes (nil on a
+// nil receiver, keeping the disabled path free).
+func (l *Logger) With(attrs ...slog.Attr) *Logger {
+	if l == nil {
+		return nil
+	}
+	args := make([]any, len(attrs))
+	for i, a := range attrs {
+		args[i] = a
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// WithRequest returns a logger stamping the correlated request id on every
+// record (field "request_id"; nil on a nil receiver).
+func (l *Logger) WithRequest(id string) *Logger {
+	return l.With(slog.String("request_id", id))
+}
+
+// WithMonth returns a logger stamping the ingested month index on every
+// record (field "month"; nil on a nil receiver).
+func (l *Logger) WithMonth(m int) *Logger {
+	return l.With(slog.Int("month", m))
+}
+
+// Debug logs at debug level (no-op on a nil receiver).
+func (l *Logger) Debug(msg string, attrs ...slog.Attr) {
+	if l != nil {
+		l.s.LogAttrs(context.Background(), slog.LevelDebug, msg, attrs...)
+	}
+}
+
+// Info logs at info level (no-op on a nil receiver).
+func (l *Logger) Info(msg string, attrs ...slog.Attr) {
+	if l != nil {
+		l.s.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
+	}
+}
+
+// Warn logs at warn level (no-op on a nil receiver).
+func (l *Logger) Warn(msg string, attrs ...slog.Attr) {
+	if l != nil {
+		l.s.LogAttrs(context.Background(), slog.LevelWarn, msg, attrs...)
+	}
+}
+
+// Error logs at error level (no-op on a nil receiver).
+func (l *Logger) Error(msg string, attrs ...slog.Attr) {
+	if l != nil {
+		l.s.LogAttrs(context.Background(), slog.LevelError, msg, attrs...)
+	}
+}

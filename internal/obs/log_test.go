@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLoggerNilSafety pins the disabled path: a nil logger no-ops every
+// method, derived loggers stay nil, and Enabled reports false.
+func TestLoggerNilSafety(t *testing.T) {
+	var l *Logger
+	if l.Enabled() {
+		t.Fatal("nil logger reports Enabled")
+	}
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	if l.With(slog.String("k", "v")) != nil {
+		t.Fatal("With on nil logger must return nil")
+	}
+	if l.WithRequest("r1") != nil || l.WithMonth(3) != nil {
+		t.Fatal("WithRequest/WithMonth on nil logger must return nil")
+	}
+	if NewLogger(nil) != nil {
+		t.Fatal("NewLogger(nil handler) must return nil")
+	}
+}
+
+// TestLoggerJSONFields pins the field conventions: WithRequest stamps
+// "request_id", WithMonth stamps "month", and per-call attrs land alongside.
+func TestLoggerJSONFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONLogger(&buf, slog.LevelInfo)
+	if !l.Enabled() {
+		t.Fatal("configured logger reports disabled")
+	}
+	l.WithRequest("req-42").WithMonth(7).Info("fold committed", slog.Int("queue", 2))
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON object per line: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "fold committed" {
+		t.Fatalf("msg = %v", rec["msg"])
+	}
+	if rec["request_id"] != "req-42" {
+		t.Fatalf("request_id = %v", rec["request_id"])
+	}
+	if rec["month"] != float64(7) {
+		t.Fatalf("month = %v", rec["month"])
+	}
+	if rec["queue"] != float64(2) {
+		t.Fatalf("queue = %v", rec["queue"])
+	}
+	if rec["level"] != "INFO" {
+		t.Fatalf("level = %v", rec["level"])
+	}
+}
+
+// TestLoggerLevelsAndText pins the level floor and the text sink shape.
+func TestLoggerLevelsAndText(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewTextLogger(&buf, slog.LevelWarn)
+	l.Info("below floor")
+	l.Warn("shed", slog.String("reason", "queue full"))
+	out := buf.String()
+	if strings.Contains(out, "below floor") {
+		t.Fatalf("info record emitted below warn floor:\n%s", out)
+	}
+	if !strings.Contains(out, "level=WARN") || !strings.Contains(out, "msg=shed") {
+		t.Fatalf("text sink missing level/msg:\n%s", out)
+	}
+	if !strings.Contains(out, `reason="queue full"`) {
+		t.Fatalf("text sink missing quoted attr:\n%s", out)
+	}
+}

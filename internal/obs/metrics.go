@@ -74,6 +74,14 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add adjusts the gauge by delta, which may be negative — the shape in-flight
+// counts need (no-op on a nil receiver).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
 // Value returns the stored value (0 on a nil receiver).
 func (g *Gauge) Value() int64 {
 	if g == nil {
@@ -114,6 +122,21 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+}
+
+// snapshot copies the histogram's state with cumulative bucket counts.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		hs.Buckets = append(hs.Buckets, BucketCount{Le: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)]
+	hs.Buckets = append(hs.Buckets, BucketCount{Le: math.Inf(1), Count: cum})
+	return hs
 }
 
 // Timer accumulates wall-clock durations. A nil Timer discards observations.
@@ -158,6 +181,12 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	timers   map[string]*Timer
+
+	// Labeled families (vec.go), allocated lazily so a registry that never
+	// uses labels pays nothing for them.
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -300,12 +329,18 @@ type TimingSnapshot struct {
 // Snapshot is a point-in-time copy of a registry. The Counters, Gauges, and
 // Histograms sections are deterministic for a deterministic workload; the
 // Timings section is wall-clock and varies run to run (Deterministic strips
-// it).
+// it). The labeled-vector sections render each family's children in sorted
+// label order, so two snapshots of the same state compare byte-identical;
+// note that labeled families fed wall-clock values (the HTTP duration
+// histograms) are deterministic in structure but not in content.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
-	Timings    map[string]TimingSnapshot    `json:"timings,omitempty"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+	CounterVecs   map[string]VecSnapshot       `json:"counter_vecs,omitempty"`
+	GaugeVecs     map[string]VecSnapshot       `json:"gauge_vecs,omitempty"`
+	HistogramVecs map[string]HistVecSnapshot   `json:"histogram_vecs,omitempty"`
+	Timings       map[string]TimingSnapshot    `json:"timings,omitempty"`
 }
 
 // Snapshot copies the registry's current state. Safe to call concurrently
@@ -329,17 +364,13 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		h.mu.Lock()
-		hs := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-		cum := int64(0)
-		for i, b := range h.bounds {
-			cum += h.counts[i]
-			hs.Buckets = append(hs.Buckets, BucketCount{Le: b, Count: cum})
-		}
-		cum += h.counts[len(h.bounds)]
-		hs.Buckets = append(hs.Buckets, BucketCount{Le: math.Inf(1), Count: cum})
-		h.mu.Unlock()
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.snapshot()
+	}
+	if len(r.counterVecs)+len(r.gaugeVecs)+len(r.histVecs) > 0 {
+		s.CounterVecs = map[string]VecSnapshot{}
+		s.GaugeVecs = map[string]VecSnapshot{}
+		s.HistogramVecs = map[string]HistVecSnapshot{}
+		r.snapshotVecs(&s)
 	}
 	for name, t := range r.timers {
 		ts := TimingSnapshot{Count: t.Count(), TotalNS: int64(t.Total())}

@@ -68,6 +68,48 @@ func promEscapeHelp(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
+// promEscapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline (label values are double-quoted).
+func promEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promLabels renders a label set as `{name="value",…}`, sanitizing names and
+// escaping values. extra appends one more pair (the histogram "le" bound).
+func promLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(promName(n))
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabel(v))
+		b.WriteString(`"`)
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabel(extraValue))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format under the given namespace prefix (e.g. "mictrend"). Metric families
 // are emitted in sorted name order, each with its HELP and TYPE line, so the
@@ -103,6 +145,32 @@ func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 		}
 		fmt.Fprintf(&b, "%s_sum %s\n", fam, promFloat(h.Sum))
 		fmt.Fprintf(&b, "%s_count %d\n", fam, h.Count)
+	}
+	for _, name := range sortedKeys(s.CounterVecs) {
+		v := s.CounterVecs[name]
+		fam := family(ns+promName(name)+"_total", "counter", "mictrend counter "+name)
+		for _, lv := range v.Values {
+			fmt.Fprintf(&b, "%s%s %d\n", fam, promLabels(v.LabelNames, lv.Labels, "", ""), lv.Value)
+		}
+	}
+	for _, name := range sortedKeys(s.GaugeVecs) {
+		v := s.GaugeVecs[name]
+		fam := family(ns+promName(name), "gauge", "mictrend gauge "+name)
+		for _, lv := range v.Values {
+			fmt.Fprintf(&b, "%s%s %d\n", fam, promLabels(v.LabelNames, lv.Labels, "", ""), lv.Value)
+		}
+	}
+	for _, name := range sortedKeys(s.HistogramVecs) {
+		v := s.HistogramVecs[name]
+		fam := family(ns+promName(name), "histogram", "mictrend histogram "+name)
+		for _, lh := range v.Values {
+			for _, bkt := range lh.Buckets {
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", fam,
+					promLabels(v.LabelNames, lh.Labels, "le", promFloat(bkt.Le)), bkt.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", fam, promLabels(v.LabelNames, lh.Labels, "", ""), promFloat(lh.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", fam, promLabels(v.LabelNames, lh.Labels, "", ""), lh.Count)
+		}
 	}
 	for _, name := range sortedKeys(s.Timings) {
 		t := s.Timings[name]

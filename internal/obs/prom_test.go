@@ -287,3 +287,85 @@ func TestPromFloat(t *testing.T) {
 		t.Fatalf("float rendering: %q %q", promFloat(1.5), promFloat(0))
 	}
 }
+
+// promLabeledTestRegistry builds a registry exercising the labeled families,
+// including label values that need exposition escaping (backslash, double
+// quote, newline) and a label name that needs sanitizing.
+func promLabeledTestRegistry() *Registry {
+	r := NewRegistry()
+	cv := r.CounterVec("http/requests", "route", "method", "code")
+	cv.With("/v1/epoch", "GET", "200").Add(41)
+	cv.With("/v1/ingest", "POST", "429").Add(2)
+	cv.With("other", "GET", "404").Inc()
+	cv.With(`back\slash"quote`+"\nnewline", "GET", "200").Inc()
+	r.GaugeVec("http/in_flight_by_route", "bad-label.name").With("/v1/series").Set(3)
+	hv := r.HistogramVec("http/request_duration_seconds", []float64{0.005, 0.05, 0.5}, "route")
+	for _, v := range []float64{0.001, 0.02, 0.3, 2} {
+		hv.With("/v1/epoch").Observe(v)
+	}
+	hv.With("/v1/ingest").Observe(0.04)
+	return r
+}
+
+// TestWritePrometheusLabeledExposition extends the conformance check to
+// labeled families: the exposition with CounterVec/GaugeVec/HistogramVec
+// samples passes the same strict parser, series within a family come out in
+// stable sorted-label order, label names sanitize, and escaped label values
+// survive the round trip.
+func TestWritePrometheusLabeledExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promLabeledTestRegistry().Snapshot().WritePrometheus(&buf, "mictrend"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	samples := validatePromExposition(t, doc)
+
+	reqs := samples["mictrend_http_requests_total"]
+	if len(reqs) != 4 {
+		t.Fatalf("http_requests_total has %d series, want 4:\n%v", len(reqs), reqs)
+	}
+	// Stable ordering: series sorted by label values ("/v1/epoch" < "/v1/ingest"
+	// < "back\..." < "other").
+	wantOrder := []string{`route="/v1/epoch"`, `route="/v1/ingest"`, `route="back`, `route="other"`}
+	for i, line := range reqs {
+		if !strings.Contains(line, wantOrder[i]) {
+			t.Fatalf("series %d = %q, want it to carry %q", i, line, wantOrder[i])
+		}
+	}
+	// Escaping: the raw backslash/quote/newline value renders escaped.
+	if !strings.Contains(doc, `route="back\\slash\"quote\nnewline"`) {
+		t.Fatalf("escaped label value missing:\n%s", doc)
+	}
+	// Label name sanitization.
+	if !strings.Contains(doc, `bad_label_name="/v1/series"`) {
+		t.Fatalf("label name not sanitized:\n%s", doc)
+	}
+
+	// Labeled histogram: per-series cumulative buckets, +Inf == _count.
+	var epochInf, epochCount int64
+	for _, line := range samples["mictrend_http_request_duration_seconds"] {
+		if !strings.Contains(line, `route="/v1/epoch"`) {
+			continue
+		}
+		val := line[strings.LastIndex(line, " ")+1:]
+		switch {
+		case strings.Contains(line, `le="+Inf"`):
+			fmt.Sscanf(val, "%d", &epochInf)
+		case strings.Contains(line, "_count{"):
+			fmt.Sscanf(val, "%d", &epochCount)
+		}
+	}
+	if epochInf != 4 || epochCount != 4 {
+		t.Fatalf("+Inf bucket %d, _count %d, want both 4", epochInf, epochCount)
+	}
+
+	// Determinism: two expositions of independently built registries are
+	// byte-identical.
+	var buf2 bytes.Buffer
+	if err := promLabeledTestRegistry().Snapshot().WritePrometheus(&buf2, "mictrend"); err != nil {
+		t.Fatal(err)
+	}
+	if doc != buf2.String() {
+		t.Fatal("labeled exposition not deterministic")
+	}
+}

@@ -41,6 +41,12 @@ type SpanEvent struct {
 	// Err is non-empty when the span's unit degraded or failed; for pipeline
 	// spans the same failure is recorded in Analysis.Failures.
 	Err string
+	// Flow correlates spans belonging to one logical unit of work across
+	// lanes (e.g. one ingested month's queue→fold→checkpoint→WAL→publish
+	// lineage). Spans sharing a nonzero Flow are tied together in the trace
+	// by Chrome Trace flow events (rendered as arrows between slices); 0
+	// means the span belongs to no flow.
+	Flow int64
 }
 
 // SpanObserver receives completed spans. A nil SpanObserver disables span
@@ -163,6 +169,8 @@ type traceEvent struct {
 	Dur  float64        `json:"dur,omitempty"` // microseconds
 	PID  int64          `json:"pid"`
 	TID  int64          `json:"tid"`
+	ID   int64          `json:"id,omitempty"` // flow id (ph "s"/"t"/"f")
+	BP   string         `json:"bp,omitempty"` // binding point ("e" on ph "f")
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -181,6 +189,9 @@ const tracePID = 1
 // deterministic runs line up at t=0; events are emitted in deterministic
 // content order (see Spans). A nil or empty tracer writes a valid empty
 // trace. Lane-naming metadata events give each category its own named track.
+// Spans sharing a nonzero Flow id additionally emit Chrome Trace flow
+// events ("s"/"t"/"f" in wall-clock order within the flow), which viewers
+// render as arrows connecting the flow's slices across lanes.
 func (t *Tracer) WriteTrace(w io.Writer) error {
 	spans := t.Spans()
 	var t0 time.Time
@@ -189,13 +200,32 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 			t0 = spans[i].Start
 		}
 	}
+
+	// Order each flow's member spans by wall-clock start (content order
+	// breaking exact ties), so the arrows run queue → fold → … → publish.
+	type flowPos struct{ pos, n int }
+	flowOrder := map[*SpanEvent]flowPos{}
+	{
+		members := map[int64][]*SpanEvent{}
+		for i := range spans {
+			if spans[i].Flow != 0 {
+				members[spans[i].Flow] = append(members[spans[i].Flow], &spans[i])
+			}
+		}
+		for _, ms := range members {
+			sort.SliceStable(ms, func(a, b int) bool { return ms[a].Start.Before(ms[b].Start) })
+			for i, sp := range ms {
+				flowOrder[sp] = flowPos{pos: i, n: len(ms)}
+			}
+		}
+	}
 	file := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
 	type lane struct {
 		cat string
 		tid int64
 	}
 	seen := map[lane]bool{}
-	for _, sp := range spans {
+	for i, sp := range spans {
 		l := lane{sp.Cat, sp.TID}
 		if !seen[l] {
 			seen[l] = true
@@ -230,6 +260,25 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 			ev.Args = args
 		}
 		file.TraceEvents = append(file.TraceEvents, ev)
+
+		// Flow events bind to the slice enclosing their timestamp on the
+		// same pid/tid, so each is emitted at its span's start; a flow with
+		// a single member emits nothing (there is no arrow to draw).
+		if fp, ok := flowOrder[&spans[i]]; ok && fp.n > 1 {
+			fev := traceEvent{
+				Name: "lineage", Cat: "flow", PID: tracePID, TID: sp.TID,
+				TS: ev.TS, ID: sp.Flow,
+			}
+			switch {
+			case fp.pos == 0:
+				fev.Ph = "s"
+			case fp.pos == fp.n-1:
+				fev.Ph, fev.BP = "f", "e"
+			default:
+				fev.Ph = "t"
+			}
+			file.TraceEvents = append(file.TraceEvents, fev)
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -251,4 +300,8 @@ const (
 	LaneScan int64 = 3
 	// LaneSSM carries per-fit structural model spans (ssm.FitOptions.Trace).
 	LaneSSM int64 = 4
+	// LaneServe carries the serving plane's lineage spans: one ingested
+	// month's queue-admit, fold, checkpoint-write, WAL-commit, and
+	// epoch-publish steps, correlated by a per-month Flow id.
+	LaneServe int64 = 5
 )

@@ -214,3 +214,103 @@ func TestSequencerOrderWithFailedWorker(t *testing.T) {
 		t.Fatalf("emit order with hole %v, want %v", got, want)
 	}
 }
+
+// TestTracerFlowEvents pins the lineage-flow contract: spans sharing a
+// nonzero Flow id emit Chrome Trace flow events ("s" at the first member,
+// "t" in the middle, "f" with bp="e" at the last, ordered by wall-clock
+// start), each bound to its span's pid/tid/ts so viewers attach the arrow to
+// the right slice; single-member flows and Flow=0 spans emit none.
+func TestTracerFlowEvents(t *testing.T) {
+	tr := NewTracer()
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	// One three-step lineage (flow 8), recorded out of wall-clock order.
+	tr.Observe(SpanEvent{
+		Cat: "serve", Name: "serve/publish", TID: LaneServe,
+		Start: base.Add(4 * time.Millisecond), Duration: time.Millisecond,
+		Month: 7, Flow: 8,
+	})
+	tr.Observe(SpanEvent{
+		Cat: "serve", Name: "serve/queue", TID: LaneServe,
+		Start: base, Duration: time.Millisecond, Month: 7, Flow: 8,
+	})
+	tr.Observe(SpanEvent{
+		Cat: "serve", Name: "serve/fold", TID: LaneServe,
+		Start: base.Add(2 * time.Millisecond), Duration: time.Millisecond,
+		Month: 7, Flow: 8,
+	})
+	// A single-member flow and a flowless span: no arrows.
+	tr.Observe(SpanEvent{
+		Cat: "serve", Name: "serve/queue", TID: LaneServe,
+		Start: base.Add(6 * time.Millisecond), Duration: time.Millisecond,
+		Month: 9, Flow: 10,
+	})
+	tr.Observe(SpanEvent{
+		Cat: "stage", Name: "stage/model", TID: LaneStage,
+		Start: base, Duration: 8 * time.Millisecond, Month: -1,
+	})
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	type flowEv struct {
+		ph string
+		ts float64
+		id float64
+		bp any
+	}
+	var flows []flowEv
+	tsByName := map[string]float64{}
+	for _, ev := range file.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "s", "t", "f":
+			id, ok := ev["id"].(float64)
+			if !ok {
+				t.Fatalf("flow event without id: %v", ev)
+			}
+			if ev["pid"] == nil || ev["tid"] == nil {
+				t.Fatalf("flow event without pid/tid: %v", ev)
+			}
+			flows = append(flows, flowEv{ph: ph, ts: ev["ts"].(float64), id: id, bp: ev["bp"]})
+		case "X":
+			if args, _ := ev["args"].(map[string]any); args["month"] == float64(7) {
+				tsByName[ev["name"].(string)] = ev["ts"].(float64)
+			}
+		}
+	}
+	if len(flows) != 3 {
+		t.Fatalf("%d flow events, want 3 (single-member and flowless spans emit none): %+v", len(flows), flows)
+	}
+	// Wall-clock order within the flow: s at queue, t at fold, f at publish.
+	want := []struct {
+		ph   string
+		name string
+	}{{"s", "serve/queue"}, {"t", "serve/fold"}, {"f", "serve/publish"}}
+	for _, fv := range flows {
+		if fv.id != 8 {
+			t.Fatalf("flow id = %v, want 8", fv.id)
+		}
+	}
+	for _, wv := range want {
+		var match *flowEv
+		for i := range flows {
+			if flows[i].ts == tsByName[wv.name] {
+				match = &flows[i]
+			}
+		}
+		if match == nil || match.ph != wv.ph {
+			t.Fatalf("no %q flow event at %s (ts %v); flows %+v", wv.ph, wv.name, tsByName[wv.name], flows)
+		}
+		if wv.ph == "f" && match.bp != "e" {
+			t.Fatalf("terminating flow event missing bp=e: %+v", *match)
+		}
+	}
+}

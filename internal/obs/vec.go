@@ -1,0 +1,252 @@
+package obs
+
+// Labeled metric vectors: families of Counters, Gauges, and Histograms
+// indexed by a small fixed set of label values ("http_requests_total" by
+// route/method/status). They extend the registry's contracts unchanged:
+//
+//   - Disabled means free. A nil Registry returns nil vectors, and every
+//     method on a nil vector is a no-op returning a nil child handle — so
+//     instrumented code resolves a vector once and calls With on every
+//     request without a single allocation when observability is off.
+//   - Deterministic snapshots. Children are keyed by their label values;
+//     snapshots render each family's series in sorted label order, so two
+//     snapshots of the same state are byte-identical documents.
+//   - Safe under -race. Child lookup is mutex-guarded; child mutation is
+//     the atomic Counter/Gauge/Histogram machinery.
+//
+// Label sets are meant to stay small and bounded (routes, methods, status
+// codes) — every distinct label combination is one live child, and nothing
+// expires them. Callers bound cardinality (e.g. the HTTP middleware
+// normalizes unknown paths to one "other" route) rather than the registry.
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// labelKey joins label values into a map key. Values are joined with 0xFF,
+// a byte that cannot appear in UTF-8 text, so distinct value tuples never
+// collide.
+func labelKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+// CounterVec is a family of Counters indexed by label values. A nil
+// CounterVec hands out nil Counters, which discard writes.
+type CounterVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values, creating it on
+// first use (nil on a nil vector or a label-arity mismatch).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	k := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[k]
+	if !ok {
+		c = &Counter{}
+		v.children[k] = c
+	}
+	return c
+}
+
+// GaugeVec is a family of Gauges indexed by label values. A nil GaugeVec
+// hands out nil Gauges, which discard writes.
+type GaugeVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label values, creating it on
+// first use (nil on a nil vector or a label-arity mismatch).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	k := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[k]
+	if !ok {
+		g = &Gauge{}
+		v.children[k] = g
+	}
+	return g
+}
+
+// HistogramVec is a family of Histograms indexed by label values, sharing
+// one set of upper bounds. A nil HistogramVec hands out nil Histograms,
+// which discard observations.
+type HistogramVec struct {
+	labels   []string
+	bounds   []float64
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values, creating it
+// on first use (nil on a nil vector or a label-arity mismatch).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	k := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[k]
+	if !ok {
+		h = &Histogram{bounds: v.bounds, counts: make([]int64, len(v.bounds)+1)}
+		v.children[k] = h
+	}
+	return h
+}
+
+// CounterVec returns the named counter family with the given label names,
+// creating it on first use (nil on a nil registry). Later calls return the
+// existing family regardless of label names.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counterVecs == nil {
+		r.counterVecs = make(map[string]*CounterVec)
+	}
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{labels: append([]string(nil), labels...), children: make(map[string]*Counter)}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family with the given label names,
+// creating it on first use (nil on a nil registry).
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gaugeVecs == nil {
+		r.gaugeVecs = make(map[string]*GaugeVec)
+	}
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{labels: append([]string(nil), labels...), children: make(map[string]*Gauge)}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family with the given ascending
+// upper bounds and label names, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histVecs == nil {
+		r.histVecs = make(map[string]*HistogramVec)
+	}
+	v, ok := r.histVecs[name]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		v = &HistogramVec{labels: append([]string(nil), labels...), bounds: b, children: make(map[string]*Histogram)}
+		r.histVecs[name] = v
+	}
+	return v
+}
+
+// LabeledValue is one child of a labeled counter or gauge family in a
+// snapshot: the label values (in the family's label-name order) and the
+// child's value.
+type LabeledValue struct {
+	Labels []string `json:"labels"`
+	Value  int64    `json:"value"`
+}
+
+// LabeledHistogram is one child of a labeled histogram family in a snapshot.
+type LabeledHistogram struct {
+	Labels []string `json:"labels"`
+	HistogramSnapshot
+}
+
+// VecSnapshot is a labeled counter or gauge family at snapshot time, its
+// children sorted by label values so the snapshot is deterministic.
+type VecSnapshot struct {
+	LabelNames []string       `json:"label_names"`
+	Values     []LabeledValue `json:"values"`
+}
+
+// HistVecSnapshot is a labeled histogram family at snapshot time.
+type HistVecSnapshot struct {
+	LabelNames []string           `json:"label_names"`
+	Values     []LabeledHistogram `json:"values"`
+}
+
+// snapshotVecs copies the labeled families under the registry lock; the
+// caller holds r.mu.
+func (r *Registry) snapshotVecs(s *Snapshot) {
+	for name, v := range r.counterVecs {
+		vs := VecSnapshot{LabelNames: append([]string(nil), v.labels...)}
+		v.mu.Lock()
+		for k, c := range v.children {
+			vs.Values = append(vs.Values, LabeledValue{Labels: strings.Split(k, "\xff"), Value: c.Value()})
+		}
+		v.mu.Unlock()
+		sortLabeled(vs.Values, func(lv LabeledValue) []string { return lv.Labels })
+		s.CounterVecs[name] = vs
+	}
+	for name, v := range r.gaugeVecs {
+		vs := VecSnapshot{LabelNames: append([]string(nil), v.labels...)}
+		v.mu.Lock()
+		for k, g := range v.children {
+			vs.Values = append(vs.Values, LabeledValue{Labels: strings.Split(k, "\xff"), Value: g.Value()})
+		}
+		v.mu.Unlock()
+		sortLabeled(vs.Values, func(lv LabeledValue) []string { return lv.Labels })
+		s.GaugeVecs[name] = vs
+	}
+	for name, v := range r.histVecs {
+		vs := HistVecSnapshot{LabelNames: append([]string(nil), v.labels...)}
+		v.mu.Lock()
+		for k, h := range v.children {
+			vs.Values = append(vs.Values, LabeledHistogram{
+				Labels:            strings.Split(k, "\xff"),
+				HistogramSnapshot: h.snapshot(),
+			})
+		}
+		v.mu.Unlock()
+		sortLabeled(vs.Values, func(lh LabeledHistogram) []string { return lh.Labels })
+		s.HistogramVecs[name] = vs
+	}
+}
+
+// sortLabeled orders a family's children lexicographically by label values.
+func sortLabeled[T any](items []T, labels func(T) []string) {
+	sort.Slice(items, func(a, b int) bool {
+		la, lb := labels(items[a]), labels(items[b])
+		for i := range la {
+			if i >= len(lb) {
+				return false
+			}
+			if la[i] != lb[i] {
+				return la[i] < lb[i]
+			}
+		}
+		return len(la) < len(lb)
+	})
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestVecNilSafety pins the disabled path: a nil registry hands out nil
+// vectors, nil vectors hand out nil children, and writes through the whole
+// chain are no-ops.
+func TestVecNilSafety(t *testing.T) {
+	var r *Registry
+	cv := r.CounterVec("http_requests_total", "route", "code")
+	gv := r.GaugeVec("http_in_flight_by_route", "route")
+	hv := r.HistogramVec("http_request_duration_seconds", []float64{0.1, 1}, "route")
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry must return nil vectors")
+	}
+	cv.With("/v1/epoch", "200").Inc()
+	gv.With("/v1/epoch").Set(3)
+	hv.With("/v1/epoch").Observe(0.5)
+
+	// Arity mismatches return nil children instead of corrupting the family.
+	r2 := NewRegistry()
+	cv2 := r2.CounterVec("c", "a", "b")
+	if cv2.With("only-one") != nil {
+		t.Fatal("label arity mismatch must return a nil child")
+	}
+	cv2.With("only-one").Inc()
+	if n := len(r2.Snapshot().CounterVecs["c"].Values); n != 0 {
+		t.Fatalf("arity-mismatched With created %d children, want 0", n)
+	}
+}
+
+// TestVecSameChild pins handle identity: With returns the same child for the
+// same label values, and distinct children for distinct values.
+func TestVecSameChild(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("reqs", "route", "code")
+	a := cv.With("/x", "200")
+	b := cv.With("/x", "200")
+	if a != b {
+		t.Fatal("same labels must return the same child")
+	}
+	if cv.With("/x", "500") == a {
+		t.Fatal("distinct labels must return distinct children")
+	}
+	// The 0xFF separator keeps adjacent values from colliding.
+	if cv.With("/x2", "00") == cv.With("/x", "200") {
+		t.Fatal("label tuples with equal concatenation must not collide")
+	}
+	a.Add(2)
+	b.Inc()
+	snap := r.Snapshot()
+	vs := snap.CounterVecs["reqs"]
+	if len(vs.Values) != 3 {
+		t.Fatalf("snapshot has %d children, want 3", len(vs.Values))
+	}
+	if vs.Values[0].Value != 3 { // sorted: /x,200 < /x,500 < /x2,00
+		t.Fatalf("child value = %d, want 3 (values %+v)", vs.Values[0].Value, vs.Values)
+	}
+}
+
+// TestVecSnapshotDeterministic pins the ordering contract: children appear
+// sorted by label values regardless of creation order, so two snapshots of
+// the same state render byte-identically.
+func TestVecSnapshotDeterministic(t *testing.T) {
+	build := func(order []int) Snapshot {
+		r := NewRegistry()
+		cv := r.CounterVec("reqs", "route", "code")
+		gv := r.GaugeVec("inflight", "route")
+		hv := r.HistogramVec("dur", []float64{1, 10}, "route")
+		routes := []string{"/b", "/a", "/c"}
+		for _, i := range order {
+			cv.With(routes[i], "200").Add(int64(i) + 1)
+			gv.With(routes[i]).Set(int64(i))
+			hv.With(routes[i]).Observe(float64(i))
+		}
+		return r.Snapshot()
+	}
+	s1, s2 := build([]int{0, 1, 2}), build([]int{2, 0, 1})
+	j1, _ := json.Marshal(s1)
+	j2, _ := json.Marshal(s2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshots differ across creation orders:\n%s\n%s", j1, j2)
+	}
+	want := []string{"/a", "/b", "/c"}
+	for i, lv := range s1.CounterVecs["reqs"].Values {
+		if lv.Labels[0] != want[i] {
+			t.Fatalf("children not sorted by label values: %+v", s1.CounterVecs["reqs"].Values)
+		}
+	}
+	if !reflect.DeepEqual(s1.HistogramVecs["dur"].LabelNames, []string{"route"}) {
+		t.Fatalf("histogram vec label names = %v", s1.HistogramVecs["dur"].LabelNames)
+	}
+
+	// Deterministic() keeps the labeled sections (they are count-valued).
+	det := s1.Deterministic()
+	if len(det.CounterVecs) == 0 || len(det.HistogramVecs) == 0 {
+		t.Fatal("Deterministic() stripped the labeled sections")
+	}
+}
+
+// TestVecSnapshotJSONRoundTrip pins that the labeled sections survive the
+// JSON round trip the expvar bridge exposes.
+func TestVecSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("reqs", "route", "code").With("/v1/status", "200").Add(7)
+	r.HistogramVec("dur", []float64{0.5}, "route").With("/v1/status").Observe(0.1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	cv := back.CounterVecs["reqs"]
+	if len(cv.Values) != 1 || cv.Values[0].Value != 7 || cv.Values[0].Labels[1] != "200" {
+		t.Fatalf("counter vec did not round-trip: %+v", cv)
+	}
+	hv := back.HistogramVecs["dur"]
+	if len(hv.Values) != 1 || hv.Values[0].Count != 1 {
+		t.Fatalf("histogram vec did not round-trip: %+v", hv)
+	}
+}
+
+// TestVecConcurrentUpdates hammers one family from concurrent goroutines —
+// the serving middleware's access pattern — and checks the totals. Run under
+// -race this doubles as the labeled-metric data-race guard.
+func TestVecConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("reqs", "route", "code")
+	hv := r.HistogramVec("dur", []float64{1, 5, 25}, "route")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				route := fmt.Sprintf("/r%d", i%3)
+				cv.With(route, "200").Inc()
+				hv.With(route).Observe(float64(i % 7))
+				if i%50 == 0 {
+					_ = r.Snapshot() // snapshots race against writers by design
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total int64
+	for _, lv := range snap.CounterVecs["reqs"].Values {
+		total += lv.Value
+	}
+	if total != workers*perWorker {
+		t.Fatalf("counter total = %d, want %d", total, workers*perWorker)
+	}
+	var hn int64
+	for _, lh := range snap.HistogramVecs["dur"].Values {
+		hn += lh.Count
+	}
+	if hn != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hn, workers*perWorker)
+	}
+}

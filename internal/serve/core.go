@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mictrend/internal/faultpoint"
 	"mictrend/internal/mic"
@@ -68,9 +70,22 @@ type CoreOptions struct {
 	// means DefaultRetryPolicy.
 	Retry RetryPolicy
 	// Metrics receives the serving counters (serve/recoveries, serve/retries,
-	// serve/shed_total) and the serve/epoch gauge; nil allocates a private
+	// serve/shed_total), the serve/epoch and serve/queue_depth gauges, and the
+	// serve/lineage_transitions{stage} vector; nil allocates a private
 	// registry.
 	Metrics *obs.Registry
+	// Log receives the fold loop's structured records — ingest sheds, retry
+	// attempts, fold commits and failures, recovery outcome, poisonings. Nil
+	// disables logging at zero cost (the obs.Logger nil contract).
+	Log *obs.Logger
+	// Trace receives the lineage spans: each ingested month's queue-admit,
+	// fold, checkpoint-write, WAL-commit, and epoch-publish stages on
+	// obs.LaneServe, correlated by a per-month flow id. Nil disables span
+	// emission.
+	Trace obs.SpanObserver
+	// LineageDepth bounds how many months /v1/status retains lineage for
+	// (oldest pruned first). Default 64.
+	LineageDepth int
 }
 
 // Core is the crash-safe incremental serving engine: a single fold goroutine
@@ -84,6 +99,11 @@ type Core struct {
 	report  *RecoveryReport
 	opts    CoreOptions
 	metrics *obs.Registry
+	log     *obs.Logger
+	lin     *lineageTracker
+
+	lastFoldNS  atomic.Int64 // wall-clock cost of the last completed fold
+	publishedAt atomic.Int64 // unix nanos of the last epoch swap
 
 	epoch    atomic.Pointer[Epoch]
 	queue    chan *foldTask
@@ -97,10 +117,12 @@ type Core struct {
 }
 
 type foldTask struct {
-	month *mic.Dataset // one-month dataset to merge and fold
-	want  int          // asserted month index, -1 for "next"
-	ctx   context.Context
-	reply chan foldResult
+	month    *mic.Dataset // one-month dataset to merge and fold
+	want     int          // asserted month index, -1 for "next"
+	ctx      context.Context
+	reply    chan foldResult
+	admitted time.Time // when the task entered the queue
+	reqID    string    // correlated request id, "" outside Instrument
 }
 
 type foldResult struct {
@@ -141,10 +163,13 @@ func NewCore(opts CoreOptions) (*Core, *RecoveryReport, error) {
 		report:  rep,
 		opts:    opts,
 		metrics: opts.Metrics,
+		log:     opts.Log,
+		lin:     newLineageTracker(opts.Trace, opts.Metrics, opts.LineageDepth),
 		queue:   make(chan *foldTask, opts.QueueDepth),
 		done:    make(chan struct{}),
 		ds:      ds,
 	}
+	store.SetCommitObserver(c.lin.commitObserver)
 	go c.foldLoop()
 	return c, rep, nil
 }
@@ -190,13 +215,24 @@ func (c *Core) Ingest(ctx context.Context, month *mic.Dataset, want int) (int, i
 		c.mu.Unlock()
 		return 0, 0, ErrClosing
 	}
-	task := &foldTask{month: month, want: want, ctx: ctx, reply: make(chan foldResult, 1)}
+	task := &foldTask{
+		month: month, want: want, ctx: ctx, reply: make(chan foldResult, 1),
+		admitted: time.Now(), reqID: RequestID(ctx),
+	}
 	select {
 	case c.queue <- task:
 		c.mu.Unlock()
+		c.metrics.Gauge("serve/queue_depth").Set(int64(len(c.queue)))
+		if want >= 0 {
+			c.lin.admitted(want, task.reqID, task.admitted)
+		}
 	default:
 		c.mu.Unlock()
 		c.metrics.Counter("serve/shed_total").Inc()
+		if c.log.Enabled() {
+			c.log.Warn("ingest shed: queue full",
+				slog.String("request_id", task.reqID), slog.Int("want", want))
+		}
 		return 0, 0, ErrOverloaded
 	}
 	select {
@@ -248,6 +284,7 @@ func (c *Core) foldLoop() {
 	defer close(c.done)
 	c.recoverEpoch()
 	for task := range c.queue {
+		c.metrics.Gauge("serve/queue_depth").Set(int64(len(c.queue)))
 		task.reply <- c.safeFold(task)
 	}
 }
@@ -261,6 +298,9 @@ func (c *Core) recoverEpoch() {
 		if r := recover(); r != nil {
 			c.poisoned.Store(true)
 			c.metrics.Counter("serve/recovery_analysis_failures").Inc()
+			if c.log.Enabled() {
+				c.log.Error("recovery analysis panicked; core poisoned", slog.Any("panic", r))
+			}
 		}
 	}()
 	c.publishRecoveryEpoch()
@@ -279,6 +319,9 @@ func (c *Core) safeFold(task *foldTask) (res foldResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.poisoned.Store(true)
+			if c.log.Enabled() {
+				c.log.Error("fold panicked; core poisoned", slog.Any("panic", r))
+			}
 			res = foldResult{err: fmt.Errorf("%w: %v", ErrPoisoned, r)}
 		}
 	}()
@@ -300,9 +343,16 @@ func (c *Core) publishRecoveryEpoch() {
 		// Keep serving nothing rather than something wrong. The next
 		// successful ingest will re-run the full analysis and publish.
 		c.metrics.Counter("serve/recovery_analysis_failures").Inc()
+		if c.log.Enabled() {
+			c.log.Error("recovery analysis failed; staying unready",
+				slog.String("err", err.Error()))
+		}
 		return
 	}
 	c.publish(&Epoch{Months: c.ds.T(), Analysis: analysis})
+	if c.log.Enabled() {
+		c.log.Info("recovery epoch published", slog.Int("months", c.ds.T()))
+	}
 }
 
 func (c *Core) publish(e *Epoch) {
@@ -314,6 +364,7 @@ func (c *Core) publish(e *Epoch) {
 	e.DiseaseCodes = c.ds.Diseases.Codes()
 	e.MedicineCodes = c.ds.Medicines.Codes()
 	c.epoch.Store(e)
+	c.publishedAt.Store(time.Now().UnixNano())
 	c.metrics.Gauge("serve/epoch").Set(seq)
 	c.metrics.Gauge("serve/months").Set(int64(e.Months))
 }
@@ -332,6 +383,8 @@ func (c *Core) fold(task *foldTask) foldResult {
 		return foldResult{err: fmt.Errorf("%w: asserted month %d, next is %d", ErrMonthConflict, task.want, next)}
 	}
 
+	foldStart := time.Now()
+	c.lin.foldStart(next, task.reqID, task.admitted)
 	monthly := c.mergeMonth(task.month, next)
 	c.store.StageMonth(next, monthly, c.ds.Diseases.Codes(), c.ds.Medicines.Codes(), c.ds.Hospitals)
 
@@ -353,8 +406,12 @@ func (c *Core) fold(task *foldTask) foldResult {
 		var aerr error
 		analysis, aerr = c.analyze(ctx)
 		return aerr
-	}, func(_ int, _ error) {
+	}, func(attempt int, rerr error) {
 		c.metrics.Counter("serve/retries").Inc()
+		if c.log.Enabled() {
+			c.log.Warn("fold retrying", slog.Int("month", next),
+				slog.Int("attempt", attempt), slog.String("err", rerr.Error()))
+		}
 	})
 	if err != nil {
 		// Unwind: drop the appended month so the dataset matches the last
@@ -362,10 +419,24 @@ func (c *Core) fold(task *foldTask) foldResult {
 		// supersets — but the staged records must not leak into a later save.
 		c.ds.Months = c.ds.Months[:next]
 		c.store.Unstage(next)
+		c.lin.failed(next, err)
+		if c.log.Enabled() {
+			c.log.Error("fold failed; month unwound", slog.Int("month", next),
+				slog.String("request_id", task.reqID), slog.String("err", err.Error()))
+		}
 		return foldResult{err: err}
 	}
 	e := &Epoch{Months: c.ds.T(), Analysis: analysis}
 	c.publish(e)
+	elapsed := time.Since(foldStart)
+	c.lastFoldNS.Store(int64(elapsed))
+	c.metrics.Gauge("serve/last_fold_ms").Set(elapsed.Milliseconds())
+	c.lin.published(next, e.Seq)
+	if c.log.Enabled() {
+		c.log.Info("fold committed", slog.Int("month", next),
+			slog.Int64("epoch", e.Seq), slog.String("request_id", task.reqID),
+			slog.Duration("elapsed", elapsed))
+	}
 	return foldResult{month: next, epoch: e.Seq}
 }
 

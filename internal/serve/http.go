@@ -27,6 +27,8 @@ type HandlerOptions struct {
 //	GET  /v1/detections       every detection in the current epoch
 //	GET  /v1/failures         the current epoch's degradations
 //	GET  /v1/recovery         the startup recovery report
+//	GET  /v1/status           operational status: epoch age, queue depth,
+//	                          last-fold duration, per-month lineage, recovery
 //	GET  /healthz             process liveness (always 200)
 //	GET  /readyz              200 once the first epoch is published
 //	GET  /metrics             Prometheus exposition of the core registry
@@ -44,6 +46,7 @@ func NewHandler(c *Core, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("/v1/detections", func(w http.ResponseWriter, r *http.Request) { handleDetections(c, w, r) })
 	mux.HandleFunc("/v1/failures", func(w http.ResponseWriter, r *http.Request) { handleFailures(c, w, r) })
 	mux.HandleFunc("/v1/recovery", func(w http.ResponseWriter, r *http.Request) { writeJSON(w, http.StatusOK, c.Report()) })
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) { writeJSON(w, http.StatusOK, c.Status()) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")

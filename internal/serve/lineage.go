@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mictrend/internal/obs"
+)
+
+// Lineage states. An ingested month moves through them in order — queued at
+// ingest admission, folding when the fold goroutine picks it up, checkpointed
+// when its month file is durably renamed into place, wal-committed when the
+// WAL record referencing that file is fsynced (the commit point recovery
+// honors), published when the epoch containing it swaps in — or drops to
+// failed from any of them (the merge is unwound and the previous epoch stays
+// current).
+const (
+	LineageQueued       = "queued"
+	LineageFolding      = "folding"
+	LineageCheckpointed = "checkpointed"
+	LineageCommitted    = "wal-committed"
+	LineagePublished    = "published"
+	LineageFailed       = "failed"
+)
+
+// MonthLineage is one ingested month's progress through the serving plane's
+// durable pipeline, as reported by /v1/status.
+type MonthLineage struct {
+	Month     int       `json:"month"`
+	State     string    `json:"state"`
+	RequestID string    `json:"request_id,omitempty"`
+	Epoch     int64     `json:"epoch,omitempty"`
+	UpdatedAt time.Time `json:"updated_at"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// lineageTracker records each ingested month's stage transitions, emitting a
+// LaneServe span per completed stage (correlated by a per-month Flow id, so a
+// month's whole queue→fold→checkpoint→wal→publish path renders as one arrow
+// chain in the trace) and a serve/lineage_transitions{stage} count per
+// transition. All methods are goroutine-safe; a tracker with a nil trace and
+// nil metrics still tracks states for /v1/status.
+type lineageTracker struct {
+	trace       obs.SpanObserver
+	transitions *obs.CounterVec // serve/lineage_transitions{stage}
+	keep        int             // retained months, oldest pruned first
+
+	mu     sync.Mutex
+	months map[int]*monthLineage
+	order  []int // admission order, for pruning
+}
+
+type monthLineage struct {
+	MonthLineage
+	stageStart time.Time // when the current state was entered
+}
+
+// flowID is the trace flow correlating one month's lineage spans; month
+// indices start at 0 and flow id 0 means "no flow", hence the offset.
+func flowID(month int) int64 { return int64(month) + 1 }
+
+func newLineageTracker(trace obs.SpanObserver, metrics *obs.Registry, keep int) *lineageTracker {
+	if keep <= 0 {
+		keep = 64
+	}
+	return &lineageTracker{
+		trace:       trace,
+		transitions: metrics.CounterVec("serve/lineage_transitions", "stage"),
+		keep:        keep,
+		months:      make(map[int]*monthLineage),
+	}
+}
+
+// get returns the tracked entry for month, creating it in state at t when
+// absent (and pruning the oldest entry beyond the retention bound).
+func (l *lineageTracker) get(month int, state string, t time.Time) *monthLineage {
+	m, ok := l.months[month]
+	if !ok {
+		m = &monthLineage{
+			MonthLineage: MonthLineage{Month: month, State: state, UpdatedAt: t},
+			stageStart:   t,
+		}
+		l.months[month] = m
+		l.order = append(l.order, month)
+		if len(l.order) > l.keep {
+			delete(l.months, l.order[0])
+			l.order = l.order[1:]
+		}
+		l.transitions.With(state).Inc()
+	}
+	return m
+}
+
+// transition moves month into state at t, emits the span covering the stage
+// just left (named span, on LaneServe, in month's flow), and counts the
+// transition. A month that was never admitted — a recovery refit hitting the
+// commit observer, say — is ignored: lineage covers ingested months only.
+func (l *lineageTracker) transition(month int, state, span string, t time.Time, errMsg string) {
+	l.mu.Lock()
+	m, ok := l.months[month]
+	if !ok {
+		l.mu.Unlock()
+		return
+	}
+	start := m.stageStart
+	m.State = state
+	m.UpdatedAt = t
+	m.stageStart = t
+	if errMsg != "" {
+		m.Error = errMsg
+	}
+	l.mu.Unlock()
+
+	l.transitions.With(state).Inc()
+	if l.trace != nil && span != "" {
+		l.trace(obs.SpanEvent{
+			Cat: "serve", Name: span, TID: obs.LaneServe,
+			Start: start, Duration: t.Sub(start),
+			Month: month, Err: errMsg,
+			Flow: flowID(month),
+		})
+	}
+}
+
+// admitted marks month queued as of t (called from Ingest when the asserted
+// month index is known, and retroactively from the fold goroutine otherwise).
+func (l *lineageTracker) admitted(month int, reqID string, t time.Time) {
+	l.mu.Lock()
+	m := l.get(month, LineageQueued, t)
+	if m.RequestID == "" {
+		m.RequestID = reqID
+	}
+	l.mu.Unlock()
+}
+
+// foldStart marks month folding, closing its queued stage with a serve/queue
+// span running from admission to fold pickup.
+func (l *lineageTracker) foldStart(month int, reqID string, admitted time.Time) {
+	l.admitted(month, reqID, admitted)
+	l.transition(month, LineageFolding, "serve/queue", time.Now(), "")
+}
+
+// commitObserver is the Store.SetCommitObserver hook: "checkpoint" closes the
+// folding stage (the fit ran between fold pickup and the first durable byte),
+// "wal" closes the checkpoint stage at the real commit point.
+func (l *lineageTracker) commitObserver(month int, phase string) {
+	switch phase {
+	case "checkpoint":
+		l.transition(month, LineageCheckpointed, "serve/fold", time.Now(), "")
+	case "wal":
+		l.transition(month, LineageCommitted, "serve/checkpoint", time.Now(), "")
+	}
+}
+
+// published marks month live in epoch seq, closing the WAL stage with a
+// serve/wal span and stamping a zero-width serve/publish span at the swap.
+func (l *lineageTracker) published(month int, seq int64) {
+	now := time.Now()
+	l.transition(month, LineagePublished, "serve/wal", now, "")
+	l.mu.Lock()
+	if m, ok := l.months[month]; ok {
+		m.Epoch = seq
+	}
+	l.mu.Unlock()
+	if l.trace != nil {
+		l.trace(obs.SpanEvent{
+			Cat: "serve", Name: "serve/publish", TID: obs.LaneServe,
+			Start: now, Month: month, Flow: flowID(month),
+		})
+	}
+}
+
+// failed marks month failed from whatever stage it was in, closing that stage
+// with an error-carrying span.
+func (l *lineageTracker) failed(month int, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	l.transition(month, LineageFailed, "serve/fold", time.Now(), msg)
+}
+
+// snapshot returns the tracked lineages in month order.
+func (l *lineageTracker) snapshot() []MonthLineage {
+	l.mu.Lock()
+	out := make([]MonthLineage, 0, len(l.months))
+	for _, m := range l.months {
+		out = append(out, m.MonthLineage)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Month < out[b].Month })
+	return out
+}
+
+// Status is the /v1/status payload: the serving plane's operational picture —
+// readiness, current epoch and its age, ingest queue pressure, the last
+// fold's wall-clock cost, per-month lineage, and the startup recovery report.
+type Status struct {
+	Ready           bool            `json:"ready"`
+	Poisoned        bool            `json:"poisoned"`
+	Epoch           int64           `json:"epoch"`
+	Months          int             `json:"months"`
+	EpochAgeSeconds float64         `json:"epoch_age_seconds"`
+	QueueDepth      int             `json:"queue_depth"`
+	QueueCapacity   int             `json:"queue_capacity"`
+	LastFoldSeconds float64         `json:"last_fold_seconds,omitempty"`
+	Lineage         []MonthLineage  `json:"lineage"`
+	Recovery        *RecoveryReport `json:"recovery,omitempty"`
+}
+
+// Status reports the serving plane's current operational state.
+func (c *Core) Status() Status {
+	s := Status{
+		Ready:         c.Ready(),
+		Poisoned:      c.poisoned.Load(),
+		QueueDepth:    len(c.queue),
+		QueueCapacity: cap(c.queue),
+		Lineage:       c.lin.snapshot(),
+		Recovery:      c.report,
+	}
+	if e := c.Epoch(); e != nil {
+		s.Epoch = e.Seq
+		s.Months = e.Months
+	}
+	if at := c.publishedAt.Load(); at != 0 {
+		s.EpochAgeSeconds = time.Since(time.Unix(0, at)).Seconds()
+	}
+	if ns := c.lastFoldNS.Load(); ns != 0 {
+		s.LastFoldSeconds = float64(ns) / 1e9
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mictrend/internal/faultpoint"
+	"mictrend/internal/obs"
+)
+
+// lineageStages is the span sequence one successful ingest leaves on
+// obs.LaneServe, in flow order.
+var lineageStages = []string{"serve/queue", "serve/fold", "serve/checkpoint", "serve/wal", "serve/publish"}
+
+// TestLineageTrace pins the acceptance criterion: after folding months
+// through a traced core, each month's full lineage is reconstructable from
+// the flushed trace — five spans on LaneServe sharing the month's flow id, in
+// stage order, plus the flow arrows connecting them.
+func TestLineageTrace(t *testing.T) {
+	src := genServeCorpus(t, 3)
+	tracer := obs.NewTracer()
+	metrics := obs.NewRegistry()
+	c, _, err := NewCore(CoreOptions{
+		Dir: t.TempDir(), Trend: servingTrendOptions(), Metrics: metrics, Trace: tracer.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitReady(t, c)
+	ingestRange(t, c, src, 0, 3)
+
+	for month := 0; month < 3; month++ {
+		var names []string
+		var spans []obs.SpanEvent
+		for _, sp := range tracer.Spans() {
+			if sp.Flow == flowID(month) {
+				spans = append(spans, sp)
+			}
+		}
+		// Reconstruct the lineage by wall-clock start within the flow.
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[j].Start.Before(spans[i].Start) {
+					spans[i], spans[j] = spans[j], spans[i]
+				}
+			}
+		}
+		for _, sp := range spans {
+			names = append(names, sp.Name)
+			if sp.TID != obs.LaneServe || sp.Cat != "serve" || sp.Month != month {
+				t.Fatalf("month %d lineage span misfiled: %+v", month, sp)
+			}
+		}
+		if strings.Join(names, ",") != strings.Join(lineageStages, ",") {
+			t.Fatalf("month %d lineage = %v, want %v", month, names, lineageStages)
+		}
+	}
+
+	// The flushed trace carries the flow arrows tying each month's spans.
+	var buf bytes.Buffer
+	if err := tracer.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	type flowEv struct {
+		ph string
+		ts float64
+	}
+	flowEvents := map[int64][]flowEv{}
+	for _, ev := range file.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "s" || ph == "t" || ph == "f" {
+			id := int64(ev["id"].(float64))
+			flowEvents[id] = append(flowEvents[id], flowEv{ph: ph, ts: ev["ts"].(float64)})
+		}
+	}
+	for month := 0; month < 3; month++ {
+		evs := flowEvents[flowID(month)]
+		if len(evs) != len(lineageStages) {
+			t.Fatalf("month %d has %d flow events, want %d", month, len(evs), len(lineageStages))
+		}
+		// One "s" at the earliest timestamp, one "f" at the latest, "t" between.
+		counts := map[string]int{}
+		var sTS, fTS float64
+		minTS, maxTS := evs[0].ts, evs[0].ts
+		for _, ev := range evs {
+			counts[ev.ph]++
+			switch ev.ph {
+			case "s":
+				sTS = ev.ts
+			case "f":
+				fTS = ev.ts
+			}
+			minTS, maxTS = min(minTS, ev.ts), max(maxTS, ev.ts)
+		}
+		if counts["s"] != 1 || counts["f"] != 1 || counts["t"] != len(lineageStages)-2 {
+			t.Fatalf("month %d flow phase counts = %v", month, counts)
+		}
+		if sTS != minTS || fTS != maxTS {
+			t.Fatalf("month %d flow endpoints out of order: s@%v f@%v range [%v,%v]", month, sTS, fTS, minTS, maxTS)
+		}
+	}
+
+	// Lineage transitions surfaced as a labeled counter.
+	trans := metrics.Snapshot().CounterVecs["serve/lineage_transitions"]
+	byStage := map[string]int64{}
+	for _, lv := range trans.Values {
+		byStage[lv.Labels[0]] = lv.Value
+	}
+	for _, stage := range []string{LineageQueued, LineageFolding, LineageCheckpointed, LineageCommitted, LineagePublished} {
+		if byStage[stage] != 3 {
+			t.Fatalf("lineage_transitions[%s] = %d, want 3 (all: %v)", stage, byStage[stage], byStage)
+		}
+	}
+}
+
+// TestStatusEndpoint pins the /v1/status payload: readiness, epoch and its
+// age, queue shape, last-fold duration, per-month lineage in published state,
+// and the recovery report.
+func TestStatusEndpoint(t *testing.T) {
+	src := genServeCorpus(t, 2)
+	c, _, _ := newTestCore(t, t.TempDir())
+	defer c.Close()
+	waitReady(t, c)
+	ingestRange(t, c, src, 0, 2)
+
+	srv := httptest.NewServer(NewHandler(c, HandlerOptions{}))
+	defer srv.Close()
+	code, body, _ := get(t, srv.URL+"/v1/status")
+	if code != 200 {
+		t.Fatalf("/v1/status = %d: %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Poisoned {
+		t.Fatalf("status ready=%v poisoned=%v", st.Ready, st.Poisoned)
+	}
+	if st.Epoch < 3 || st.Months != 2 { // recovery epoch + 2 folds
+		t.Fatalf("status epoch=%d months=%d", st.Epoch, st.Months)
+	}
+	if st.EpochAgeSeconds < 0 || st.EpochAgeSeconds > 300 {
+		t.Fatalf("epoch_age_seconds = %v", st.EpochAgeSeconds)
+	}
+	if st.QueueCapacity != 8 || st.QueueDepth != 0 {
+		t.Fatalf("queue %d/%d, want 0/8", st.QueueDepth, st.QueueCapacity)
+	}
+	if st.LastFoldSeconds <= 0 {
+		t.Fatalf("last_fold_seconds = %v, want > 0", st.LastFoldSeconds)
+	}
+	if st.Recovery == nil {
+		t.Fatal("status missing recovery report")
+	}
+	if len(st.Lineage) != 2 {
+		t.Fatalf("lineage has %d months, want 2: %+v", len(st.Lineage), st.Lineage)
+	}
+	for i, m := range st.Lineage {
+		if m.Month != i || m.State != LineagePublished || m.Epoch == 0 {
+			t.Fatalf("lineage[%d] = %+v, want month %d published", i, m, i)
+		}
+		if m.UpdatedAt.IsZero() || time.Since(m.UpdatedAt) > 5*time.Minute {
+			t.Fatalf("lineage[%d] updated_at = %v", i, m.UpdatedAt)
+		}
+	}
+}
+
+// TestLineageFailedState pins the failure edge of the state machine: a fold
+// that fails terminally leaves its month in state failed with the error
+// recorded, visible in Status, and the error-carrying span in the trace.
+func TestLineageFailedState(t *testing.T) {
+	src := genServeCorpus(t, 1)
+	tracer := obs.NewTracer()
+	var logBuf bytes.Buffer
+	c, _, err := NewCore(CoreOptions{
+		Dir: t.TempDir(), Trend: servingTrendOptions(),
+		Retry: RetryPolicy{Attempts: 1},
+		Trace: tracer.Observe,
+		Log:   obs.NewJSONLogger(&logBuf, slog.LevelInfo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitReady(t, c)
+
+	faultpoint.Enable("serve/fold", faultpoint.Spec{Err: errors.New("disk on fire")})
+	defer faultpoint.Reset()
+	if _, _, err := c.Ingest(context.Background(), monthSlice(t, src, 0), 0); err == nil {
+		t.Fatal("fold succeeded despite injected fault")
+	}
+
+	st := c.Status()
+	if len(st.Lineage) != 1 || st.Lineage[0].State != LineageFailed {
+		t.Fatalf("lineage after failed fold = %+v", st.Lineage)
+	}
+	if !strings.Contains(st.Lineage[0].Error, "disk on fire") {
+		t.Fatalf("lineage error = %q", st.Lineage[0].Error)
+	}
+	var sawErrSpan bool
+	for _, sp := range tracer.Spans() {
+		if sp.Flow == flowID(0) && sp.Err != "" {
+			sawErrSpan = true
+		}
+	}
+	if !sawErrSpan {
+		t.Fatal("no error-carrying lineage span in the trace")
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("fold failed")) {
+		t.Fatalf("structured log missing the fold failure:\n%s", logBuf.String())
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mictrend/internal/obs"
+)
+
+// RequestIDHeader is the header the serving plane reads an inbound request id
+// from and echoes the effective id on, so a caller (or a proxy in front) can
+// correlate its own logs with the server's access log, metrics exemplars, and
+// lineage spans.
+const RequestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the correlated request id Instrument stored in ctx, or ""
+// when the request did not pass through the middleware.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// InstrumentOptions configures the serving plane's HTTP middleware.
+type InstrumentOptions struct {
+	// Metrics receives the RED series: http/requests{route,method,code},
+	// http/request_duration_seconds{route}, and the http/in_flight gauge.
+	// Nil disables metric emission.
+	Metrics *obs.Registry
+	// Log receives one access-log record per request (fields request_id,
+	// method, path, route, status, bytes, duration_ms). Nil disables access
+	// logging.
+	Log *obs.Logger
+	// Routes is the closed set of route labels; request paths outside it are
+	// labeled "other" so unmatched paths cannot grow metric cardinality
+	// without bound. Nil defaults to the paths NewHandler mounts.
+	Routes []string
+	// DurationBuckets overrides the latency histogram's upper bounds, in
+	// seconds. Nil uses defaultDurationBuckets.
+	DurationBuckets []float64
+}
+
+// defaultRoutes is the route-label set for the handler NewHandler builds.
+var defaultRoutes = []string{
+	"/v1/ingest", "/v1/epoch", "/v1/series", "/v1/detections",
+	"/v1/failures", "/v1/recovery", "/v1/status",
+	"/healthz", "/readyz", "/metrics",
+}
+
+// defaultDurationBuckets spans sub-millisecond cache hits through multi-second
+// folds, in seconds.
+var defaultDurationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// Instrument wraps next with the serving plane's observability middleware:
+// RED metrics (request counts by route/method/code, a latency histogram by
+// route, an in-flight gauge), request-id propagation (an inbound
+// X-Request-Id is accepted after validation, otherwise a fresh id is
+// generated; the effective id is stored in the request context, echoed on the
+// response, and stamped on the access log), and one structured access-log
+// record per request.
+//
+// With neither metrics nor log configured Instrument returns next unchanged,
+// so a fully disabled serving plane pays nothing per request — the same
+// disabled-means-free contract the obs handles keep.
+func Instrument(next http.Handler, opts InstrumentOptions) http.Handler {
+	if opts.Metrics == nil && opts.Log == nil {
+		return next
+	}
+	routes := opts.Routes
+	if routes == nil {
+		routes = defaultRoutes
+	}
+	known := make(map[string]bool, len(routes))
+	for _, r := range routes {
+		known[r] = true
+	}
+	bounds := opts.DurationBuckets
+	if bounds == nil {
+		bounds = defaultDurationBuckets
+	}
+	// Nil-safe: on a nil registry these are nil vectors and writes no-op.
+	requests := opts.Metrics.CounterVec("http/requests", "route", "method", "code")
+	durations := opts.Metrics.HistogramVec("http/request_duration_seconds", bounds, "route")
+	inFlight := opts.Metrics.Gauge("http/in_flight")
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+
+		route := r.URL.Path
+		if !known[route] {
+			route = "other"
+		}
+		inFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		inFlight.Add(-1)
+
+		elapsed := time.Since(start)
+		requests.With(route, r.Method, strconv.Itoa(rec.Status())).Inc()
+		durations.With(route).Observe(elapsed.Seconds())
+		if opts.Log.Enabled() {
+			opts.Log.Info("request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", rec.Status()),
+				slog.Int64("bytes", rec.bytes),
+				slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+			)
+		}
+	})
+}
+
+// validRequestID accepts inbound ids that are short, non-empty, and printable
+// ASCII without spaces — anything else (header injection attempts, binary
+// junk, oversized values) is replaced with a generated id.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// newRequestID returns a fresh random id (16 hex chars). crypto/rand's Read
+// never fails on supported platforms; if it somehow does, the zero bytes
+// still produce a usable (if non-unique) id rather than an error path.
+func newRequestID() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the response status and body size for metrics and
+// access logs. It forwards Flush so streaming handlers behind the middleware
+// keep working.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the recorded status, defaulting to 200 for handlers that
+// never call WriteHeader.
+func (r *statusRecorder) Status() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

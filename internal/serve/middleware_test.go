@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mictrend/internal/obs"
+)
+
+// TestInstrumentDisabledIdentity pins the disabled-means-free contract at the
+// middleware level: with neither metrics nor log configured, Instrument
+// returns the handler unchanged — no wrapper, no per-request work.
+func TestInstrumentDisabledIdentity(t *testing.T) {
+	next := http.NewServeMux()
+	if got := Instrument(next, InstrumentOptions{}); got != http.Handler(next) {
+		t.Fatal("fully disabled Instrument must return next unchanged")
+	}
+}
+
+// TestInstrumentRED pins the RED series: request counts labeled by
+// route/method/code, a latency histogram by route, unknown paths normalized
+// to "other" so cardinality stays bounded, and the in-flight gauge back at
+// zero after the requests drain.
+func TestInstrumentRED(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := Instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/ingest" {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok")) // implicit 200
+	}), InstrumentOptions{Metrics: reg})
+
+	for _, req := range []struct {
+		method, path string
+	}{
+		{"GET", "/v1/epoch"},
+		{"GET", "/v1/epoch"},
+		{"POST", "/v1/ingest"},
+		{"GET", "/not/a/route"},
+		{"GET", "/also%2Fnot/mounted"},
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(req.method, req.path, nil))
+	}
+
+	snap := reg.Snapshot()
+	reqs := snap.CounterVecs["http/requests"]
+	got := map[string]int64{}
+	for _, lv := range reqs.Values {
+		got[strings.Join(lv.Labels, " ")] = lv.Value
+	}
+	want := map[string]int64{
+		"/v1/epoch GET 200":   2,
+		"/v1/ingest POST 429": 1,
+		"other GET 200":       2,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("http/requests[%s] = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("unexpected series: %v", got)
+	}
+
+	var durN int64
+	for _, lh := range snap.HistogramVecs["http/request_duration_seconds"].Values {
+		durN += lh.Count
+	}
+	if durN != 5 {
+		t.Fatalf("duration histogram count = %d, want 5", durN)
+	}
+	if v := snap.Gauges["http/in_flight"]; v != 0 {
+		t.Fatalf("http/in_flight = %d after drain, want 0", v)
+	}
+}
+
+// TestInstrumentRequestID pins id propagation: a valid inbound X-Request-Id
+// is kept (context + response header), an invalid or absent one is replaced
+// with a generated id, and the access log carries the effective id.
+func TestInstrumentRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	var seenCtx string
+	h := Instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenCtx = RequestID(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	}), InstrumentOptions{Log: obs.NewJSONLogger(&buf, slog.LevelInfo)})
+
+	// Valid inbound id: kept verbatim.
+	req := httptest.NewRequest("GET", "/v1/status", nil)
+	req.Header.Set(RequestIDHeader, "caller-7")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seenCtx != "caller-7" || rec.Header().Get(RequestIDHeader) != "caller-7" {
+		t.Fatalf("valid inbound id not propagated: ctx=%q header=%q", seenCtx, rec.Header().Get(RequestIDHeader))
+	}
+	var logRec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &logRec); err != nil {
+		t.Fatal(err)
+	}
+	if logRec["request_id"] != "caller-7" || logRec["route"] != "/v1/status" || logRec["status"] != float64(204) {
+		t.Fatalf("access log record = %v", logRec)
+	}
+
+	// Injection attempt: replaced with a generated 16-hex-char id.
+	req = httptest.NewRequest("GET", "/v1/status", nil)
+	req.Header.Set(RequestIDHeader, "bad\nid")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	echoed := rec.Header().Get(RequestIDHeader)
+	if echoed == "bad\nid" || len(echoed) != 16 || seenCtx != echoed {
+		t.Fatalf("invalid inbound id not replaced: %q (ctx %q)", echoed, seenCtx)
+	}
+
+	// Absent id: generated, and distinct per request.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest("GET", "/v1/status", nil))
+	if id2 := rec2.Header().Get(RequestIDHeader); len(id2) != 16 || id2 == echoed {
+		t.Fatalf("generated ids: %q then %q", echoed, id2)
+	}
+}
+
+// TestInstrumentConcurrent hammers the middleware from concurrent clients —
+// under the CI serve-race step this is the labeled-metric data-race guard for
+// the full request path (vector lookup, child update, in-flight gauge,
+// access log) rather than the registry in isolation.
+func TestInstrumentConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	var logMu sync.Mutex
+	h := Instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}), InstrumentOptions{
+		Metrics: reg,
+		Log:     obs.NewJSONLogger(&syncWriter{mu: &logMu, w: &buf}, slog.LevelInfo),
+	})
+	paths := []string{"/v1/epoch", "/v1/series", "/healthz", "/nope"}
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", paths[(w+i)%len(paths)], nil))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, lv := range reg.Snapshot().CounterVecs["http/requests"].Values {
+		total += lv.Value
+	}
+	if total != workers*perWorker {
+		t.Fatalf("request count = %d, want %d", total, workers*perWorker)
+	}
+	if v := reg.Snapshot().Gauges["http/in_flight"]; v != 0 {
+		t.Fatalf("http/in_flight = %d after drain, want 0", v)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != workers*perWorker {
+		t.Fatalf("access log has %d records, want %d", lines, workers*perWorker)
+	}
+}
+
+// syncWriter serializes concurrent writes; slog handlers already lock per
+// record, but the test's final Count read needs the same mutex.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(b)
+}

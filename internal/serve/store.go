@@ -105,6 +105,21 @@ type Store struct {
 	months map[int]*monthState
 	staged map[int]*monthState // records staged by StageMonth, committed by SaveMonth
 	epoch  int64               // last epoch recorded in a shutdown marker
+
+	onCommit func(month int, phase string) // see SetCommitObserver
+}
+
+// SetCommitObserver registers cb to be invoked at the two durable points of
+// SaveMonth's two-phase commit: phase "checkpoint" once the month file is
+// renamed into place and the directory synced, and phase "wal" once the WAL
+// record referencing it is appended and fsynced (the commit point recovery
+// honors). The serving core's lineage tracker hangs off this. cb runs with
+// the store's lock held, so it must not call back into the store; a nil cb
+// clears the hook. Set before the store is shared across goroutines.
+func (s *Store) SetCommitObserver(cb func(month int, phase string)) {
+	s.mu.Lock()
+	s.onCommit = cb
+	s.mu.Unlock()
 }
 
 const walName = "MANIFEST.wal"
@@ -357,6 +372,9 @@ func (s *Store) SaveMonth(cp trend.MonthCheckpoint) error {
 		return fmt.Errorf("serve: committing month checkpoint: %w", err)
 	}
 	s.syncDir()
+	if s.onCommit != nil {
+		s.onCommit(cp.Month, "checkpoint")
+	}
 
 	// Crash window: the month file exists but the WAL does not reference it.
 	// Recovery treats it as an orphan and deletes it — the commit point is
@@ -365,6 +383,9 @@ func (s *Store) SaveMonth(cp trend.MonthCheckpoint) error {
 
 	if err := s.appendWAL(walRecord{Kind: "month", Month: cp.Month, File: file, CRC: sum}); err != nil {
 		return err
+	}
+	if s.onCommit != nil {
+		s.onCommit(cp.Month, "wal")
 	}
 	s.months[cp.Month] = st
 	delete(s.staged, cp.Month)

@@ -92,6 +92,8 @@ package mictrend
 import (
 	"context"
 	"io"
+	"log/slog"
+	"net/http"
 
 	"mictrend/internal/apps"
 	"mictrend/internal/changepoint"
@@ -126,6 +128,17 @@ type (
 	// regardless of worker counts; Deterministic() strips the wall-clock
 	// timings.
 	MetricsSnapshot = obs.Snapshot
+	// CounterVec is a counter family labeled by a fixed label-name list;
+	// create one with Metrics.CounterVec.
+	CounterVec = obs.CounterVec
+	// GaugeVec is a labeled gauge family; create one with Metrics.GaugeVec.
+	GaugeVec = obs.GaugeVec
+	// HistogramVec is a labeled histogram family sharing one bucket layout;
+	// create one with Metrics.HistogramVec.
+	HistogramVec = obs.HistogramVec
+	// Logger is the structured, leveled log handle the serving plane writes
+	// through; the nil logger is silent and allocation-free.
+	Logger = obs.Logger
 	// ScanStats accumulates optimizer-level accounting (likelihood
 	// evaluations, multi-start restarts, failures) across the fits of a
 	// change point search; wire one through DetectOptions.Stats.
@@ -170,6 +183,7 @@ const (
 	LaneDetect = obs.LaneDetect
 	LaneScan   = obs.LaneScan
 	LaneSSM    = obs.LaneSSM
+	LaneServe  = obs.LaneServe
 )
 
 // NewTracer returns an empty span collector; pass its Observe method as
@@ -213,6 +227,18 @@ const (
 // NewMetrics returns an empty metrics registry to pass as
 // AnalysisOptions.Metrics. A nil registry (the default) costs nothing.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTextLogger returns a Logger writing logfmt-style text records at or
+// above level to w; wire it through ServingOptions.Log.
+func NewTextLogger(w io.Writer, level slog.Level) *Logger {
+	return obs.NewTextLogger(w, level)
+}
+
+// NewJSONLogger returns a Logger writing one JSON object per record at or
+// above level to w.
+func NewJSONLogger(w io.Writer, level slog.Level) *Logger {
+	return obs.NewJSONLogger(w, level)
+}
 
 // --- MIC data model ---
 
@@ -762,7 +788,20 @@ type (
 	// ServeRetryPolicy is the bounded, jittered exponential backoff schedule
 	// applied to transiently failed folds.
 	ServeRetryPolicy = serve.RetryPolicy
+	// ServingStatus is the /v1/status payload: readiness, epoch age, queue
+	// pressure, last-fold cost, per-month lineage, and the recovery report.
+	ServingStatus = serve.Status
+	// MonthLineage is one ingested month's progress through the serving
+	// plane's durable pipeline (queued → folding → checkpointed →
+	// wal-committed → published, or failed).
+	MonthLineage = serve.MonthLineage
+	// InstrumentOptions configures the Instrument HTTP middleware.
+	InstrumentOptions = serve.InstrumentOptions
 )
+
+// RequestIDHeader is the header Instrument reads and echoes for request
+// correlation.
+const RequestIDHeader = serve.RequestIDHeader
 
 // Serving sentinel errors, mapped onto HTTP semantics by the serving handler
 // (429, 503, 409).
@@ -785,6 +824,19 @@ func OpenCheckpointStore(dir string, metrics *Metrics) (*CheckpointStore, *Recov
 // epoch publishes. Close drains gracefully.
 func NewServingCore(opts ServingOptions) (*ServingCore, *RecoveryReport, error) {
 	return serve.NewCore(opts)
+}
+
+// Instrument wraps an HTTP handler with the serving plane's RED metrics,
+// request-id correlation, and structured access logging. With neither a
+// metrics registry nor a logger configured it returns next unchanged.
+func Instrument(next http.Handler, opts InstrumentOptions) http.Handler {
+	return serve.Instrument(next, opts)
+}
+
+// ServeRequestID returns the correlated request id Instrument stashed in the
+// request context ("" outside an instrumented handler).
+func ServeRequestID(ctx context.Context) string {
+	return serve.RequestID(ctx)
 }
 
 // HashCheckpointMonth fingerprints one filtered month plus the fit options
